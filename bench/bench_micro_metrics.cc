@@ -1,0 +1,119 @@
+// Copyright 2026 The LearnRisk Authors
+//
+// Micro-benchmarks (google-benchmark): throughput of the similarity /
+// difference metrics, rule evaluation and VaR scoring — the inner loops of
+// feature generation and risk ranking.
+
+#include <benchmark/benchmark.h>
+
+#include "common/math_util.h"
+#include "metrics/difference.h"
+#include "metrics/similarity.h"
+#include "risk/risk_model.h"
+
+namespace learnrisk {
+namespace {
+
+const char* kTitleA = "towards interpretable and learnable risk analysis";
+const char* kTitleB = "toward interpretble and lernable risk analysis for er";
+const char* kAuthorsA = "zhaoqiang chen, qun chen, boyi hou, tianyi duan";
+const char* kAuthorsB = "z chen, q chen, b hou, g li";
+
+void BM_EditDistance(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(kTitleA, kTitleB));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(kTitleA, kTitleB));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_TokenJaccard(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenJaccard(kTitleA, kTitleB));
+  }
+}
+BENCHMARK(BM_TokenJaccard);
+
+void BM_LcsRatio(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LcsRatio(kTitleA, kTitleB));
+  }
+}
+BENCHMARK(BM_LcsRatio);
+
+void BM_MongeElkan(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MongeElkan(kAuthorsA, kAuthorsB));
+  }
+}
+BENCHMARK(BM_MongeElkan);
+
+void BM_DistinctEntity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistinctEntityCount(kAuthorsA, kAuthorsB));
+  }
+}
+BENCHMARK(BM_DistinctEntity);
+
+void BM_AbbrNonSubstring(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AbbrNonSubstring("very large data bases", "vldb"));
+  }
+}
+BENCHMARK(BM_AbbrNonSubstring);
+
+void BM_TruncatedNormalQuantile(benchmark::State& state) {
+  double p = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TruncatedNormalQuantile(p, 0.42, 0.17, 0.0, 1.0));
+  }
+}
+BENCHMARK(BM_TruncatedNormalQuantile);
+
+RiskFeatureSet MicroFeatures() {
+  Rule matching;
+  matching.predicates = {{1, "sim", true, 0.8}};
+  matching.label = RuleClass::kMatching;
+  Rule unmatching;
+  unmatching.predicates = {{0, "diff", true, 0.5}};
+  unmatching.label = RuleClass::kUnmatching;
+  FeatureMatrix train(20, 2);
+  std::vector<uint8_t> labels(20);
+  for (size_t i = 0; i < 20; ++i) {
+    labels[i] = i < 8 ? 1 : 0;
+    train.set(i, 0, i < 8 ? 0.0 : 1.0);
+    train.set(i, 1, i < 8 ? 0.9 : 0.1);
+  }
+  return RiskFeatureSet::Build({matching, unmatching}, train, labels);
+}
+
+void BM_VaRScore(benchmark::State& state) {
+  RiskModel model(MicroFeatures());
+  std::vector<uint32_t> active = {0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.RiskScore(active, 0.73, 1));
+  }
+}
+BENCHMARK(BM_VaRScore);
+
+void BM_RuleActivation(benchmark::State& state) {
+  RiskFeatureSet features = MicroFeatures();
+  double row[] = {0.9, 0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features.ActiveRules(row));
+  }
+}
+BENCHMARK(BM_RuleActivation);
+
+}  // namespace
+}  // namespace learnrisk
+
+BENCHMARK_MAIN();

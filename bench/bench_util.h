@@ -1,0 +1,54 @@
+// Copyright 2026 The LearnRisk Authors
+// Shared helpers for the figure/table bench binaries: environment-variable
+// configuration and paper-vs-measured table printing.
+//
+// Environment knobs (all optional):
+//   LEARNRISK_SCALE   workload scale relative to paper Table 2 (default 0.2)
+//   LEARNRISK_EPOCHS  risk-training epochs (default 1000, the paper value)
+//   LEARNRISK_SEED    master seed (default 7)
+
+#ifndef LEARNRISK_BENCH_BENCH_UTIL_H_
+#define LEARNRISK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace learnrisk::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : static_cast<size_t>(std::atoll(v));
+}
+
+inline double Scale() { return EnvDouble("LEARNRISK_SCALE", 0.2); }
+inline size_t Epochs() { return EnvSize("LEARNRISK_EPOCHS", 1000); }
+inline uint64_t Seed() {
+  return static_cast<uint64_t>(EnvSize("LEARNRISK_SEED", 7));
+}
+
+inline void PrintBanner(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(scale=%.2f, epochs=%zu, seed=%llu; paper numbers are the "
+              "published values,\n measured numbers come from the synthetic "
+              "workloads -- compare shapes, not decimals)\n",
+              Scale(), Epochs(),
+              static_cast<unsigned long long>(Seed()));
+  std::printf("================================================================\n");
+}
+
+/// Prints one "method: paper vs measured" row.
+inline void PrintPaperMeasured(const char* method, double paper,
+                               double measured) {
+  std::printf("  %-12s paper=%.3f  measured=%.3f\n", method, paper, measured);
+}
+
+}  // namespace learnrisk::bench
+
+#endif  // LEARNRISK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Copyright 2026 The LearnRisk Authors
+//
+// Risk-driven active learning (paper Sec. 8, Fig. 14): build an ER
+// classifier from scratch with a small labeling budget, comparing
+// uncertainty-based batch selection against LearnRisk-based selection.
+//
+// Run: ./build/examples/active_learning_demo
+
+#include <cstdio>
+
+#include "active/active_learner.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+
+using namespace learnrisk;  // NOLINT: example brevity
+
+int main() {
+  GeneratorOptions gen;
+  gen.scale = 0.1;
+  gen.seed = 11;
+  Workload workload = GenerateDataset("DS", gen).MoveValueOrDie();
+  MetricSuite suite = MetricSuite::ForSchema(workload.left().schema());
+  suite.Fit(workload);
+  FeatureMatrix features = ComputeFeatures(workload, suite);
+  const std::vector<uint8_t> truth = workload.Labels();
+
+  Rng rng(11);
+  WorkloadSplit split = StratifiedSplit(workload, 5, 0, 5, &rng).MoveValueOrDie();
+  std::printf("labeling pool: %zu pairs, held-out test: %zu pairs\n",
+              split.train.size(), split.test.size());
+
+  ActiveLearningConfig config;
+  config.initial_labels = 128;
+  config.batch_size = 64;
+  config.num_batches = 5;
+  config.seed = 11;
+  config.risk_trainer.epochs = 200;
+
+  std::vector<ActiveLearningCurve> curves;
+  for (SelectionStrategy strategy : {SelectionStrategy::kLeastConfidence,
+                                     SelectionStrategy::kLearnRisk}) {
+    auto curve = RunActiveLearning(features, truth, split.train, split.test,
+                                   strategy, config);
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s: %s\n", SelectionStrategyToString(strategy),
+                   curve.status().ToString().c_str());
+      return 1;
+    }
+    curves.push_back(curve.MoveValueOrDie());
+  }
+
+  std::printf("\n%8s %18s %18s\n", "labels", curves[0].strategy.c_str(),
+              curves[1].strategy.c_str());
+  for (size_t r = 0; r < curves[0].labeled_sizes.size(); ++r) {
+    std::printf("%8zu %17.1f%% %17.1f%%\n", curves[0].labeled_sizes[r],
+                100.0 * curves[0].f1_scores[r],
+                100.0 * curves[1].f1_scores[r]);
+  }
+  std::printf("\nLearnRisk selection labels the pairs the current classifier "
+              "is most likely getting wrong, which fixes its blind spots "
+              "faster than plain uncertainty sampling (Fig. 14).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Copyright 2026 The LearnRisk Authors
+// Risk-driven active learning for ER classifiers (paper Sec. 8, Fig. 14):
+// starting from a small labeled seed, iteratively pick a batch of unlabeled
+// pairs to label and retrain. Selection strategies: LeastConfidence, Entropy
+// and LearnRisk (label the pairs the risk model ranks as most likely
+// mislabeled).
+
+#ifndef LEARNRISK_ACTIVE_ACTIVE_LEARNER_H_
+#define LEARNRISK_ACTIVE_ACTIVE_LEARNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classifier/mlp.h"
+#include "common/status.h"
+#include "data/workload.h"
+#include "metrics/metric_suite.h"
+#include "risk/risk_model.h"
+#include "risk/trainer.h"
+#include "rules/one_sided_tree.h"
+
+namespace learnrisk {
+
+/// \brief How the next labeling batch is chosen.
+enum class SelectionStrategy {
+  kLeastConfidence,  ///< lowest max(p, 1-p)
+  kEntropy,          ///< highest -p log p - (1-p) log(1-p)
+  kLearnRisk,        ///< highest LearnRisk score (Sec. 8)
+};
+
+const char* SelectionStrategyToString(SelectionStrategy s);
+
+/// \brief Loop parameters (paper: |L0| = 128, batch 64, on DS).
+struct ActiveLearningConfig {
+  size_t initial_labels = 128;
+  size_t batch_size = 64;
+  size_t num_batches = 9;
+  MlpOptions classifier;
+  OneSidedForestOptions rules;
+  RiskModelOptions risk_model;
+  RiskTrainerOptions risk_trainer;
+  uint64_t seed = 7;
+};
+
+/// \brief F1 on the held-out test split after each retraining round.
+struct ActiveLearningCurve {
+  std::string strategy;
+  std::vector<size_t> labeled_sizes;
+  std::vector<double> f1_scores;
+};
+
+/// \brief Runs the loop on a precomputed feature matrix.
+///
+/// `pool` indexes candidate pairs available for labeling; `test` indexes the
+/// held-out evaluation pairs. Ground truth comes from `truth`; labels are
+/// "revealed" as pairs are selected.
+Result<ActiveLearningCurve> RunActiveLearning(
+    const FeatureMatrix& features, const std::vector<uint8_t>& truth,
+    const std::vector<size_t>& pool, const std::vector<size_t>& test,
+    SelectionStrategy strategy, const ActiveLearningConfig& config);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_ACTIVE_ACTIVE_LEARNER_H_

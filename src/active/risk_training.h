@@ -1,0 +1,68 @@
+// Copyright 2026 The LearnRisk Authors
+// Risk-aware classifier training: the "Model Training" extension the paper
+// sketches in Sec. 8. The revised objective combines (a) label consistency
+// on the labeled training pairs with (b) minimizing prediction risk on
+// *unlabeled* target pairs. We realize (b) as risk-screened self-training:
+// each round, the current classifier labels the target pairs, a LearnRisk
+// model (trained on the labeled validation slice) scores those labels, and
+// only the low-risk pairs are admitted as pseudo-labels for retraining —
+// high-risk (likely wrong) machine labels are kept out of the objective.
+
+#ifndef LEARNRISK_ACTIVE_RISK_TRAINING_H_
+#define LEARNRISK_ACTIVE_RISK_TRAINING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "classifier/mlp.h"
+#include "common/status.h"
+#include "metrics/metric_suite.h"
+#include "risk/risk_model.h"
+#include "risk/trainer.h"
+#include "rules/one_sided_tree.h"
+
+namespace learnrisk {
+
+/// \brief Options for risk-aware self-training.
+struct RiskAwareTrainingOptions {
+  MlpOptions classifier;
+  OneSidedForestOptions rules;
+  RiskModelOptions risk_model;
+  RiskTrainerOptions risk_trainer;
+  /// Self-training rounds after the initial fit.
+  size_t rounds = 2;
+  /// Fraction of lowest-risk target pairs admitted as pseudo-labels per
+  /// round.
+  double admit_fraction = 0.5;
+  uint64_t seed = 7;
+};
+
+/// \brief Outcome of risk-aware training.
+struct RiskAwareTrainingResult {
+  std::unique_ptr<MlpClassifier> classifier;
+  /// Pseudo-labeled target pairs admitted in the final round.
+  size_t admitted = 0;
+  /// Mean risk of admitted vs rejected target labels in the final round
+  /// (diagnostics; admitted should be much lower).
+  double admitted_mean_risk = 0.0;
+  double rejected_mean_risk = 0.0;
+};
+
+/// \brief Trains a classifier on `labeled` rows (ground truth in `labels`,
+/// parallel to `features` rows) plus risk-screened pseudo-labels on the
+/// unlabeled `target` rows. `risk_valid` rows (with ground truth) train the
+/// risk model each round.
+///
+/// `classifier_columns` restricts the classifier's feature view (pass all
+/// columns to disable masking); rules and risk features see all columns.
+Result<RiskAwareTrainingResult> TrainWithRiskTerm(
+    const FeatureMatrix& features, const std::vector<uint8_t>& truth,
+    const std::vector<size_t>& labeled, const std::vector<size_t>& risk_valid,
+    const std::vector<size_t>& target,
+    const std::vector<size_t>& classifier_columns,
+    const RiskAwareTrainingOptions& options);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_ACTIVE_RISK_TRAINING_H_

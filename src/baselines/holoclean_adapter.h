@@ -1,0 +1,74 @@
+// Copyright 2026 The LearnRisk Authors
+// HoloClean adaptation for ER risk analysis (paper Sec. 7.3). The paper
+// treats a candidate pair as a tuple whose attributes are two-sided labeling
+// rules (from a random forest, as in Corleone) acting as integrity
+// constraints, and lets HoloClean's probabilistic inference estimate the
+// probability that the machine label is wrong.
+//
+// Our in-repo substitute is the same inference shape without the PostgreSQL
+// machinery: a log-linear (factor) model over rule votes,
+//   P(match | pair) = sigmoid( w0 + sum_r active w_r * vote_r ),
+// vote_r = +1 for a matching rule, -1 for an unmatching rule. Factor weights
+// are fit by logistic regression on HoloClean-style weak supervision: the
+// "trusted cells" are pairs the classifier labels with high confidence. Risk
+// of a pair is the inferred probability that its machine label is wrong.
+
+#ifndef LEARNRISK_BASELINES_HOLOCLEAN_ADAPTER_H_
+#define LEARNRISK_BASELINES_HOLOCLEAN_ADAPTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/metric_suite.h"
+#include "rules/rule.h"
+
+namespace learnrisk {
+
+/// \brief Adapter hyperparameters.
+struct HoloCleanOptions {
+  /// Outputs within this distance of 0 or 1 count as trusted weak labels.
+  double trusted_margin = 0.1;
+  size_t epochs = 300;
+  double learning_rate = 0.1;
+  double l2 = 1e-3;
+};
+
+/// \brief Log-linear rule-vote inference.
+class HoloCleanAdapter {
+ public:
+  explicit HoloCleanAdapter(HoloCleanOptions options = {})
+      : options_(options) {}
+
+  /// \brief Fits factor weights on the workload using trusted machine labels
+  /// as weak supervision. `labeling_rules` are two-sided forest rules.
+  Status Fit(std::vector<Rule> labeling_rules,
+             const FeatureMatrix& metric_features,
+             const std::vector<double>& classifier_probs);
+
+  /// \brief Inferred P(match) per pair.
+  std::vector<double> InferMatchProbability(
+      const FeatureMatrix& metric_features) const;
+
+  /// \brief Risk per pair: probability the machine label is wrong under the
+  /// inferred distribution.
+  std::vector<double> RiskAll(const FeatureMatrix& metric_features,
+                              const std::vector<double>& classifier_probs) const;
+
+  size_t num_rules() const { return rules_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  /// Signed vote feature of rule r on a metric row: +1 / -1 when active,
+  /// 0 when the rule does not cover the pair.
+  double Vote(size_t r, const double* metric_row) const;
+
+  HoloCleanOptions options_;
+  std::vector<Rule> rules_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_BASELINES_HOLOCLEAN_ADAPTER_H_

@@ -1,0 +1,25 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "baselines/simple_baselines.h"
+
+#include <cmath>
+
+namespace learnrisk {
+
+std::vector<double> AmbiguityRisk(const std::vector<double>& classifier_probs) {
+  std::vector<double> risk(classifier_probs.size());
+  for (size_t i = 0; i < classifier_probs.size(); ++i) {
+    risk[i] = 1.0 - std::fabs(2.0 * classifier_probs[i] - 1.0);
+  }
+  return risk;
+}
+
+std::vector<double> UncertaintyRisk(const std::vector<double>& vote_fractions) {
+  std::vector<double> risk(vote_fractions.size());
+  for (size_t i = 0; i < vote_fractions.size(); ++i) {
+    risk[i] = vote_fractions[i] * (1.0 - vote_fractions[i]);
+  }
+  return risk;
+}
+
+}  // namespace learnrisk

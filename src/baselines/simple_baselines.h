@@ -1,0 +1,23 @@
+// Copyright 2026 The LearnRisk Authors
+// The two output-only risk baselines of Sec. 7:
+//  * Baseline (Hendrycks & Gimpel): risk = ambiguity of the classifier
+//    output — pairs with outputs near 0.5 are risky.
+//  * Uncertainty (Mozafari et al.): risk = p(1-p) where p is the bootstrap
+//    ensemble's vote fraction.
+
+#ifndef LEARNRISK_BASELINES_SIMPLE_BASELINES_H_
+#define LEARNRISK_BASELINES_SIMPLE_BASELINES_H_
+
+#include <vector>
+
+namespace learnrisk {
+
+/// \brief Ambiguity risk: 1 - |2p - 1|; maximal at p = 0.5, zero at 0 or 1.
+std::vector<double> AmbiguityRisk(const std::vector<double>& classifier_probs);
+
+/// \brief Bootstrap-uncertainty risk: p(1-p) on ensemble vote fractions.
+std::vector<double> UncertaintyRisk(const std::vector<double>& vote_fractions);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_BASELINES_SIMPLE_BASELINES_H_

@@ -1,0 +1,83 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "baselines/static_risk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace learnrisk {
+
+size_t StaticRisk::Bucket(double p) const {
+  const double b = std::floor(Clamp(p, 0.0, 1.0) *
+                              static_cast<double>(options_.output_buckets));
+  return std::min(static_cast<size_t>(b), options_.output_buckets - 1);
+}
+
+Status StaticRisk::Fit(const std::vector<double>& valid_probs,
+                       const std::vector<uint8_t>& valid_truth) {
+  if (valid_probs.size() != valid_truth.size()) {
+    return Status::InvalidArgument("probability count != label count");
+  }
+  bucket_matches_.assign(options_.output_buckets, 0.0);
+  bucket_unmatches_.assign(options_.output_buckets, 0.0);
+  for (size_t i = 0; i < valid_probs.size(); ++i) {
+    const size_t b = Bucket(valid_probs[i]);
+    if (valid_truth[i]) {
+      bucket_matches_[b] += 1.0;
+    } else {
+      bucket_unmatches_[b] += 1.0;
+    }
+  }
+  return Status::OK();
+}
+
+double StaticRisk::Risk(double classifier_output,
+                        uint8_t machine_label) const {
+  // Beta prior centered on the classifier output.
+  const double p = Clamp(classifier_output, 1e-6, 1.0 - 1e-6);
+  double alpha = p * options_.prior_strength;
+  double beta = (1.0 - p) * options_.prior_strength;
+
+  // Evidence: labeled pairs whose classifier outputs share this bucket.
+  if (!bucket_matches_.empty()) {
+    const size_t b = Bucket(classifier_output);
+    double m = bucket_matches_[b];
+    double u = bucket_unmatches_[b];
+    const double total = m + u;
+    if (total > options_.max_evidence) {
+      const double shrink = options_.max_evidence / total;
+      m *= shrink;
+      u *= shrink;
+    }
+    alpha += m;
+    beta += u;
+  }
+
+  // Normal approximation of the Beta posterior (Sec. 4.2 notes alpha+beta is
+  // large in ER), truncated to [0, 1]; risk = CVaR.
+  const double total = alpha + beta;
+  const double mu = alpha / total;
+  const double sigma =
+      std::sqrt(alpha * beta / (total * total * (total + 1.0))) + 1e-9;
+
+  const double theta = options_.confidence;
+  if (machine_label == 0) {
+    const double var = TruncatedNormalQuantile(theta, mu, sigma, 0.0, 1.0);
+    return TruncatedNormalMean(mu, sigma, var, 1.0);
+  }
+  const double var = TruncatedNormalQuantile(1.0 - theta, mu, sigma, 0.0, 1.0);
+  return 1.0 - TruncatedNormalMean(mu, sigma, 0.0, var);
+}
+
+std::vector<double> StaticRisk::RiskAll(
+    const std::vector<double>& classifier_probs) const {
+  std::vector<double> risk(classifier_probs.size());
+  for (size_t i = 0; i < classifier_probs.size(); ++i) {
+    risk[i] = Risk(classifier_probs[i], classifier_probs[i] >= 0.5 ? 1 : 0);
+  }
+  return risk;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,60 @@
+// Copyright 2026 The LearnRisk Authors
+// StaticRisk baseline (Chen et al. 2018, paper Sec. 7): takes the classifier
+// probability as a Beta prior on a pair's equivalence probability, updates it
+// by Bayesian inference with the human-labeled pairs that share the pair's
+// classifier-output region, and scores risk with Conditional Value-at-Risk
+// on the (normal-approximated) posterior. Not learnable: no parameter is
+// tuned against a rank objective, and — unlike LearnRisk — no rule features
+// exist in its source system, so evidence is keyed on classifier output
+// alone.
+
+#ifndef LEARNRISK_BASELINES_STATIC_RISK_H_
+#define LEARNRISK_BASELINES_STATIC_RISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace learnrisk {
+
+/// \brief StaticRisk hyperparameters.
+struct StaticRiskOptions {
+  /// Pseudo-count of the classifier-probability prior (alpha0 + beta0).
+  double prior_strength = 10.0;
+  /// CVaR confidence level.
+  double confidence = 0.9;
+  /// Number of classifier-output buckets the labeled samples are grouped by.
+  size_t output_buckets = 20;
+  /// Cap on evidence mass per bucket so a dense bucket cannot produce a
+  /// degenerate zero-variance posterior.
+  double max_evidence = 200.0;
+};
+
+/// \brief Bayesian posterior + CVaR risk scorer.
+class StaticRisk {
+ public:
+  explicit StaticRisk(StaticRiskOptions options = {}) : options_(options) {}
+
+  /// \brief Tallies match/unmatch counts of the labeled validation pairs per
+  /// classifier-output bucket (the "human-labeled samples").
+  Status Fit(const std::vector<double>& valid_probs,
+             const std::vector<uint8_t>& valid_truth);
+
+  /// \brief Posterior-CVaR risk of one pair.
+  double Risk(double classifier_output, uint8_t machine_label) const;
+
+  /// \brief Risk for every pair.
+  std::vector<double> RiskAll(const std::vector<double>& classifier_probs) const;
+
+ private:
+  size_t Bucket(double p) const;
+
+  StaticRiskOptions options_;
+  std::vector<double> bucket_matches_;
+  std::vector<double> bucket_unmatches_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_BASELINES_STATIC_RISK_H_

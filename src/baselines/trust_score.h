@@ -1,0 +1,67 @@
+// Copyright 2026 The LearnRisk Authors
+// TrustScore baseline (Jiang et al., NeurIPS 2018; paper Sec. 7): build an
+// alpha-filtered high-density set per class from training data; a test
+// point's trust is rho_N / rho_Y, the ratio of its distance to the nearest
+// *other*-class set over the distance to its *predicted*-class set. Risk is
+// the inverse ratio rho_Y / rho_N, so points far from their predicted class
+// and close to the opposite class rank as risky.
+
+#ifndef LEARNRISK_BASELINES_TRUST_SCORE_H_
+#define LEARNRISK_BASELINES_TRUST_SCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/metric_suite.h"
+
+namespace learnrisk {
+
+/// \brief TrustScore hyperparameters (defaults follow the reference
+/// implementation).
+struct TrustScoreOptions {
+  /// Fraction of each class's training points discarded as low-density
+  /// (largest k-NN radius).
+  double alpha = 0.1;
+  /// Neighborhood size for the density filter.
+  size_t k_density = 10;
+};
+
+/// \brief Cluster-distance risk model over per-pair metric vectors.
+class TrustScore {
+ public:
+  explicit TrustScore(TrustScoreOptions options = {}) : options_(options) {}
+
+  /// \brief Builds the per-class high-density sets from training features
+  /// (standardized internally).
+  Status Fit(const FeatureMatrix& train_features,
+             const std::vector<uint8_t>& train_labels);
+
+  /// \brief Risk of one pair given the machine-predicted label:
+  /// rho_Y / rho_N (higher = riskier).
+  double Risk(const double* features, uint8_t predicted_label) const;
+
+  /// \brief Risk for every row (parallelized).
+  std::vector<double> RiskAll(const FeatureMatrix& features,
+                              const std::vector<uint8_t>& machine_labels) const;
+
+  size_t class_size(uint8_t label) const {
+    return label ? class1_.size() / dim_ : class0_.size() / dim_;
+  }
+
+ private:
+  double NearestDistance(const std::vector<double>& set,
+                         const double* point) const;
+  void StandardizePoint(const double* in, double* out) const;
+
+  TrustScoreOptions options_;
+  size_t dim_ = 0;
+  std::vector<double> class0_;  // flattened high-density set, unmatches
+  std::vector<double> class1_;  // flattened high-density set, matches
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_BASELINES_TRUST_SCORE_H_

@@ -1,0 +1,86 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "classifier/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace learnrisk {
+namespace {
+
+double SafeLogit(double p) {
+  p = Clamp(p, 1e-7, 1.0 - 1e-7);
+  return std::log(p / (1.0 - p));
+}
+
+}  // namespace
+
+Status PlattCalibrator::Fit(const std::vector<double>& probs,
+                            const std::vector<uint8_t>& labels, size_t epochs,
+                            double learning_rate) {
+  if (probs.size() != labels.size()) {
+    return Status::InvalidArgument("probability count != label count");
+  }
+  if (probs.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+  std::vector<double> z(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) z[i] = SafeLogit(probs[i]);
+
+  a_ = 1.0;
+  b_ = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(probs.size());
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    double ga = 0.0;
+    double gb = 0.0;
+    for (size_t i = 0; i < probs.size(); ++i) {
+      const double p = Sigmoid(a_ * z[i] + b_);
+      const double delta = p - (labels[i] ? 1.0 : 0.0);
+      ga += delta * z[i];
+      gb += delta;
+    }
+    a_ -= learning_rate * ga * inv_n;
+    b_ -= learning_rate * gb * inv_n;
+  }
+  return Status::OK();
+}
+
+double PlattCalibrator::Calibrate(double prob) const {
+  return Sigmoid(a_ * SafeLogit(prob) + b_);
+}
+
+std::vector<double> PlattCalibrator::CalibrateAll(
+    const std::vector<double>& probs) const {
+  std::vector<double> out(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) out[i] = Calibrate(probs[i]);
+  return out;
+}
+
+double PlattCalibrator::ExpectedCalibrationError(
+    const std::vector<double>& probs, const std::vector<uint8_t>& labels,
+    size_t bins) {
+  if (probs.empty() || bins == 0) return 0.0;
+  std::vector<double> conf_sum(bins, 0.0);
+  std::vector<double> acc_sum(bins, 0.0);
+  std::vector<size_t> count(bins, 0);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    size_t b = std::min(static_cast<size_t>(Clamp(probs[i], 0.0, 1.0) *
+                                            static_cast<double>(bins)),
+                        bins - 1);
+    conf_sum[b] += probs[i];
+    acc_sum[b] += labels[i] ? 1.0 : 0.0;
+    count[b]++;
+  }
+  double ece = 0.0;
+  for (size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    const double n = static_cast<double>(count[b]);
+    ece += n / static_cast<double>(probs.size()) *
+           std::fabs(acc_sum[b] / n - conf_sum[b] / n);
+  }
+  return ece;
+}
+
+}  // namespace learnrisk

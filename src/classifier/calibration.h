@@ -1,0 +1,51 @@
+// Copyright 2026 The LearnRisk Authors
+// Confidence calibration (Platt scaling). The paper's related work (Sec. 2)
+// observes that calibration transforms classifier outputs toward true
+// correctness likelihoods but — being a monotone map — cannot change the
+// *ranking* of instances, so it cannot substitute for risk analysis. This
+// module implements Platt scaling so that claim is demonstrable in-repo
+// (see bench_ext_calibration).
+
+#ifndef LEARNRISK_CLASSIFIER_CALIBRATION_H_
+#define LEARNRISK_CLASSIFIER_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace learnrisk {
+
+/// \brief Platt scaling: p' = sigmoid(a * logit(p) + b), with (a, b) fit by
+/// maximum likelihood on held-out labeled outputs.
+class PlattCalibrator {
+ public:
+  /// \brief Fits (a, b) on validation outputs and their ground-truth labels
+  /// (1 = match) by gradient descent on the log loss.
+  Status Fit(const std::vector<double>& probs,
+             const std::vector<uint8_t>& labels, size_t epochs = 500,
+             double learning_rate = 0.1);
+
+  /// \brief Calibrated probability for one raw output.
+  double Calibrate(double prob) const;
+
+  /// \brief Calibrated probabilities for a batch.
+  std::vector<double> CalibrateAll(const std::vector<double>& probs) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+  /// \brief Expected calibration error over equal-width bins: the standard
+  /// diagnostic (lower = better calibrated).
+  static double ExpectedCalibrationError(const std::vector<double>& probs,
+                                         const std::vector<uint8_t>& labels,
+                                         size_t bins = 10);
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_CLASSIFIER_CALIBRATION_H_

@@ -1,0 +1,26 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "classifier/classifier.h"
+
+namespace learnrisk {
+
+std::vector<double> BinaryClassifier::PredictProbaAll(
+    const FeatureMatrix& features) const {
+  std::vector<double> probs(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    probs[i] = PredictProba(features.row(i), features.cols());
+  }
+  return probs;
+}
+
+std::vector<uint8_t> BinaryClassifier::PredictAll(
+    const FeatureMatrix& features) const {
+  std::vector<uint8_t> labels(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    labels[i] =
+        PredictProba(features.row(i), features.cols()) >= 0.5 ? 1 : 0;
+  }
+  return labels;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,88 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "classifier/ensemble.h"
+
+#include <mutex>
+
+#include "common/parallel.h"
+
+namespace learnrisk {
+
+Status BootstrapEnsemble::Train(const FeatureMatrix& features,
+                                const std::vector<uint8_t>& labels) {
+  if (features.rows() != labels.size()) {
+    return Status::InvalidArgument("feature rows != label count");
+  }
+  const size_t n = features.rows();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+
+  members_.clear();
+  members_.resize(k_);
+  // Pre-draw bootstrap samples and member seeds so training order does not
+  // affect determinism even under the parallel loop.
+  Rng rng(seed_);
+  std::vector<std::vector<size_t>> samples(k_);
+  std::vector<uint64_t> member_seeds(k_);
+  for (size_t m = 0; m < k_; ++m) {
+    samples[m].resize(n);
+    for (size_t i = 0; i < n; ++i) samples[m][i] = rng.Index(n);
+    member_seeds[m] = rng.Fork();
+  }
+
+  Status first_error = Status::OK();
+  std::mutex error_mutex;
+  ParallelFor(k_, [&](size_t m) {
+    FeatureMatrix boot(n, features.cols());
+    std::vector<uint8_t> boot_labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t src = samples[m][i];
+      for (size_t j = 0; j < features.cols(); ++j) {
+        boot.set(i, j, features.at(src, j));
+      }
+      boot_labels[i] = labels[src];
+    }
+    auto model = factory_(member_seeds[m]);
+    Status st = model->Train(boot, boot_labels);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = st;
+      return;
+    }
+    members_[m] = std::move(model);
+  });
+  if (!first_error.ok()) {
+    members_.clear();
+    return first_error;
+  }
+  return Status::OK();
+}
+
+std::vector<double> BootstrapEnsemble::VoteFraction(
+    const FeatureMatrix& features) const {
+  std::vector<double> votes(features.rows(), 0.0);
+  for (const auto& member : members_) {
+    for (size_t i = 0; i < features.rows(); ++i) {
+      if (member->PredictProba(features.row(i), features.cols()) >= 0.5) {
+        votes[i] += 1.0;
+      }
+    }
+  }
+  const double k = static_cast<double>(members_.size());
+  for (double& v : votes) v /= k;
+  return votes;
+}
+
+std::vector<double> BootstrapEnsemble::MeanProba(
+    const FeatureMatrix& features) const {
+  std::vector<double> mean(features.rows(), 0.0);
+  for (const auto& member : members_) {
+    for (size_t i = 0; i < features.rows(); ++i) {
+      mean[i] += member->PredictProba(features.row(i), features.cols());
+    }
+  }
+  const double k = static_cast<double>(members_.size());
+  for (double& v : mean) v /= k;
+  return mean;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,49 @@
+// Copyright 2026 The LearnRisk Authors
+// Bootstrap ensemble of classifiers: the substrate behind the paper's
+// "Uncertainty" baseline (Sec. 7, after Mozafari et al.): train k models on
+// bootstrap resamples, estimate a pair's equivalence probability as the
+// fraction of models voting "match", and score risk as p(1-p).
+
+#ifndef LEARNRISK_CLASSIFIER_ENSEMBLE_H_
+#define LEARNRISK_CLASSIFIER_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "common/random.h"
+
+namespace learnrisk {
+
+/// \brief Trains k classifiers on bootstrap resamples of the training data.
+class BootstrapEnsemble {
+ public:
+  /// \param factory spawns a fresh untrained classifier per member.
+  /// \param k ensemble size (the paper uses 20).
+  BootstrapEnsemble(ClassifierFactory factory, size_t k, uint64_t seed)
+      : factory_(std::move(factory)), k_(k), seed_(seed) {}
+
+  /// \brief Trains every member on an independent bootstrap resample.
+  Status Train(const FeatureMatrix& features,
+               const std::vector<uint8_t>& labels);
+
+  size_t size() const { return members_.size(); }
+  const BinaryClassifier& member(size_t i) const { return *members_[i]; }
+
+  /// \brief Fraction of members predicting "match" per row (the bootstrap
+  /// equivalence-probability estimate of Mozafari et al.).
+  std::vector<double> VoteFraction(const FeatureMatrix& features) const;
+
+  /// \brief Mean of member probabilities per row.
+  std::vector<double> MeanProba(const FeatureMatrix& features) const;
+
+ private:
+  ClassifierFactory factory_;
+  size_t k_;
+  uint64_t seed_;
+  std::vector<std::unique_ptr<BinaryClassifier>> members_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_CLASSIFIER_ENSEMBLE_H_

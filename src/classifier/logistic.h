@@ -1,0 +1,49 @@
+// Copyright 2026 The LearnRisk Authors
+// Logistic regression classifier: the simple linear baseline alternative to
+// the MLP, useful for ablations and the fast inner loops of active learning.
+
+#ifndef LEARNRISK_CLASSIFIER_LOGISTIC_H_
+#define LEARNRISK_CLASSIFIER_LOGISTIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classifier/classifier.h"
+
+namespace learnrisk {
+
+/// \brief Logistic regression hyperparameters.
+struct LogisticOptions {
+  size_t epochs = 200;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  /// Loss weight for positive examples; 0 selects n_neg / n_pos.
+  double positive_weight = 0.0;
+  uint64_t seed = 1;
+};
+
+/// \brief L2-regularized logistic regression trained by full-batch gradient
+/// descent on standardized features.
+class LogisticClassifier : public BinaryClassifier {
+ public:
+  explicit LogisticClassifier(LogisticOptions options = {});
+
+  Status Train(const FeatureMatrix& features,
+               const std::vector<uint8_t>& labels) override;
+
+  double PredictProba(const double* features, size_t n) const override;
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  LogisticOptions options_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_CLASSIFIER_LOGISTIC_H_

@@ -1,0 +1,130 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace learnrisk {
+namespace {
+
+bool NeedsQuoting(const std::string& field, char sep) {
+  return field.find(sep) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos ||
+         field.find('\r') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field, char sep) {
+  if (!NeedsQuoting(field, sep)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(const std::string& text, char sep) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(record);
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      end_field();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r') {
+      // Swallow; \r\n pairs are handled by the \n branch.
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field in CSV input");
+  }
+  if (field_started || !field.empty() || !record.empty()) end_record();
+
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input contains no rows");
+  }
+  CsvDocument doc;
+  doc.header = records.front();
+  const size_t width = doc.header.size();
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      std::ostringstream oss;
+      oss << "CSV row " << r << " has " << records[r].size()
+          << " fields, expected " << width;
+      return Status::InvalidArgument(oss.str());
+    }
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, char sep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), sep);
+}
+
+std::string ToCsv(const CsvDocument& doc, char sep) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += sep;
+      out += QuoteField(row[i], sep);
+    }
+    out += '\n';
+  };
+  append_row(doc.header);
+  for (const auto& row : doc.rows) append_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc,
+                    char sep) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  out << ToCsv(doc, sep);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace learnrisk

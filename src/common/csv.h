@@ -1,0 +1,38 @@
+// Copyright 2026 The LearnRisk Authors
+// Minimal RFC-4180 CSV reading/writing. Generated datasets can be exported
+// for inspection, and users with the original Leipzig datasets can load them
+// through the same interface.
+
+#ifndef LEARNRISK_COMMON_CSV_H_
+#define LEARNRISK_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace learnrisk {
+
+/// \brief A parsed CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses CSV text (first row = header). Handles quoted fields,
+/// embedded separators, escaped quotes ("") and embedded newlines.
+Result<CsvDocument> ParseCsv(const std::string& text, char sep = ',');
+
+/// \brief Reads and parses a CSV file.
+Result<CsvDocument> ReadCsvFile(const std::string& path, char sep = ',');
+
+/// \brief Serializes a document back to CSV text, quoting fields that need it.
+std::string ToCsv(const CsvDocument& doc, char sep = ',');
+
+/// \brief Writes a document to a file.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc,
+                    char sep = ',');
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_COMMON_CSV_H_

@@ -1,0 +1,36 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "common/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace learnrisk {
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  if (n < 256 || num_threads == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next(0);
+  constexpr size_t kChunk = 64;
+  auto worker = [&]() {
+    while (true) {
+      const size_t start = next.fetch_add(kChunk);
+      if (start >= n) return;
+      const size_t end = std::min(start + kChunk, n);
+      for (size_t i = start; i < end; ++i) fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,21 @@
+// Copyright 2026 The LearnRisk Authors
+// Minimal data-parallel loop used by feature-matrix computation and the
+// bootstrap ensemble.
+
+#ifndef LEARNRISK_COMMON_PARALLEL_H_
+#define LEARNRISK_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace learnrisk {
+
+/// \brief Runs fn(i) for i in [0, n) across up to `num_threads` worker
+/// threads (0 = hardware concurrency). fn must be safe to invoke
+/// concurrently for distinct i. Falls back to a serial loop for tiny n.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_COMMON_PARALLEL_H_

@@ -1,0 +1,153 @@
+// Copyright 2026 The LearnRisk Authors
+// Arrow/RocksDB-style status and result types. The public API of this library
+// reports recoverable failures through Status / Result<T> instead of
+// exceptions.
+
+#ifndef LEARNRISK_COMMON_STATUS_H_
+#define LEARNRISK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace learnrisk {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kIOError = 5,
+  kInternal = 6,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a context message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation). Use the factory
+/// functions (Status::OK(), Status::InvalidArgument(...)) rather than the
+/// constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \brief Returns the success status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result is a
+/// programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)), status_(Status::OK()) {}
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the contained value; must only be called when ok().
+  const T& ValueOrDie() const {
+    assert(ok() && "ValueOrDie called on errored Result");
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok() && "ValueOrDie called on errored Result");
+    return *value_;
+  }
+
+  /// \brief Moves the contained value out; must only be called when ok().
+  T MoveValueOrDie() {
+    assert(ok() && "MoveValueOrDie called on errored Result");
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value if ok(), otherwise the provided default.
+  T ValueOr(T default_value) const {
+    return ok() ? *value_ : std::move(default_value);
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status out of the calling function.
+#define LEARNRISK_RETURN_NOT_OK(expr)          \
+  do {                                         \
+    ::learnrisk::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_COMMON_STATUS_H_

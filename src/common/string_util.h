@@ -1,0 +1,56 @@
+// Copyright 2026 The LearnRisk Authors
+// String manipulation helpers shared by the metric, data-generation and rule
+// modules: tokenization, normalization and abbreviation handling.
+
+#ifndef LEARNRISK_COMMON_STRING_UTIL_H_
+#define LEARNRISK_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace learnrisk {
+
+/// \brief ASCII lower-casing (the datasets in scope are ASCII-normalized).
+std::string ToLower(std::string_view s);
+
+/// \brief Removes leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// \brief Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits on runs of whitespace; no empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Lower-cases, strips punctuation (keeps alphanumerics) and splits on
+/// whitespace. This is the canonical tokenization used by the token-level
+/// metrics and by blocking.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// \brief First-letter abbreviation of a multi-token string: "very large data
+/// bases" -> "vldb". Used by the abbr-* difference metrics (Sec. 5.1).
+std::string FirstLetterAbbreviation(std::string_view s);
+
+/// \brief True iff `needle` occurs in `haystack` (case-sensitive).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// \brief True iff s starts with prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True iff s ends with suffix.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Character n-grams of a string (n >= 1); returns the whole string if
+/// it is shorter than n.
+std::vector<std::string> CharNgrams(std::string_view s, size_t n);
+
+/// \brief printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_COMMON_STRING_UTIL_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The LearnRisk Authors
+// Wall-clock timing for the scalability experiments (Fig. 13).
+
+#ifndef LEARNRISK_COMMON_TIMER_H_
+#define LEARNRISK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace learnrisk {
+
+/// \brief Simple wall-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_COMMON_TIMER_H_

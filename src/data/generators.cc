@@ -1,0 +1,769 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "data/blocking.h"
+#include "data/noise.h"
+#include "data/table.h"
+
+namespace learnrisk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+// Assembles the final candidate workload: every cross-table match pair is
+// force-included (the Leipzig datasets ship a complete perfect mapping), and
+// blocking-derived non-matches are subsampled to hit `target_pairs`.
+std::vector<RecordPair> AssemblePairs(const Table& left, const Table& right,
+                                      size_t key_attribute,
+                                      size_t target_pairs, Rng* rng) {
+  const bool dedup = &left == &right;
+
+  BlockingConfig config;
+  config.key_attribute = key_attribute;
+  config.max_token_df = 0.05;
+  config.max_block_size = 400;
+  std::vector<RecordPair> blocked =
+      TokenBlocking(left, right, config).ValueOr({});
+
+  std::set<std::pair<size_t, size_t>> match_keys;
+  std::vector<RecordPair> matches;
+  std::unordered_map<int64_t, std::vector<size_t>> right_by_entity;
+  for (size_t i = 0; i < right.num_records(); ++i) {
+    right_by_entity[right.entity_id(i)].push_back(i);
+  }
+  for (size_t li = 0; li < left.num_records(); ++li) {
+    auto it = right_by_entity.find(left.entity_id(li));
+    if (it == right_by_entity.end()) continue;
+    for (size_t ri : it->second) {
+      if (dedup && li >= ri) continue;
+      matches.push_back(RecordPair{li, ri, true});
+      match_keys.emplace(li, ri);
+    }
+  }
+
+  std::vector<RecordPair> nonmatches;
+  for (const RecordPair& p : blocked) {
+    if (!p.is_equivalent) nonmatches.push_back(p);
+  }
+  rng->Shuffle(&nonmatches);
+
+  std::vector<RecordPair> pairs = matches;
+  const size_t want_nonmatches =
+      target_pairs > matches.size() ? target_pairs - matches.size() : 0;
+  for (size_t i = 0; i < nonmatches.size() && pairs.size() < target_pairs;
+       ++i) {
+    pairs.push_back(nonmatches[i]);
+  }
+  // Top up with random cross pairs if blocking produced too few candidates.
+  size_t guard = 0;
+  std::set<std::pair<size_t, size_t>> extra_keys;
+  while (pairs.size() < target_pairs && guard < 50 * target_pairs) {
+    ++guard;
+    size_t li = rng->Index(left.num_records());
+    size_t ri = rng->Index(right.num_records());
+    if (dedup && li == ri) continue;
+    if (dedup && li > ri) std::swap(li, ri);
+    if (match_keys.count({li, ri}) > 0) continue;
+    if (!extra_keys.emplace(li, ri).second) continue;
+    if (left.entity_id(li) == right.entity_id(ri)) continue;
+    pairs.push_back(RecordPair{li, ri, false});
+  }
+  (void)want_nonmatches;
+  rng->Shuffle(&pairs);
+  return pairs;
+}
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  return Join(words, " ");
+}
+
+// ---------------------------------------------------------------------------
+// Bibliography (DS = DBLP-Scholar, DA = DBLP-ACM)
+// ---------------------------------------------------------------------------
+
+struct BibVenue {
+  std::string full;
+  std::string abbrev;
+};
+
+const std::vector<BibVenue>& BibVenues() {
+  static const std::vector<BibVenue> kVenues = {
+      {"proceedings of the acm sigmod international conference on management of data", "sigmod"},
+      {"proceedings of the international conference on very large data bases", "vldb"},
+      {"ieee international conference on data engineering", "icde"},
+      {"acm transactions on database systems", "tods"},
+      {"the vldb journal", "vldbj"},
+      {"acm sigmod record", "sigmod record"},
+      {"international conference on extending database technology", "edbt"},
+      {"acm symposium on principles of database systems", "pods"},
+      {"international conference on database theory", "icdt"},
+      {"ieee transactions on knowledge and data engineering", "tkde"},
+      {"acm conference on information and knowledge management", "cikm"},
+      {"acm sigkdd conference on knowledge discovery and data mining", "kdd"},
+      {"international world wide web conference", "www"},
+      {"ieee international conference on data mining", "icdm"},
+      {"siam international conference on data mining", "sdm"},
+      {"conference on innovative data systems research", "cidr"},
+      {"international conference on scientific and statistical database management", "ssdbm"},
+      {"information systems journal", "information systems"},
+      {"data and knowledge engineering", "dke"},
+      {"journal of intelligent information systems", "jiis"},
+      {"distributed and parallel databases", "dapd"},
+      {"international conference on database systems for advanced applications", "dasfaa"},
+      {"international conference on web information systems engineering", "wise"},
+      {"acm symposium on applied computing", "sac"},
+  };
+  return kVenues;
+}
+
+struct PaperEntity {
+  std::vector<std::string> title_words;
+  std::vector<std::string> authors;  // canonical "first last"
+  size_t venue;
+  int year;
+};
+
+struct BibNoise {
+  double title_typo = 0.65;       // P(>=1 typo in title)
+  double title_drop = 0.35;       // P(drop a title token)
+  double author_initials = 0.75;  // P(render authors as initials)
+  double author_drop = 0.35;      // P(drop one author)
+  double author_order = 0.2;      // P(shuffle author order)
+  double venue_full = 0.5;        // P(full venue name instead of abbrev)
+  double venue_missing = 0.35;    // P(venue missing)
+  double venue_typo = 0.2;        // P(typo in venue)
+  double year_missing = 0.4;      // P(year missing)
+  double year_off = 0.12;         // P(year off by one)
+};
+
+std::vector<PaperEntity> MakePaperCatalog(size_t n, Rng* rng,
+                                          WordFactory* words) {
+  // Domain vocabulary: a few hundred topic words; titles sample 4-9 of them.
+  const std::vector<std::string> vocab = words->MakeVocabulary(420);
+  std::vector<PaperEntity> catalog;
+  catalog.reserve(n);
+  // Research "groups" create hard negatives: several papers sharing authors,
+  // venue and title words.
+  while (catalog.size() < n) {
+    const size_t venue = rng->Index(BibVenues().size());
+    std::vector<std::string> group_authors;
+    const size_t group_size = 2 + rng->Index(4);
+    for (size_t i = 0; i < group_size; ++i) {
+      group_authors.push_back(MakePersonName(rng));
+    }
+    std::vector<std::string> theme;
+    for (int i = 0; i < 3; ++i) theme.push_back(rng->Choice(vocab));
+    const size_t papers_in_group = 1 + rng->Index(4);
+    for (size_t p = 0; p < papers_in_group && catalog.size() < n; ++p) {
+      PaperEntity e;
+      e.venue = venue;
+      e.year = 1985 + static_cast<int>(rng->Index(35));
+      const size_t title_len = 4 + rng->Index(6);
+      for (size_t w = 0; w < title_len; ++w) {
+        // Mix theme words (shared within the group -> hard negatives) with
+        // fresh vocabulary words.
+        e.title_words.push_back(rng->Bernoulli(0.5) ? rng->Choice(theme)
+                                                    : rng->Choice(vocab));
+      }
+      if (rng->Bernoulli(0.15)) e.title_words.push_back(words->MakeCode());
+      const size_t n_authors = 1 + rng->Index(group_authors.size());
+      for (size_t a = 0; a < n_authors; ++a) {
+        e.authors.push_back(group_authors[a]);
+      }
+      const bool make_twin = rng->Bernoulli(0.2) && catalog.size() + 1 < n;
+      catalog.push_back(e);
+      if (make_twin) {
+        // Twin: the conference/journal double-publication pattern. Nearly
+        // identical on every similarity metric, but a *different* paper:
+        // the year shifts and occasionally one title word changes. Only the
+        // difference metrics (Eq. 1) can tell the twins apart.
+        PaperEntity twin = e;
+        twin.year += 2 + static_cast<int>(rng->Index(4));
+        if (rng->Bernoulli(0.5) && !twin.title_words.empty()) {
+          twin.title_words[rng->Index(twin.title_words.size())] =
+              rng->Choice(vocab);
+        }
+        if (rng->Bernoulli(0.5)) {
+          twin.authors.push_back(MakePersonName(rng));
+        }
+        catalog.push_back(std::move(twin));
+      }
+    }
+  }
+  catalog.resize(n);
+  return catalog;
+}
+
+Record RenderPaperClean(const PaperEntity& e) {
+  Record r;
+  r.values.push_back(JoinWords(e.title_words));
+  r.values.push_back(Join(e.authors, ", "));
+  r.values.push_back(BibVenues()[e.venue].abbrev);
+  r.values.push_back(std::to_string(e.year));
+  return r;
+}
+
+Record RenderPaperDirty(const PaperEntity& e, const BibNoise& noise,
+                        Rng* rng) {
+  Record r;
+  std::string title = JoinWords(e.title_words);
+  if (rng->Bernoulli(noise.title_drop)) title = DropTokens(title, 0.2, rng);
+  if (rng->Bernoulli(noise.title_typo)) {
+    title = InjectTypos(title, 1 + static_cast<int>(rng->Index(2)), rng);
+  }
+  r.values.push_back(title);
+
+  std::vector<std::string> authors = e.authors;
+  if (rng->Bernoulli(noise.author_order)) rng->Shuffle(&authors);
+  if (authors.size() > 1 && rng->Bernoulli(noise.author_drop)) {
+    authors.erase(authors.begin() + static_cast<long>(rng->Index(authors.size())));
+  }
+  const bool initials = rng->Bernoulli(noise.author_initials);
+  for (std::string& a : authors) {
+    if (initials) a = AbbreviateFirstName(a, /*dots=*/rng->Bernoulli(0.5), rng);
+  }
+  r.values.push_back(Join(authors, ", "));
+
+  std::string venue;
+  if (!rng->Bernoulli(noise.venue_missing)) {
+    venue = rng->Bernoulli(noise.venue_full) ? BibVenues()[e.venue].full
+                                             : BibVenues()[e.venue].abbrev;
+    if (rng->Bernoulli(noise.venue_typo)) venue = InjectTypo(venue, rng);
+  }
+  r.values.push_back(venue);
+
+  std::string year;
+  if (!rng->Bernoulli(noise.year_missing)) {
+    int y = e.year;
+    if (rng->Bernoulli(noise.year_off)) y += rng->Bernoulli(0.5) ? 1 : -1;
+    year = std::to_string(y);
+  }
+  r.values.push_back(year);
+  return r;
+}
+
+}  // namespace
+
+Workload GenerateBibliography(const std::string& name, size_t target_pairs,
+                              size_t target_matches, bool clean,
+                              uint64_t seed) {
+  Rng rng(seed);
+  WordFactory words(rng.Fork());
+
+  BibNoise noise;
+  if (clean) {  // DBLP-ACM: both sides curated; far less noise.
+    noise.title_typo = 0.1;
+    noise.title_drop = 0.05;
+    noise.author_initials = 0.3;
+    noise.author_drop = 0.05;
+    noise.venue_missing = 0.03;
+    noise.year_missing = 0.03;
+    noise.year_off = 0.01;
+  }
+
+  // Catalog: matched entities appear in both tables; extras pad each side so
+  // blocking can produce non-match candidates.
+  const size_t n_match = target_matches;
+  const size_t n_extra_left = std::max<size_t>(n_match / 2, 50);
+  const size_t n_extra_right = std::max<size_t>(2 * n_match, 200);
+  std::vector<PaperEntity> catalog =
+      MakePaperCatalog(n_match + n_extra_left + n_extra_right, &rng, &words);
+
+  Schema schema({{"title", AttributeType::kText},
+                 {"authors", AttributeType::kEntitySet},
+                 {"venue", AttributeType::kEntityName},
+                 {"year", AttributeType::kNumeric}});
+  auto left = std::make_shared<Table>(schema);
+  auto right = std::make_shared<Table>(schema);
+
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const int64_t id = static_cast<int64_t>(i);
+    const bool in_left = i < n_match + n_extra_left;
+    const bool in_right = i < n_match || i >= n_match + n_extra_left;
+    if (in_left) {
+      // Left table is DBLP-like: curated but not pristine.
+      BibNoise light = noise;
+      light.title_typo *= 0.3;
+      light.title_drop *= 0.3;
+      light.author_initials *= 0.5;
+      light.venue_missing *= 0.3;
+      light.year_missing *= 0.2;
+      Record r = rng.Bernoulli(0.7) ? RenderPaperClean(catalog[i])
+                                    : RenderPaperDirty(catalog[i], light, &rng);
+      (void)left->Append(std::move(r), id);
+    }
+    if (in_right) {
+      (void)right->Append(RenderPaperDirty(catalog[i], noise, &rng), id);
+    }
+  }
+
+  std::vector<RecordPair> pairs =
+      AssemblePairs(*left, *right, /*key_attribute=*/0, target_pairs, &rng);
+  return Workload(name, left, right, std::move(pairs));
+}
+
+// ---------------------------------------------------------------------------
+// Products (AB = Abt-Buy, AG = Amazon-Google)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const std::vector<std::string>& ProductBrands() {
+  static const std::vector<std::string> kBrands = {
+      "sony",    "samsung",  "panasonic", "toshiba",  "philips", "canon",
+      "nikon",   "garmin",   "logitech",  "netgear",  "linksys", "belkin",
+      "kenwood", "pioneer",  "yamaha",    "denon",    "bose",    "jvc",
+      "sanyo",   "sharp",    "olympus",   "casio",    "epson",   "brother",
+      "lexmark", "kingston", "sandisk",   "seagate",  "maxtor",  "iomega"};
+  return kBrands;
+}
+
+const std::vector<std::string>& SoftwareBrands() {
+  static const std::vector<std::string> kBrands = {
+      "microsoft", "adobe",    "symantec", "mcafee",   "intuit",  "corel",
+      "autodesk",  "borland",  "macromedia", "roxio",  "nero",    "kaspersky",
+      "avg",       "quickverse", "encore",  "topics",   "punch",   "nuance",
+      "sage",      "filemaker"};
+  return kBrands;
+}
+
+const std::vector<std::string>& ProductCategories() {
+  static const std::vector<std::string> kCats = {
+      "speaker",   "receiver", "camcorder", "camera",   "television",
+      "headphones", "keyboard", "router",   "printer",  "scanner",
+      "monitor",   "projector", "subwoofer", "amplifier", "turntable",
+      "microwave", "refrigerator", "dishwasher", "vacuum", "blender"};
+  return kCats;
+}
+
+const std::vector<std::string>& SoftwareCategories() {
+  static const std::vector<std::string> kCats = {
+      "antivirus", "office suite", "photo editor", "tax software",
+      "accounting", "cad",         "video editor", "backup utility",
+      "encyclopedia", "language course", "firewall", "database",
+      "web design", "music studio", "pdf tools"};
+  return kCats;
+}
+
+const std::vector<std::string>& MarketingWords() {
+  static const std::vector<std::string> kWords = {
+      "new",     "oem",     "retail",  "bundle",  "pack",   "edition",
+      "premium", "deluxe",  "pro",     "standard", "home",  "professional",
+      "upgrade", "full",    "version", "sealed",  "black",  "silver",
+      "white",   "wireless", "digital", "portable", "compact", "series"};
+  return kWords;
+}
+
+struct ProductEntity {
+  std::string brand;
+  std::string category;
+  std::string model_code;       // the discriminating key token
+  std::vector<std::string> descriptor;  // extra name words
+  std::vector<std::string> description_words;
+  double price;
+  int version;  // software version; 0 for hardware
+};
+
+struct ProductNoise {
+  double name_typo = 0.25;
+  double name_drop = 0.2;
+  double marketing_add = 0.6;     // P(append marketing tokens to name)
+  double model_in_name = 0.85;    // P(model code appears in name)
+  double model_format = 0.4;      // P(alternate model formatting)
+  double desc_missing = 0.35;
+  double desc_trunc = 0.4;
+  double brand_missing = 0.2;     // AG manufacturer column
+  double price_missing = 0.25;
+  double price_jitter = 0.35;     // P(price differs a few percent)
+};
+
+std::vector<ProductEntity> MakeProductCatalog(size_t n, bool software,
+                                              Rng* rng, WordFactory* words) {
+  const auto& brands = software ? SoftwareBrands() : ProductBrands();
+  const auto& cats = software ? SoftwareCategories() : ProductCategories();
+  const std::vector<std::string> vocab = words->MakeVocabulary(300);
+  std::vector<ProductEntity> catalog;
+  catalog.reserve(n);
+  while (catalog.size() < n) {
+    // Product "line": same brand+category, sibling model codes -> hard
+    // negatives (XR-5500 vs XR-5600; office suite 2005 vs 2007).
+    const std::string& brand = rng->Choice(brands);
+    const std::string& category = rng->Choice(cats);
+    std::string base_code = words->MakeCode();
+    std::vector<std::string> line_words;
+    for (int i = 0; i < 2; ++i) line_words.push_back(rng->Choice(vocab));
+    // Line members share the name descriptor AND most of the marketing
+    // description: sibling models (XR-5500 vs XR-5501, Office 2005 vs 2007)
+    // are near-identical on similarity metrics; the model-code key token and
+    // numeric attributes carry the distinction.
+    std::vector<std::string> line_description;
+    const size_t desc_len = 12 + rng->Index(25);
+    for (size_t w = 0; w < desc_len; ++w) {
+      line_description.push_back(rng->Choice(vocab));
+    }
+    const double line_price = 15.0 + rng->Uniform() * 950.0;
+    const size_t line_size = 1 + rng->Index(4);
+    for (size_t v = 0; v < line_size && catalog.size() < n; ++v) {
+      ProductEntity e;
+      e.brand = brand;
+      e.category = category;
+      e.model_code = base_code + std::to_string(v);
+      e.descriptor = line_words;
+      if (rng->Bernoulli(0.3)) e.descriptor.push_back(rng->Choice(vocab));
+      e.description_words = line_description;
+      for (std::string& w : e.description_words) {
+        if (rng->Bernoulli(0.15)) w = rng->Choice(vocab);
+      }
+      e.price = line_price * (1.0 + 0.25 * (rng->Uniform() - 0.5));
+      e.version = software ? 1998 + static_cast<int>(rng->Index(12)) : 0;
+      catalog.push_back(std::move(e));
+    }
+  }
+  catalog.resize(n);
+  return catalog;
+}
+
+std::string RenderProductName(const ProductEntity& e,
+                              const ProductNoise& noise, bool dirty,
+                              Rng* rng) {
+  std::vector<std::string> parts;
+  parts.push_back(e.brand);
+  for (const std::string& d : e.descriptor) parts.push_back(d);
+  parts.push_back(e.category);
+  if (e.version > 0) parts.push_back(std::to_string(e.version));
+  if (!dirty || rng->Bernoulli(noise.model_in_name)) {
+    std::string code = e.model_code;
+    if (dirty && rng->Bernoulli(noise.model_format)) {
+      // "xr5500" -> "xr-5500": reformat at the letter/digit boundary.
+      for (size_t i = 1; i < code.size(); ++i) {
+        if (std::isalpha(static_cast<unsigned char>(code[i - 1])) &&
+            std::isdigit(static_cast<unsigned char>(code[i]))) {
+          code.insert(i, "-");
+          break;
+        }
+      }
+    }
+    parts.push_back(code);
+  }
+  std::string name = Join(parts, " ");
+  if (dirty) {
+    if (rng->Bernoulli(noise.name_drop)) name = DropTokens(name, 0.15, rng);
+    if (rng->Bernoulli(noise.marketing_add)) {
+      const int extra = 1 + static_cast<int>(rng->Index(3));
+      for (int i = 0; i < extra; ++i) {
+        name += " " + rng->Choice(MarketingWords());
+      }
+    }
+    if (rng->Bernoulli(noise.name_typo)) name = InjectTypo(name, rng);
+  }
+  return name;
+}
+
+std::string RenderProductDescription(const ProductEntity& e,
+                                     const ProductNoise& noise, bool dirty,
+                                     Rng* rng) {
+  if (dirty && rng->Bernoulli(noise.desc_missing)) return "";
+  std::vector<std::string> tokens = e.description_words;
+  if (dirty && rng->Bernoulli(noise.desc_trunc) && tokens.size() > 6) {
+    tokens.resize(6 + rng->Index(tokens.size() - 6));
+  }
+  std::string desc = e.brand + " " + e.category + " " + Join(tokens, " ");
+  if (dirty && rng->Bernoulli(0.3)) desc = InjectTypo(desc, rng);
+  return desc;
+}
+
+std::string RenderPrice(const ProductEntity& e, const ProductNoise& noise,
+                        bool dirty, Rng* rng) {
+  if (dirty && rng->Bernoulli(noise.price_missing)) return "";
+  double price = e.price;
+  if (dirty && rng->Bernoulli(noise.price_jitter)) {
+    price *= 1.0 + (rng->Uniform() - 0.5) * 0.24;
+  }
+  return StrFormat("%.2f", price);
+}
+
+}  // namespace
+
+Workload GenerateProducts(const std::string& name, size_t target_pairs,
+                          size_t target_matches, bool software,
+                          uint64_t seed) {
+  Rng rng(seed);
+  WordFactory words(rng.Fork());
+  ProductNoise noise;
+  if (software) {
+    // Amazon-Google: manufacturer column is spotty, versions confusable.
+    noise.brand_missing = 0.3;
+    noise.model_in_name = 0.7;
+  }
+
+  const size_t n_match = target_matches;
+  const size_t n_extra_left = std::max<size_t>(n_match, 100);
+  const size_t n_extra_right = std::max<size_t>(3 * n_match, 300);
+  std::vector<ProductEntity> catalog = MakeProductCatalog(
+      n_match + n_extra_left + n_extra_right, software, &rng, &words);
+
+  Schema schema =
+      software ? Schema({{"title", AttributeType::kText},
+                         {"manufacturer", AttributeType::kEntityName},
+                         {"description", AttributeType::kText},
+                         {"price", AttributeType::kNumeric}})
+               : Schema({{"name", AttributeType::kText},
+                         {"description", AttributeType::kText},
+                         {"price", AttributeType::kNumeric}});
+  auto left = std::make_shared<Table>(schema);
+  auto right = std::make_shared<Table>(schema);
+
+  auto render = [&](const ProductEntity& e, bool dirty) {
+    Record r;
+    r.values.push_back(RenderProductName(e, noise, dirty, &rng));
+    if (software) {
+      std::string manufacturer = e.brand;
+      if (dirty && rng.Bernoulli(noise.brand_missing)) manufacturer = "";
+      r.values.push_back(manufacturer);
+    }
+    r.values.push_back(RenderProductDescription(e, noise, dirty, &rng));
+    r.values.push_back(RenderPrice(e, noise, dirty, &rng));
+    return r;
+  };
+
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const int64_t id = static_cast<int64_t>(i);
+    const bool in_left = i < n_match + n_extra_left;
+    const bool in_right = i < n_match || i >= n_match + n_extra_left;
+    if (in_left) (void)left->Append(render(catalog[i], /*dirty=*/false), id);
+    if (in_right) (void)right->Append(render(catalog[i], /*dirty=*/true), id);
+  }
+
+  std::vector<RecordPair> pairs =
+      AssemblePairs(*left, *right, /*key_attribute=*/0, target_pairs, &rng);
+  return Workload(name, left, right, std::move(pairs));
+}
+
+// ---------------------------------------------------------------------------
+// Songs (SG): dedup within one table
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const std::vector<std::string>& Genres() {
+  static const std::vector<std::string> kGenres = {
+      "rock", "pop",  "jazz",    "blues",  "country", "electronic",
+      "folk", "soul", "hip hop", "reggae", "metal",   "classical"};
+  return kGenres;
+}
+
+struct SongEntity {
+  std::vector<std::string> title_words;
+  std::vector<std::string> artists;
+  std::vector<std::string> album_words;
+  int year;
+  int duration;  // seconds
+  std::string genre;
+  int track;
+};
+
+struct SongNoise {
+  double title_typo = 0.35;
+  double title_decorate = 0.35;  // "(album version)" suffixes on one side
+  double artist_drop = 0.2;
+  double artist_initials = 0.35;
+  double album_missing = 0.35;
+  double year_missing = 0.35;
+  double duration_jitter = 0.7;  // +- a few seconds
+  double genre_missing = 0.4;
+  double track_missing = 0.35;
+};
+
+const std::vector<std::string>& SongDecorations() {
+  static const std::vector<std::string> kDecor = {
+      "album version", "single version", "lp version", "remastered",
+      "explicit",      "radio edit"};
+  return kDecor;
+}
+
+std::vector<SongEntity> MakeSongCatalog(size_t n, Rng* rng,
+                                        WordFactory* words) {
+  const std::vector<std::string> vocab = words->MakeVocabulary(360);
+  std::vector<SongEntity> catalog;
+  catalog.reserve(n);
+  while (catalog.size() < n) {
+    // An "album": shared artist, album title, year, genre; several tracks.
+    std::vector<std::string> artists;
+    const size_t n_artists = 1 + (rng->Bernoulli(0.2) ? rng->Index(2) + 1 : 0);
+    for (size_t i = 0; i < n_artists; ++i) artists.push_back(MakePersonName(rng));
+    std::vector<std::string> album_words;
+    const size_t album_len = 1 + rng->Index(3);
+    for (size_t i = 0; i < album_len; ++i) album_words.push_back(rng->Choice(vocab));
+    const int year = 1960 + static_cast<int>(rng->Index(55));
+    const std::string genre = rng->Choice(Genres());
+    const size_t tracks = 3 + rng->Index(8);
+    for (size_t t = 0; t < tracks && catalog.size() < n; ++t) {
+      SongEntity e;
+      e.artists = artists;
+      e.album_words = album_words;
+      e.year = year;
+      e.genre = genre;
+      e.track = static_cast<int>(t) + 1;
+      e.duration = 120 + static_cast<int>(rng->Index(300));
+      const size_t title_len = 1 + rng->Index(5);
+      for (size_t w = 0; w < title_len; ++w) {
+        e.title_words.push_back(rng->Choice(vocab));
+      }
+      const bool make_remix = rng->Bernoulli(0.1) && catalog.size() + 1 < n;
+      catalog.push_back(e);
+      if (make_remix) {
+        // Remix/extended cut: same title, artists and album; a genuinely
+        // different track distinguishable mainly by duration and track
+        // number (the numeric difference metrics).
+        SongEntity remix = e;
+        remix.duration += 30 + static_cast<int>(rng->Index(60));
+        remix.track = e.track + 6;
+        catalog.push_back(std::move(remix));
+      }
+    }
+  }
+  catalog.resize(n);
+  return catalog;
+}
+
+Record RenderSong(const SongEntity& e, const SongNoise& noise, bool dirty,
+                  Rng* rng) {
+  Record r;
+  std::string title = JoinWords(e.title_words);
+  if (dirty) {
+    if (rng->Bernoulli(noise.title_decorate)) {
+      title += " (" + rng->Choice(SongDecorations()) + ")";
+    }
+    if (rng->Bernoulli(noise.title_typo)) title = InjectTypo(title, rng);
+  }
+  r.values.push_back(title);
+
+  std::vector<std::string> artists = e.artists;
+  if (dirty && artists.size() > 1 && rng->Bernoulli(noise.artist_drop)) {
+    artists.pop_back();
+  }
+  if (dirty && rng->Bernoulli(noise.artist_initials)) {
+    for (std::string& a : artists) a = AbbreviateFirstName(a, false, rng);
+  }
+  r.values.push_back(Join(artists, ", "));
+
+  std::string album = JoinWords(e.album_words);
+  if (dirty && rng->Bernoulli(noise.album_missing)) album = "";
+  r.values.push_back(album);
+
+  std::string year = std::to_string(e.year);
+  if (dirty && rng->Bernoulli(noise.year_missing)) year = "";
+  r.values.push_back(year);
+
+  int duration = e.duration;
+  if (dirty && rng->Bernoulli(noise.duration_jitter)) {
+    duration += static_cast<int>(rng->Index(9)) - 4;
+  }
+  r.values.push_back(std::to_string(duration));
+
+  std::string genre = e.genre;
+  if (dirty && rng->Bernoulli(noise.genre_missing)) genre = "";
+  r.values.push_back(genre);
+
+  std::string track = std::to_string(e.track);
+  if (dirty && rng->Bernoulli(noise.track_missing)) track = "";
+  r.values.push_back(track);
+  return r;
+}
+
+}  // namespace
+
+Workload GenerateSongs(const std::string& name, size_t target_pairs,
+                       size_t target_matches, uint64_t seed) {
+  Rng rng(seed);
+  WordFactory words(rng.Fork());
+  SongNoise noise;
+
+  const size_t n_dup = target_matches;          // entities with 2 renditions
+  const size_t n_single = std::max<size_t>(3 * n_dup, 300);
+  std::vector<SongEntity> catalog = MakeSongCatalog(n_dup + n_single, &rng, &words);
+
+  Schema schema({{"title", AttributeType::kText},
+                 {"artists", AttributeType::kEntitySet},
+                 {"album", AttributeType::kText},
+                 {"year", AttributeType::kNumeric},
+                 {"duration", AttributeType::kNumeric},
+                 {"genre", AttributeType::kCategorical},
+                 {"track", AttributeType::kNumeric}});
+  auto table = std::make_shared<Table>(schema);
+
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const int64_t id = static_cast<int64_t>(i);
+    (void)table->Append(RenderSong(catalog[i], noise, /*dirty=*/false, &rng), id);
+    if (i < n_dup) {
+      (void)table->Append(RenderSong(catalog[i], noise, /*dirty=*/true, &rng), id);
+    }
+  }
+
+  std::vector<RecordPair> pairs =
+      AssemblePairs(*table, *table, /*key_attribute=*/0, target_pairs, &rng);
+  return Workload(name, table, table, std::move(pairs));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> AvailableDatasets() {
+  return {"DS", "DA", "AB", "AG", "SG"};
+}
+
+Result<DatasetStats> PaperStats(const std::string& name) {
+  // Table 2 of the paper; DA follows the published DBLP-ACM statistics.
+  if (name == "DS") return DatasetStats{41416, 5073, 4};
+  if (name == "DA") return DatasetStats{14777, 2220, 4};
+  if (name == "AB") return DatasetStats{52191, 904, 3};
+  if (name == "AG") return DatasetStats{13049, 1150, 4};
+  if (name == "SG") return DatasetStats{144946, 6842, 7};
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<Workload> GenerateDataset(const std::string& name,
+                                 const GeneratorOptions& options) {
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  auto stats_result = PaperStats(name);
+  if (!stats_result.ok()) return stats_result.status();
+  const DatasetStats stats = *stats_result;
+  const auto pairs =
+      static_cast<size_t>(std::llround(static_cast<double>(stats.pairs) * options.scale));
+  const auto matches = std::max<size_t>(
+      static_cast<size_t>(std::llround(static_cast<double>(stats.matches) * options.scale)), 10);
+
+  if (name == "DS") {
+    return GenerateBibliography(name, pairs, matches, /*clean=*/false,
+                                options.seed);
+  }
+  if (name == "DA") {
+    return GenerateBibliography(name, pairs, matches, /*clean=*/true,
+                                options.seed + 1);
+  }
+  if (name == "AB") {
+    return GenerateProducts(name, pairs, matches, /*software=*/false,
+                            options.seed + 2);
+  }
+  if (name == "AG") {
+    return GenerateProducts(name, pairs, matches, /*software=*/true,
+                            options.seed + 3);
+  }
+  return GenerateSongs(name, pairs, matches, options.seed + 4);
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,65 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "data/table.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace learnrisk {
+
+const char* AttributeTypeToString(AttributeType type) {
+  switch (type) {
+    case AttributeType::kEntityName:
+      return "entity_name";
+    case AttributeType::kEntitySet:
+      return "entity_set";
+    case AttributeType::kText:
+      return "text";
+    case AttributeType::kNumeric:
+      return "numeric";
+    case AttributeType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<double> Record::NumericValue(size_t attr) const {
+  const std::string& v = values[attr];
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str()) return std::nullopt;
+  return parsed;
+}
+
+Status Table::Append(Record record, int64_t entity_id) {
+  if (record.values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "record has %zu values, schema expects %zu", record.values.size(),
+        schema_.num_attributes()));
+  }
+  records_.push_back(std::move(record));
+  entity_ids_.push_back(entity_id);
+  return Status::OK();
+}
+
+}  // namespace learnrisk

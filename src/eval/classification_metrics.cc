@@ -1,0 +1,47 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "eval/classification_metrics.h"
+
+namespace learnrisk {
+
+double ConfusionMatrix::Precision() const {
+  const size_t denom = tp + fp;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t denom = tp + fn;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+ConfusionMatrix Confusion(const std::vector<uint8_t>& predicted,
+                          const std::vector<uint8_t>& truth) {
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < predicted.size() && i < truth.size(); ++i) {
+    if (predicted[i] && truth[i]) {
+      ++cm.tp;
+    } else if (predicted[i] && !truth[i]) {
+      ++cm.fp;
+    } else if (!predicted[i] && truth[i]) {
+      ++cm.fn;
+    } else {
+      ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+}  // namespace learnrisk

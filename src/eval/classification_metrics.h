@@ -1,0 +1,35 @@
+// Copyright 2026 The LearnRisk Authors
+// Classification quality metrics for the ER classifier itself (Fig. 14
+// reports F1) and for diagnostic reporting in the experiment harness.
+
+#ifndef LEARNRISK_EVAL_CLASSIFICATION_METRICS_H_
+#define LEARNRISK_EVAL_CLASSIFICATION_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace learnrisk {
+
+/// \brief Standard 2x2 confusion counts (positive = match).
+struct ConfusionMatrix {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+  size_t total() const { return tp + fp + tn + fn; }
+  size_t mislabeled() const { return fp + fn; }
+};
+
+/// \brief Tallies predictions against ground truth (both 0/1).
+ConfusionMatrix Confusion(const std::vector<uint8_t>& predicted,
+                          const std::vector<uint8_t>& truth);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_EVAL_CLASSIFICATION_METRICS_H_

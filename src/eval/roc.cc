@@ -1,0 +1,81 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace learnrisk {
+
+double Auroc(const std::vector<double>& scores,
+             const std::vector<uint8_t>& positives) {
+  const size_t n = scores.size();
+  size_t n_pos = 0;
+  for (uint8_t p : positives) n_pos += p;
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // Rank-sum with midranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // Ranks i+1 .. j+1 share the midrank.
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j + 1);
+    for (size_t k = i; k <= j; ++k) {
+      if (positives[order[k]]) rank_sum_pos += midrank;
+    }
+    i = j + 1;
+  }
+  const double np = static_cast<double>(n_pos);
+  const double nn = static_cast<double>(n_neg);
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+RocCurve ComputeRoc(const std::vector<double>& scores,
+                    const std::vector<uint8_t>& positives) {
+  RocCurve curve;
+  const size_t n = scores.size();
+  size_t n_pos = 0;
+  for (uint8_t p : positives) n_pos += p;
+  const size_t n_neg = n - n_pos;
+  curve.auroc = Auroc(scores, positives);
+  if (n_pos == 0 || n_neg == 0) {
+    curve.points = {{0.0, 0.0, 0.0}, {1.0, 1.0, 0.0}};
+    return curve;
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Descending score: sweep from the strictest threshold down.
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  curve.points.push_back({0.0, 0.0, scores[order[0]] + 1.0});
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    for (size_t k = i; k <= j; ++k) {
+      if (positives[order[k]]) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    curve.points.push_back({static_cast<double>(fp) / static_cast<double>(n_neg),
+                            static_cast<double>(tp) / static_cast<double>(n_pos),
+                            scores[order[i]]});
+    i = j + 1;
+  }
+  return curve;
+}
+
+}  // namespace learnrisk

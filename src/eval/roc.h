@@ -1,0 +1,39 @@
+// Copyright 2026 The LearnRisk Authors
+// Receiver Operating Characteristic evaluation (paper Sec. 3): risk analysis
+// is scored by ranking quality, with mislabeled pairs as the positive class.
+// AUROC equals the probability that a random positive outranks a random
+// negative (Mann-Whitney), computed here with full tie correction.
+
+#ifndef LEARNRISK_EVAL_ROC_H_
+#define LEARNRISK_EVAL_ROC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace learnrisk {
+
+/// \brief One operating point of a ROC curve.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// \brief A full ROC curve plus its area.
+struct RocCurve {
+  std::vector<RocPoint> points;
+  double auroc = 0.5;
+};
+
+/// \brief AUROC of `scores` against binary `positives` (1 = positive).
+/// Ties contribute 1/2; degenerate inputs (single class) return 0.5.
+double Auroc(const std::vector<double>& scores,
+             const std::vector<uint8_t>& positives);
+
+/// \brief Full ROC curve (one point per distinct threshold) plus AUROC.
+RocCurve ComputeRoc(const std::vector<double>& scores,
+                    const std::vector<uint8_t>& positives);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_EVAL_ROC_H_

@@ -1,0 +1,180 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "metrics/difference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace learnrisk {
+namespace {
+
+std::string Normalize(std::string_view s) { return ToLower(Trim(s)); }
+
+bool EitherMissing(std::string_view a, std::string_view b) {
+  return Trim(a).empty() || Trim(b).empty();
+}
+
+std::vector<std::string> SplitEntities(std::string_view s) {
+  std::vector<std::string> out;
+  for (const std::string& part : Split(s, ',')) {
+    std::string t = Normalize(part);
+    if (!t.empty()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+double NonSubstring(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  const std::string na = Normalize(a);
+  const std::string nb = Normalize(b);
+  return Contains(na, nb) || Contains(nb, na) ? 0.0 : 1.0;
+}
+
+double NonPrefix(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  const std::string na = Normalize(a);
+  const std::string nb = Normalize(b);
+  return StartsWith(na, nb) || StartsWith(nb, na) ? 0.0 : 1.0;
+}
+
+double NonSuffix(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  const std::string na = Normalize(a);
+  const std::string nb = Normalize(b);
+  return EndsWith(na, nb) || EndsWith(nb, na) ? 0.0 : 1.0;
+}
+
+double AbbrNonSubstring(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  const std::string na = Normalize(a);
+  const std::string nb = Normalize(b);
+  const std::string aa = FirstLetterAbbreviation(na);
+  const std::string ab = FirstLetterAbbreviation(nb);
+  const bool related = Contains(nb, aa) || Contains(na, ab) ||
+                       Contains(ab, aa) || Contains(aa, ab);
+  return related ? 0.0 : 1.0;
+}
+
+double AbbrNonPrefix(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  const std::string aa = FirstLetterAbbreviation(Normalize(a));
+  const std::string ab = FirstLetterAbbreviation(Normalize(b));
+  if (aa.empty() || ab.empty()) return kMissingMetric;
+  return StartsWith(aa, ab) || StartsWith(ab, aa) ? 0.0 : 1.0;
+}
+
+double AbbrNonSuffix(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  const std::string aa = FirstLetterAbbreviation(Normalize(a));
+  const std::string ab = FirstLetterAbbreviation(Normalize(b));
+  if (aa.empty() || ab.empty()) return kMissingMetric;
+  return EndsWith(aa, ab) || EndsWith(ab, aa) ? 0.0 : 1.0;
+}
+
+double DiffCardinality(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  return SplitEntities(a).size() != SplitEntities(b).size() ? 1.0 : 0.0;
+}
+
+bool EntityNamesEquivalent(std::string_view a, std::string_view b) {
+  const std::vector<std::string> ta = Tokenize(a);
+  const std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() || tb.empty()) return ta.empty() && tb.empty();
+  // Last tokens (surnames) must agree up to a small typo.
+  const std::string& la = ta.back();
+  const std::string& lb = tb.back();
+  if (NormalizedEditSimilarity(la, lb) < 0.8) return false;
+  // Leading tokens must be pairwise compatible: equal, or one is the other's
+  // initial ("michael" ~ "m").
+  const size_t heads = std::min(ta.size(), tb.size()) - 1;
+  for (size_t i = 0; i < heads; ++i) {
+    const std::string& x = ta[i];
+    const std::string& y = tb[i];
+    if (x == y) continue;
+    if (x.size() == 1 && y.size() >= 1 && x[0] == y[0]) continue;
+    if (y.size() == 1 && x.size() >= 1 && x[0] == y[0]) continue;
+    return false;
+  }
+  return true;
+}
+
+double DistinctEntityCount(std::string_view a, std::string_view b) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  const std::vector<std::string> ea = SplitEntities(a);
+  const std::vector<std::string> eb = SplitEntities(b);
+  std::vector<bool> b_used(eb.size(), false);
+  size_t matched_a = 0;
+  for (const std::string& x : ea) {
+    for (size_t j = 0; j < eb.size(); ++j) {
+      if (b_used[j]) continue;
+      if (EntityNamesEquivalent(x, eb[j])) {
+        b_used[j] = true;
+        ++matched_a;
+        break;
+      }
+    }
+  }
+  const size_t unmatched_a = ea.size() - matched_a;
+  size_t unmatched_b = 0;
+  for (bool used : b_used) unmatched_b += used ? 0 : 1;
+  return static_cast<double>(unmatched_a + unmatched_b);
+}
+
+double DistinctEntity(std::string_view a, std::string_view b) {
+  const double count = DistinctEntityCount(a, b);
+  if (count == kMissingMetric) return kMissingMetric;
+  const double total = static_cast<double>(SplitEntities(a).size() +
+                                           SplitEntities(b).size());
+  return total == 0.0 ? 0.0 : count / total;
+}
+
+double DiffKeyTokenCount(std::string_view a, std::string_view b,
+                         const IdfTable& idf, double min_idf) {
+  if (EitherMissing(a, b)) return kMissingMetric;
+  std::unordered_set<std::string> ta;
+  std::unordered_set<std::string> tb;
+  for (std::string& t : Tokenize(a)) ta.insert(std::move(t));
+  for (std::string& t : Tokenize(b)) tb.insert(std::move(t));
+  size_t count = 0;
+  for (const std::string& t : ta) {
+    if (tb.count(t) == 0 && idf.IsKeyToken(t, min_idf)) ++count;
+  }
+  for (const std::string& t : tb) {
+    if (ta.count(t) == 0 && idf.IsKeyToken(t, min_idf)) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+double DiffKeyToken(std::string_view a, std::string_view b,
+                    const IdfTable& idf, double min_idf) {
+  const double count = DiffKeyTokenCount(a, b, idf, min_idf);
+  if (count == kMissingMetric) return kMissingMetric;
+  return count / (count + 1.0);
+}
+
+double NumericUnequal(std::string_view a, std::string_view b) {
+  const std::string sa(Trim(a));
+  const std::string sb(Trim(b));
+  char* end = nullptr;
+  const double x = std::strtod(sa.c_str(), &end);
+  if (end == sa.c_str() || sa.empty()) return kMissingMetric;
+  const double y = std::strtod(sb.c_str(), &end);
+  if (end == sb.c_str() || sb.empty()) return kMissingMetric;
+  return x == y ? 0.0 : 1.0;
+}
+
+double NumericDiff(std::string_view a, std::string_view b) {
+  const double sim = NumericSimilarity(a, b);
+  if (sim == kMissingMetric) return kMissingMetric;
+  return 1.0 - sim;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,85 @@
+// Copyright 2026 The LearnRisk Authors
+// The paper's difference metrics (Sec. 5.1, Fig. 5): unlike similarity
+// metrics, which score the common part of two values, these directly capture
+// evidence of *inequivalence*. Metrics are grouped by string type: entity
+// name, entity set, text description, plus numeric inequality.
+//
+// Conventions match similarity.h: results live in [0, 1] (or small counts for
+// the counting metrics) and kMissingMetric marks missing inputs.
+
+#ifndef LEARNRISK_METRICS_DIFFERENCE_H_
+#define LEARNRISK_METRICS_DIFFERENCE_H_
+
+#include <string_view>
+
+#include "metrics/similarity.h"
+
+namespace learnrisk {
+
+// --- Entity-name difference metrics (Fig. 5 left branch) -------------------
+
+/// \brief 1 if neither normalized value is a substring of the other.
+double NonSubstring(std::string_view a, std::string_view b);
+
+/// \brief 1 if neither normalized value is a prefix of the other.
+double NonPrefix(std::string_view a, std::string_view b);
+
+/// \brief 1 if neither normalized value is a suffix of the other.
+double NonSuffix(std::string_view a, std::string_view b);
+
+/// \brief 1 if the first-letter abbreviation of neither value is a substring
+/// of the other value (nor of its abbreviation). Catches "vldb" vs "very
+/// large data bases".
+double AbbrNonSubstring(std::string_view a, std::string_view b);
+
+/// \brief Prefix variant of AbbrNonSubstring.
+double AbbrNonPrefix(std::string_view a, std::string_view b);
+
+/// \brief Suffix variant of AbbrNonSubstring.
+double AbbrNonSuffix(std::string_view a, std::string_view b);
+
+// --- Entity-set difference metrics (Fig. 5 middle branch) ------------------
+
+/// \brief 1 if the two comma-separated sets have different cardinality
+/// (paper: different author counts signal different papers).
+double DiffCardinality(std::string_view a, std::string_view b);
+
+/// \brief Number of entities present in exactly one of the two sets, using
+/// abbreviation-aware entity equivalence; normalized by the total entity
+/// count so the result stays in [0, 1]. The raw count drives Example 1 of the
+/// paper ("R Schneider" missing from one author list).
+double DistinctEntity(std::string_view a, std::string_view b);
+
+/// \brief Raw count version of DistinctEntity (unnormalized).
+double DistinctEntityCount(std::string_view a, std::string_view b);
+
+/// \brief True iff two entity names refer to the same entity allowing
+/// first-name abbreviation ("m franklin" ~ "michael franklin") and small
+/// typos in the last token.
+bool EntityNamesEquivalent(std::string_view a, std::string_view b);
+
+// --- Text difference metrics (Fig. 5 right branch) -------------------------
+
+/// \brief Number of *key* (high-IDF, discriminating) tokens contained in
+/// exactly one of the two values, normalized into [0, 1] as n / (n + 1).
+/// Catches a model code or protocol name present on only one side.
+double DiffKeyToken(std::string_view a, std::string_view b,
+                    const IdfTable& idf, double min_idf);
+
+/// \brief Raw count version of DiffKeyToken.
+double DiffKeyTokenCount(std::string_view a, std::string_view b,
+                         const IdfTable& idf, double min_idf);
+
+// --- Numeric difference -----------------------------------------------------
+
+/// \brief 1 if both parse and differ; 0 if both parse and are equal;
+/// kMissingMetric otherwise. Implements rules like Eq. 1 (different years).
+double NumericUnequal(std::string_view a, std::string_view b);
+
+/// \brief Normalized absolute difference |x - y| / max(|x|, |y|, 1) clamped
+/// to [0, 1].
+double NumericDiff(std::string_view a, std::string_view b);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_METRICS_DIFFERENCE_H_

@@ -1,0 +1,258 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "metrics/metric_suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "metrics/difference.h"
+
+namespace learnrisk {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kEditSim: return "edit_sim";
+    case MetricKind::kJaroWinkler: return "jaro_winkler";
+    case MetricKind::kTokenJaccard: return "jaccard";
+    case MetricKind::kNgramJaccard: return "ngram_jaccard";
+    case MetricKind::kLcs: return "lcs";
+    case MetricKind::kCosineTfIdf: return "cosine_tfidf";
+    case MetricKind::kMongeElkan: return "monge_elkan";
+    case MetricKind::kOverlap: return "overlap";
+    case MetricKind::kContainment: return "containment";
+    case MetricKind::kNumericSim: return "numeric_sim";
+    case MetricKind::kExact: return "exact";
+    case MetricKind::kNonSubstring: return "non_substring";
+    case MetricKind::kNonPrefix: return "non_prefix";
+    case MetricKind::kNonSuffix: return "non_suffix";
+    case MetricKind::kAbbrNonSubstring: return "abbr_non_substring";
+    case MetricKind::kAbbrNonPrefix: return "abbr_non_prefix";
+    case MetricKind::kAbbrNonSuffix: return "abbr_non_suffix";
+    case MetricKind::kDiffCardinality: return "diff_cardinality";
+    case MetricKind::kDistinctEntity: return "distinct_entity";
+    case MetricKind::kDiffKeyToken: return "diff_key_token";
+    case MetricKind::kNumericUnequal: return "numeric_unequal";
+    case MetricKind::kNotEqual: return "not_equal";
+  }
+  return "unknown";
+}
+
+bool IsDifferenceMetric(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kNonSubstring:
+    case MetricKind::kNonPrefix:
+    case MetricKind::kNonSuffix:
+    case MetricKind::kAbbrNonSubstring:
+    case MetricKind::kAbbrNonPrefix:
+    case MetricKind::kAbbrNonSuffix:
+    case MetricKind::kDiffCardinality:
+    case MetricKind::kDistinctEntity:
+    case MetricKind::kDiffKeyToken:
+    case MetricKind::kNumericUnequal:
+    case MetricKind::kNotEqual:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+void AddSpec(std::vector<MetricSpec>* specs, const Schema& schema, size_t attr,
+             MetricKind kind) {
+  specs->push_back(MetricSpec{
+      attr, kind,
+      schema.attribute(attr).name + "." + MetricKindToString(kind)});
+}
+
+}  // namespace
+
+MetricSuite MetricSuite::ForSchema(const Schema& schema) {
+  std::vector<MetricSpec> specs;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    switch (attr.type) {
+      case AttributeType::kEntityName:
+        AddSpec(&specs, schema, a, MetricKind::kEditSim);
+        AddSpec(&specs, schema, a, MetricKind::kJaroWinkler);
+        AddSpec(&specs, schema, a, MetricKind::kTokenJaccard);
+        AddSpec(&specs, schema, a, MetricKind::kNonSubstring);
+        AddSpec(&specs, schema, a, MetricKind::kNonPrefix);
+        AddSpec(&specs, schema, a, MetricKind::kNonSuffix);
+        AddSpec(&specs, schema, a, MetricKind::kAbbrNonSubstring);
+        break;
+      case AttributeType::kEntitySet:
+        AddSpec(&specs, schema, a, MetricKind::kTokenJaccard);
+        AddSpec(&specs, schema, a, MetricKind::kMongeElkan);
+        AddSpec(&specs, schema, a, MetricKind::kDiffCardinality);
+        AddSpec(&specs, schema, a, MetricKind::kDistinctEntity);
+        break;
+      case AttributeType::kText:
+        if (Contains(attr.name, "description")) {
+          // Long text: token-level metrics only (quadratic character DP
+          // metrics are both slow and uninformative here).
+          AddSpec(&specs, schema, a, MetricKind::kTokenJaccard);
+          AddSpec(&specs, schema, a, MetricKind::kCosineTfIdf);
+          AddSpec(&specs, schema, a, MetricKind::kContainment);
+          AddSpec(&specs, schema, a, MetricKind::kDiffKeyToken);
+        } else {
+          AddSpec(&specs, schema, a, MetricKind::kEditSim);
+          AddSpec(&specs, schema, a, MetricKind::kTokenJaccard);
+          AddSpec(&specs, schema, a, MetricKind::kNgramJaccard);
+          AddSpec(&specs, schema, a, MetricKind::kLcs);
+          AddSpec(&specs, schema, a, MetricKind::kCosineTfIdf);
+          AddSpec(&specs, schema, a, MetricKind::kMongeElkan);
+          AddSpec(&specs, schema, a, MetricKind::kDiffKeyToken);
+        }
+        break;
+      case AttributeType::kNumeric:
+        AddSpec(&specs, schema, a, MetricKind::kNumericSim);
+        AddSpec(&specs, schema, a, MetricKind::kExact);
+        AddSpec(&specs, schema, a, MetricKind::kNumericUnequal);
+        break;
+      case AttributeType::kCategorical:
+        AddSpec(&specs, schema, a, MetricKind::kExact);
+        AddSpec(&specs, schema, a, MetricKind::kNotEqual);
+        break;
+    }
+  }
+  return FromSpecs(schema, std::move(specs));
+}
+
+MetricSuite MetricSuite::FromSpecs(const Schema& schema,
+                                   std::vector<MetricSpec> specs) {
+  MetricSuite suite;
+  suite.schema_ = schema;
+  suite.specs_ = std::move(specs);
+  suite.idf_.resize(schema.num_attributes());
+  suite.min_key_idf_.resize(schema.num_attributes(), 0.0);
+  return suite;
+}
+
+void MetricSuite::Fit(const Workload& workload) {
+  // Which attributes need corpus statistics?
+  std::vector<bool> needs_idf(schema_.num_attributes(), false);
+  for (const MetricSpec& spec : specs_) {
+    if (spec.kind == MetricKind::kCosineTfIdf ||
+        spec.kind == MetricKind::kDiffKeyToken) {
+      needs_idf[spec.attribute] = true;
+    }
+  }
+  for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+    if (!needs_idf[a]) continue;
+    std::vector<std::string_view> corpus;
+    const Table& left = workload.left();
+    const Table& right = workload.right();
+    corpus.reserve(left.num_records() +
+                   (&left == &right ? 0 : right.num_records()));
+    for (size_t i = 0; i < left.num_records(); ++i) {
+      corpus.push_back(left.record(i).value(a));
+    }
+    if (&left != &right) {
+      for (size_t i = 0; i < right.num_records(); ++i) {
+        corpus.push_back(right.record(i).value(a));
+      }
+    }
+    idf_[a] = std::make_shared<IdfTable>(IdfTable::Build(corpus));
+    // A token counts as "key" if it appears in at most max(3, N/500)
+    // documents; convert that document-frequency cap into an idf threshold.
+    const double n = static_cast<double>(corpus.size());
+    const double df_cap = std::max(3.0, n / 500.0);
+    min_key_idf_[a] = std::log((1.0 + n) / (1.0 + df_cap)) + 1.0;
+  }
+}
+
+std::vector<std::string> MetricSuite::MetricNames() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const MetricSpec& spec : specs_) names.push_back(spec.name);
+  return names;
+}
+
+double MetricSuite::Evaluate(const Record& left, const Record& right,
+                             size_t m) const {
+  const MetricSpec& spec = specs_[m];
+  const std::string& a = left.value(spec.attribute);
+  const std::string& b = right.value(spec.attribute);
+  // String metrics on missing values are undefined; numeric metrics handle
+  // parse failure themselves.
+  const bool missing = Trim(a).empty() || Trim(b).empty();
+  switch (spec.kind) {
+    case MetricKind::kEditSim:
+      return missing ? kMissingMetric : NormalizedEditSimilarity(a, b);
+    case MetricKind::kJaroWinkler:
+      return missing ? kMissingMetric : JaroWinklerSimilarity(a, b);
+    case MetricKind::kTokenJaccard:
+      return missing ? kMissingMetric : TokenJaccard(a, b);
+    case MetricKind::kNgramJaccard:
+      return missing ? kMissingMetric : NgramJaccard(a, b);
+    case MetricKind::kLcs:
+      return missing ? kMissingMetric : LcsRatio(a, b);
+    case MetricKind::kCosineTfIdf:
+      if (missing) return kMissingMetric;
+      return idf_[spec.attribute] ? CosineTfIdf(a, b, *idf_[spec.attribute])
+                                  : kMissingMetric;
+    case MetricKind::kMongeElkan:
+      return missing ? kMissingMetric : MongeElkan(a, b);
+    case MetricKind::kOverlap:
+      return missing ? kMissingMetric : OverlapCoefficient(a, b);
+    case MetricKind::kContainment:
+      return missing ? kMissingMetric : Containment(a, b);
+    case MetricKind::kNumericSim:
+      return NumericSimilarity(a, b);
+    case MetricKind::kExact:
+      return missing ? kMissingMetric : ExactMatch(a, b);
+    case MetricKind::kNonSubstring:
+      return NonSubstring(a, b);
+    case MetricKind::kNonPrefix:
+      return NonPrefix(a, b);
+    case MetricKind::kNonSuffix:
+      return NonSuffix(a, b);
+    case MetricKind::kAbbrNonSubstring:
+      return AbbrNonSubstring(a, b);
+    case MetricKind::kAbbrNonPrefix:
+      return AbbrNonPrefix(a, b);
+    case MetricKind::kAbbrNonSuffix:
+      return AbbrNonSuffix(a, b);
+    case MetricKind::kDiffCardinality:
+      return DiffCardinality(a, b);
+    case MetricKind::kDistinctEntity:
+      return DistinctEntity(a, b);
+    case MetricKind::kDiffKeyToken:
+      if (!idf_[spec.attribute]) return kMissingMetric;
+      return DiffKeyToken(a, b, *idf_[spec.attribute],
+                          min_key_idf_[spec.attribute]);
+    case MetricKind::kNumericUnequal:
+      return NumericUnequal(a, b);
+    case MetricKind::kNotEqual:
+      return missing ? kMissingMetric : 1.0 - ExactMatch(a, b);
+  }
+  return kMissingMetric;
+}
+
+std::vector<double> MetricSuite::EvaluatePair(const Record& left,
+                                              const Record& right) const {
+  std::vector<double> out(specs_.size());
+  for (size_t m = 0; m < specs_.size(); ++m) {
+    out[m] = Evaluate(left, right, m);
+  }
+  return out;
+}
+
+FeatureMatrix ComputeFeatures(const Workload& workload,
+                              const MetricSuite& suite) {
+  FeatureMatrix matrix(workload.size(), suite.num_metrics());
+  matrix.column_names = suite.MetricNames();
+  ParallelFor(workload.size(), [&](size_t i) {
+    const Record& l = workload.LeftRecord(i);
+    const Record& r = workload.RightRecord(i);
+    for (size_t m = 0; m < suite.num_metrics(); ++m) {
+      matrix.set(i, m, suite.Evaluate(l, r, m));
+    }
+  });
+  return matrix;
+}
+
+}  // namespace learnrisk

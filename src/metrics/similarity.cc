@@ -1,0 +1,242 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "metrics/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace learnrisk {
+namespace {
+
+std::unordered_set<std::string> TokenSet(std::string_view s) {
+  std::unordered_set<std::string> set;
+  for (std::string& t : Tokenize(s)) set.insert(std::move(t));
+  return set;
+}
+
+size_t IntersectionSize(const std::unordered_set<std::string>& a,
+                        const std::unordered_set<std::string>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t n = 0;
+  for (const std::string& t : small) n += large.count(t);
+  return n;
+}
+
+}  // namespace
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t window =
+      a.size() > 1 || b.size() > 1
+          ? std::max(a.size(), b.size()) / 2 - 1
+          : 0;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  const auto sa = TokenSet(a);
+  const auto sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double NgramJaccard(std::string_view a, std::string_view b, size_t n) {
+  std::unordered_set<std::string> sa;
+  std::unordered_set<std::string> sb;
+  for (std::string& g : CharNgrams(ToLower(a), n)) sa.insert(std::move(g));
+  for (std::string& g : CharNgrams(ToLower(b), n)) sb.insert(std::move(g));
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double LcsRatio(std::string_view a, std::string_view b) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1, 0);
+  std::vector<size_t> cur(a.size() + 1, 0);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    for (size_t i = 1; i <= a.size(); ++i) {
+      cur[i] = a[i - 1] == b[j - 1] ? prev[i - 1] + 1
+                                    : std::max(prev[i], cur[i - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[a.size()]) / static_cast<double>(max_len);
+}
+
+double OverlapCoefficient(std::string_view a, std::string_view b) {
+  const auto sa = TokenSet(a);
+  const auto sb = TokenSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double Containment(std::string_view a, std::string_view b) {
+  const auto sa = TokenSet(a);
+  const auto sb = TokenSet(b);
+  if (sa.empty()) return 1.0;
+  const size_t inter = IntersectionSize(sa, sb);
+  return static_cast<double>(inter) / static_cast<double>(sa.size());
+}
+
+double MongeElkan(std::string_view a, std::string_view b) {
+  const std::vector<std::string> ta = Tokenize(a);
+  const std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  auto directed = [](const std::vector<std::string>& xs,
+                     const std::vector<std::string>& ys) {
+    double total = 0.0;
+    for (const std::string& x : xs) {
+      double best = 0.0;
+      for (const std::string& y : ys) {
+        best = std::max(best, JaroWinklerSimilarity(x, y));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  return 0.5 * (directed(ta, tb) + directed(tb, ta));
+}
+
+IdfTable IdfTable::Build(const std::vector<std::string_view>& corpus) {
+  IdfTable table;
+  table.num_documents_ = corpus.size();
+  for (std::string_view doc : corpus) {
+    std::unordered_set<std::string> seen;
+    for (std::string& tok : Tokenize(doc)) {
+      if (seen.insert(tok).second) table.df_[tok]++;
+    }
+  }
+  return table;
+}
+
+double IdfTable::Idf(const std::string& token) const {
+  const auto it = df_.find(token);
+  const double df = it == df_.end() ? 0.0 : static_cast<double>(it->second);
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
+         1.0;
+}
+
+bool IdfTable::IsKeyToken(const std::string& token, double min_idf) const {
+  return Idf(token) >= min_idf;
+}
+
+double CosineTfIdf(std::string_view a, std::string_view b,
+                   const IdfTable& idf) {
+  std::unordered_map<std::string, double> wa;
+  std::unordered_map<std::string, double> wb;
+  for (const std::string& t : Tokenize(a)) wa[t] += 1.0;
+  for (const std::string& t : Tokenize(b)) wb[t] += 1.0;
+  if (wa.empty() && wb.empty()) return 1.0;
+  if (wa.empty() || wb.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (auto& [t, tf] : wa) {
+    tf *= idf.Idf(t);
+    na += tf * tf;
+  }
+  for (auto& [t, tf] : wb) {
+    tf *= idf.Idf(t);
+    nb += tf * tf;
+  }
+  for (const auto& [t, w] : wa) {
+    auto it = wb.find(t);
+    if (it != wb.end()) dot += w * it->second;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  char* end = nullptr;
+  const std::string sa(a);
+  const std::string sb(b);
+  const double x = std::strtod(sa.c_str(), &end);
+  if (end == sa.c_str()) return kMissingMetric;
+  const double y = std::strtod(sb.c_str(), &end);
+  if (end == sb.c_str()) return kMissingMetric;
+  const double denom = std::max({std::fabs(x), std::fabs(y), 1.0});
+  return std::max(0.0, 1.0 - std::fabs(x - y) / denom);
+}
+
+double ExactMatch(std::string_view a, std::string_view b) {
+  return ToLower(Trim(a)) == ToLower(Trim(b)) ? 1.0 : 0.0;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,87 @@
+// Copyright 2026 The LearnRisk Authors
+// Similarity metrics over attribute values (paper Sec. 5.1). Each metric
+// returns a score in [0, 1] (1 = identical) or kMissingMetric when either
+// value is missing; the rule learner treats missing as its own branch.
+
+#ifndef LEARNRISK_METRICS_SIMILARITY_H_
+#define LEARNRISK_METRICS_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace learnrisk {
+
+/// Sentinel for "either value missing"; strictly below every valid score so
+/// threshold splits isolate missing values naturally.
+inline constexpr double kMissingMetric = -1.0;
+
+/// \brief Levenshtein distance (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief 1 - EditDistance / max(|a|, |b|); 1.0 for two empty strings.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro similarity.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro-Winkler similarity (prefix scale 0.1, max prefix 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaccard index of the token sets (canonical tokenization).
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// \brief Jaccard index of character n-gram multisets (default trigrams).
+double NgramJaccard(std::string_view a, std::string_view b, size_t n = 3);
+
+/// \brief Longest-common-subsequence length / max length (the LCS metric of
+/// the paper's Fig. 6 example rules).
+double LcsRatio(std::string_view a, std::string_view b);
+
+/// \brief |A ∩ B| / min(|A|, |B|) over token sets.
+double OverlapCoefficient(std::string_view a, std::string_view b);
+
+/// \brief |A ∩ B| / |A| over token sets (asymmetric containment of a in b).
+double Containment(std::string_view a, std::string_view b);
+
+/// \brief Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match
+/// in `b`, symmetrized by averaging both directions.
+double MongeElkan(std::string_view a, std::string_view b);
+
+/// \brief Token IDF statistics for a corpus of attribute values; backs the
+/// TF-IDF cosine similarity and the diff-key-token difference metric.
+class IdfTable {
+ public:
+  /// \brief Builds token document frequencies from attribute values.
+  static IdfTable Build(const std::vector<std::string_view>& corpus);
+
+  /// \brief idf(token) = ln((1 + N) / (1 + df)) + 1; unseen tokens get the
+  /// maximum idf.
+  double Idf(const std::string& token) const;
+
+  /// \brief True iff the token's idf is above `min_idf` (a discriminating /
+  /// "key" token in the paper's terms).
+  bool IsKeyToken(const std::string& token, double min_idf) const;
+
+  size_t num_documents() const { return num_documents_; }
+
+ private:
+  std::unordered_map<std::string, size_t> df_;
+  size_t num_documents_ = 0;
+};
+
+/// \brief TF-IDF cosine similarity of two values under an IdfTable.
+double CosineTfIdf(std::string_view a, std::string_view b,
+                   const IdfTable& idf);
+
+/// \brief Similarity of two numeric strings: 1 - |x-y| / max(|x|, |y|, 1);
+/// kMissingMetric if either fails to parse.
+double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// \brief 1.0 if the trimmed lower-cased values are equal, else 0.0.
+double ExactMatch(std::string_view a, std::string_view b);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_METRICS_SIMILARITY_H_

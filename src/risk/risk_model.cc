@@ -1,0 +1,231 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "risk/risk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace learnrisk {
+namespace {
+
+// Keeps portfolio variances strictly positive so quantile gradients exist.
+constexpr double kSigmaFloor = 1e-6;
+
+double Logit(double p) {
+  p = Clamp(p, 1e-9, 1.0 - 1e-9);
+  return std::log(p / (1.0 - p));
+}
+
+}  // namespace
+
+RiskModel::RiskModel(RiskFeatureSet features, RiskModelOptions options)
+    : features_(std::move(features)), options_(options) {
+  const size_t m = features_.num_rules();
+  theta_.assign(m, SoftplusInverse(options_.init_rule_weight));
+  phi_.assign(m, Logit(options_.init_rsd / options_.rsd_max));
+  alpha_raw_ = SoftplusInverse(options_.init_alpha);
+  beta_raw_ = SoftplusInverse(options_.init_beta);
+  phi_out_.assign(options_.output_buckets,
+                  Logit(options_.init_rsd / options_.rsd_max));
+}
+
+double RiskModel::RuleWeight(size_t j) const { return Softplus(theta_[j]); }
+
+double RiskModel::RuleRsd(size_t j) const {
+  return options_.rsd_max * Sigmoid(phi_[j]);
+}
+
+double RiskModel::OutputWeight(double x) const {
+  const double alpha = Softplus(alpha_raw_);
+  const double beta = Softplus(beta_raw_);
+  const double z = (x - 0.5) / alpha;
+  return -std::exp(-0.5 * z * z) + beta + 1.0;
+}
+
+size_t RiskModel::OutputBucket(double x) const {
+  const double b = std::floor(Clamp(x, 0.0, 1.0) *
+                              static_cast<double>(options_.output_buckets));
+  return std::min(static_cast<size_t>(b), options_.output_buckets - 1);
+}
+
+double RiskModel::OutputRsd(double x) const {
+  return options_.rsd_max * Sigmoid(phi_out_[OutputBucket(x)]);
+}
+
+PairDistribution RiskModel::Distribution(
+    const std::vector<uint32_t>& active_rules, double classifier_output) const {
+  // Classifier-output feature: expectation is the output itself (Sec. 6.2.1).
+  const bool with_output =
+      options_.use_classifier_feature || active_rules.empty();
+  const double w_out = with_output ? OutputWeight(classifier_output) : 0.0;
+  const double mu_out = Clamp(classifier_output, 0.0, 1.0);
+  const double sigma_out = OutputRsd(classifier_output) * mu_out;
+
+  double weight_sum = w_out;
+  double mu_acc = w_out * mu_out;
+  double var_acc = w_out * w_out * sigma_out * sigma_out;
+  for (uint32_t j : active_rules) {
+    const double w = RuleWeight(j);
+    const double mu = features_.expectation(j);
+    const double sigma = RuleRsd(j) * mu;
+    weight_sum += w;
+    mu_acc += w * mu;
+    var_acc += w * w * sigma * sigma;
+  }
+  PairDistribution dist;
+  dist.mu = mu_acc / weight_sum;
+  dist.sigma = std::sqrt(var_acc) / weight_sum + kSigmaFloor;
+  return dist;
+}
+
+double RiskModel::RiskScore(const std::vector<uint32_t>& active_rules,
+                            double classifier_output,
+                            uint8_t machine_label) const {
+  const PairDistribution dist =
+      Distribution(active_rules, classifier_output);
+  const double theta = options_.var_confidence;
+  switch (options_.metric) {
+    case RiskMetric::kVaR:
+      // Eq. 9-10: an unmatching-labeled pair is mislabeled with probability
+      // p (its equivalence probability), so its worst-case loss is the upper
+      // theta-quantile of p; matching labels mirror through 1 - p.
+      if (machine_label == 0) {
+        return TruncatedNormalQuantile(theta, dist.mu, dist.sigma, 0.0, 1.0);
+      }
+      return 1.0 -
+             TruncatedNormalQuantile(1.0 - theta, dist.mu, dist.sigma, 0.0,
+                                     1.0);
+    case RiskMetric::kCVaR: {
+      if (machine_label == 0) {
+        const double var =
+            TruncatedNormalQuantile(theta, dist.mu, dist.sigma, 0.0, 1.0);
+        return TruncatedNormalMean(dist.mu, dist.sigma, var, 1.0);
+      }
+      const double var =
+          TruncatedNormalQuantile(1.0 - theta, dist.mu, dist.sigma, 0.0, 1.0);
+      return 1.0 - TruncatedNormalMean(dist.mu, dist.sigma, 0.0, var);
+    }
+    case RiskMetric::kExpectation: {
+      const double mean = TruncatedNormalMean(dist.mu, dist.sigma, 0.0, 1.0);
+      return machine_label == 0 ? mean : 1.0 - mean;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> RiskModel::Score(const RiskActivation& activation) const {
+  std::vector<double> scores(activation.size());
+  for (size_t i = 0; i < activation.size(); ++i) {
+    scores[i] = RiskScore(activation.active[i],
+                          activation.classifier_output[i],
+                          activation.machine_label[i]);
+  }
+  return scores;
+}
+
+std::vector<RiskContribution> RiskModel::Explain(
+    const std::vector<uint32_t>& active_rules, double classifier_output,
+    size_t top_k) const {
+  std::vector<RiskContribution> contributions;
+  double weight_sum = OutputWeight(classifier_output);
+  for (uint32_t j : active_rules) weight_sum += RuleWeight(j);
+
+  RiskContribution out;
+  out.description =
+      "classifier output p=" + std::to_string(classifier_output);
+  out.weight = OutputWeight(classifier_output) / weight_sum;
+  out.expectation = classifier_output;
+  out.rsd = OutputRsd(classifier_output);
+  contributions.push_back(std::move(out));
+
+  for (uint32_t j : active_rules) {
+    RiskContribution c;
+    c.description = features_.rule(j).ToString();
+    c.weight = RuleWeight(j) / weight_sum;
+    c.expectation = features_.expectation(j);
+    c.rsd = RuleRsd(j);
+    contributions.push_back(std::move(c));
+  }
+  std::stable_sort(contributions.begin(), contributions.end(),
+                   [](const RiskContribution& a, const RiskContribution& b) {
+                     return a.weight > b.weight;
+                   });
+  if (contributions.size() > top_k) contributions.resize(top_k);
+  return contributions;
+}
+
+RiskModel::TapeParams RiskModel::MakeTapeParams(Tape* tape) const {
+  TapeParams params;
+  params.theta.reserve(theta_.size());
+  for (double t : theta_) params.theta.push_back(tape->Variable(t));
+  params.phi.reserve(phi_.size());
+  for (double p : phi_) params.phi.push_back(tape->Variable(p));
+  params.alpha_raw = tape->Variable(alpha_raw_);
+  params.beta_raw = tape->Variable(beta_raw_);
+  params.phi_out.reserve(phi_out_.size());
+  for (double p : phi_out_) params.phi_out.push_back(tape->Variable(p));
+  return params;
+}
+
+Var RiskModel::RiskScoreOnTape(Tape* tape, const TapeParams& params,
+                               const std::vector<uint32_t>& active_rules,
+                               double classifier_output,
+                               uint8_t machine_label) const {
+  // Classifier-output feature.
+  const bool with_output =
+      options_.use_classifier_feature || active_rules.empty();
+  const double x = Clamp(classifier_output, 0.0, 1.0);
+  Var alpha = SoftplusV(params.alpha_raw);
+  Var beta = SoftplusV(params.beta_raw);
+  Var z = (tape->Constant(x) - 0.5) / alpha;
+  Var w_out = (-Exp(-0.5 * (z * z)) + beta + 1.0) * (with_output ? 1.0 : 0.0);
+  Var rsd_out = options_.rsd_max * SigmoidV(params.phi_out[OutputBucket(x)]);
+  Var sigma_out = rsd_out * x;
+
+  Var weight_sum = w_out;
+  Var mu_acc = w_out * x;
+  Var var_acc = Square(w_out) * Square(sigma_out);
+  for (uint32_t j : active_rules) {
+    Var w = SoftplusV(params.theta[j]);
+    const double mu = features_.expectation(j);
+    Var sigma = (options_.rsd_max * SigmoidV(params.phi[j])) * mu;
+    weight_sum = weight_sum + w;
+    mu_acc = mu_acc + w * mu;
+    var_acc = var_acc + Square(w) * Square(sigma);
+  }
+  Var mu = mu_acc / weight_sum;
+  Var sigma = Sqrt(var_acc) / weight_sum + kSigmaFloor;
+
+  if (options_.metric == RiskMetric::kExpectation) {
+    // Ablation path: rank by the distribution mean only (no fluctuation
+    // term). kCVaR trains against the VaR surrogate, which shares its
+    // optimum ranking.
+    return machine_label == 0 ? mu : 1.0 - mu;
+  }
+
+  // Truncated-normal quantile on tape:
+  //   F^{-1}(p) = mu + sigma * Phi^{-1}(Phi(a) + p (Phi(b) - Phi(a))).
+  const double theta = options_.var_confidence;
+  const double p = machine_label == 0 ? theta : 1.0 - theta;
+  Var ca = NormalCdfV((0.0 - mu) / sigma);
+  Var cb = NormalCdfV((1.0 - mu) / sigma);
+  Var u = ca + p * (cb - ca);
+  Var quantile = ClampV(mu + sigma * NormalQuantileV(u), 0.0, 1.0);
+  if (machine_label == 0) return quantile;
+  return 1.0 - quantile;
+}
+
+void RiskModel::ApplyUpdate(const std::vector<double>& theta,
+                            const std::vector<double>& phi, double alpha_raw,
+                            double beta_raw,
+                            const std::vector<double>& phi_out) {
+  theta_ = theta;
+  phi_ = phi;
+  alpha_raw_ = alpha_raw;
+  beta_raw_ = beta_raw;
+  phi_out_ = phi_out;
+}
+
+}  // namespace learnrisk

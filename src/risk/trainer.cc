@@ -1,0 +1,184 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "risk/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "autodiff/tape.h"
+
+namespace learnrisk {
+namespace {
+
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+/// Adam state for one flat parameter vector.
+struct AdamState {
+  std::vector<double> m;
+  std::vector<double> v;
+};
+
+void AdamStep(std::vector<double>* params, const std::vector<double>& grads,
+              AdamState* state, double lr, double bias1, double bias2) {
+  for (size_t i = 0; i < params->size(); ++i) {
+    state->m[i] = kAdamBeta1 * state->m[i] + (1.0 - kAdamBeta1) * grads[i];
+    state->v[i] =
+        kAdamBeta2 * state->v[i] + (1.0 - kAdamBeta2) * grads[i] * grads[i];
+    (*params)[i] -= lr * (state->m[i] / bias1) /
+                    (std::sqrt(state->v[i] / bias2) + kAdamEps);
+  }
+}
+
+void GdStep(std::vector<double>* params, const std::vector<double>& grads,
+            double lr) {
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i] -= lr * grads[i];
+  }
+}
+
+}  // namespace
+
+Status RiskTrainer::Train(RiskModel* model, const RiskActivation& data,
+                          const std::vector<uint8_t>& mislabeled) {
+  if (data.size() != mislabeled.size()) {
+    return Status::InvalidArgument(
+        "activation size != mislabel flag count");
+  }
+  loss_history_.clear();
+
+  std::vector<size_t> mis;
+  std::vector<size_t> cor;
+  for (size_t i = 0; i < mislabeled.size(); ++i) {
+    (mislabeled[i] ? mis : cor).push_back(i);
+  }
+  if (mis.empty() || cor.empty()) {
+    // Nothing to rank against; the prior model stands (see header).
+    return Status::OK();
+  }
+
+  Rng rng(options_.seed);
+  const size_t n_rules = model->num_rules();
+
+  // Flat parameter vectors mirrored into the tape each epoch.
+  std::vector<double> theta = model->theta();
+  std::vector<double> phi = model->phi();
+  double alpha_raw = model->alpha_raw();
+  double beta_raw = model->beta_raw();
+  std::vector<double> phi_out = model->phi_out();
+
+  AdamState adam_theta{std::vector<double>(n_rules, 0.0),
+                       std::vector<double>(n_rules, 0.0)};
+  AdamState adam_phi = adam_theta;
+  AdamState adam_out{std::vector<double>(phi_out.size(), 0.0),
+                     std::vector<double>(phi_out.size(), 0.0)};
+  double m_alpha = 0.0, v_alpha = 0.0, m_beta = 0.0, v_beta = 0.0;
+
+  Tape tape;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    tape.Clear();
+    model->ApplyUpdate(theta, phi, alpha_raw, beta_raw, phi_out);
+    RiskModel::TapeParams params = model->MakeTapeParams(&tape);
+
+    // Epoch sample: a bounded subset of mislabeled and correct pairs.
+    std::vector<size_t> epoch_mis = mis;
+    std::vector<size_t> epoch_cor = cor;
+    if (epoch_mis.size() > options_.max_mislabeled_per_epoch) {
+      rng.Shuffle(&epoch_mis);
+      epoch_mis.resize(options_.max_mislabeled_per_epoch);
+    }
+    if (epoch_cor.size() > options_.max_correct_per_epoch) {
+      rng.Shuffle(&epoch_cor);
+      epoch_cor.resize(options_.max_correct_per_epoch);
+    }
+
+    // Risk scores recorded once per distinct pair.
+    std::unordered_map<size_t, Var> gamma;
+    auto score_of = [&](size_t i) {
+      auto it = gamma.find(i);
+      if (it != gamma.end()) return it->second;
+      Var g = model->RiskScoreOnTape(&tape, params, data.active[i],
+                                     data.classifier_output[i],
+                                     data.machine_label[i]);
+      gamma.emplace(i, g);
+      return g;
+    };
+
+    // Rank-pair sample and loss (Eq. 15 with target 1 for (mis, cor)).
+    const size_t all_pairs = epoch_mis.size() * epoch_cor.size();
+    const size_t n_pairs = std::min(all_pairs, options_.max_rank_pairs);
+    Var loss = tape.Constant(0.0);
+    if (all_pairs <= options_.max_rank_pairs) {
+      for (size_t i : epoch_mis) {
+        for (size_t j : epoch_cor) {
+          loss = loss + SoftplusV(score_of(j) - score_of(i));
+        }
+      }
+    } else {
+      for (size_t k = 0; k < n_pairs; ++k) {
+        const size_t i = epoch_mis[rng.Index(epoch_mis.size())];
+        const size_t j = epoch_cor[rng.Index(epoch_cor.size())];
+        loss = loss + SoftplusV(score_of(j) - score_of(i));
+      }
+    }
+    loss = loss / static_cast<double>(n_pairs);
+    loss_history_.push_back(loss.value());
+
+    // L1 + L2 regularization on the effective rule weights (Sec. 6.2.3).
+    if (options_.l1 > 0.0 || options_.l2 > 0.0) {
+      Var reg = tape.Constant(0.0);
+      for (size_t j = 0; j < n_rules; ++j) {
+        Var w = SoftplusV(params.theta[j]);
+        reg = reg + options_.l1 * Abs(w) + options_.l2 * Square(w);
+      }
+      loss = loss + reg;
+    }
+
+    tape.Backward(loss);
+
+    std::vector<double> g_theta(n_rules);
+    std::vector<double> g_phi(n_rules);
+    for (size_t j = 0; j < n_rules; ++j) {
+      g_theta[j] = tape.Gradient(params.theta[j]);
+      g_phi[j] = tape.Gradient(params.phi[j]);
+    }
+    std::vector<double> g_out(phi_out.size());
+    for (size_t b = 0; b < phi_out.size(); ++b) {
+      g_out[b] = tape.Gradient(params.phi_out[b]);
+    }
+    const double g_alpha = tape.Gradient(params.alpha_raw);
+    const double g_beta = tape.Gradient(params.beta_raw);
+
+    if (options_.use_adam) {
+      const double t = static_cast<double>(epoch + 1);
+      const double bias1 = 1.0 - std::pow(kAdamBeta1, t);
+      const double bias2 = 1.0 - std::pow(kAdamBeta2, t);
+      AdamStep(&theta, g_theta, &adam_theta, options_.learning_rate, bias1,
+               bias2);
+      AdamStep(&phi, g_phi, &adam_phi, options_.learning_rate, bias1, bias2);
+      AdamStep(&phi_out, g_out, &adam_out, options_.learning_rate, bias1,
+               bias2);
+      m_alpha = kAdamBeta1 * m_alpha + (1.0 - kAdamBeta1) * g_alpha;
+      v_alpha = kAdamBeta2 * v_alpha + (1.0 - kAdamBeta2) * g_alpha * g_alpha;
+      alpha_raw -= options_.learning_rate * (m_alpha / bias1) /
+                   (std::sqrt(v_alpha / bias2) + kAdamEps);
+      m_beta = kAdamBeta1 * m_beta + (1.0 - kAdamBeta1) * g_beta;
+      v_beta = kAdamBeta2 * v_beta + (1.0 - kAdamBeta2) * g_beta * g_beta;
+      beta_raw -= options_.learning_rate * (m_beta / bias1) /
+                  (std::sqrt(v_beta / bias2) + kAdamEps);
+    } else {
+      GdStep(&theta, g_theta, options_.learning_rate);
+      GdStep(&phi, g_phi, options_.learning_rate);
+      GdStep(&phi_out, g_out, options_.learning_rate);
+      alpha_raw -= options_.learning_rate * g_alpha;
+      beta_raw -= options_.learning_rate * g_beta;
+    }
+  }
+
+  model->ApplyUpdate(theta, phi, alpha_raw, beta_raw, phi_out);
+  return Status::OK();
+}
+
+}  // namespace learnrisk

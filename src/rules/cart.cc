@@ -1,0 +1,250 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "rules/cart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rules/one_sided_tree.h"
+
+namespace learnrisk {
+namespace {
+
+double GiniOf(double matches, double unmatches) {
+  return WeightedGini(matches, unmatches, 1.0);
+}
+
+}  // namespace
+
+int DecisionTree::Grow(const FeatureMatrix& features,
+                       const std::vector<uint8_t>& labels,
+                       std::vector<size_t> rows, size_t depth,
+                       const CartOptions& options, Rng* rng) {
+  double matches = 0.0;
+  for (size_t r : rows) matches += labels[r];
+  const double unmatches = static_cast<double>(rows.size()) - matches;
+
+  Node node;
+  node.support = rows.size();
+  node.match_rate =
+      rows.empty() ? 0.0 : matches / static_cast<double>(rows.size());
+  node.impurity = GiniOf(matches, unmatches);
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  const bool pure = node.impurity < 1e-12;
+  if (depth >= options.max_depth || rows.size() < 2 * options.min_leaf_size ||
+      pure) {
+    return node_id;
+  }
+
+  // Feature subset (bagging forests pass features_per_split = sqrt(m)).
+  std::vector<size_t> feature_ids;
+  if (options.features_per_split == 0 ||
+      options.features_per_split >= features.cols()) {
+    for (size_t m = 0; m < features.cols(); ++m) feature_ids.push_back(m);
+  } else {
+    feature_ids = rng->SampleIndices(features.cols(),
+                                     options.features_per_split);
+  }
+
+  size_t best_metric = 0;
+  double best_threshold = 0.0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t m : feature_ids) {
+    const std::vector<double> thresholds =
+        OneSidedForest::CandidateThresholds(features, m,
+                                            options.num_thresholds);
+    if (thresholds.empty()) continue;
+    const size_t T = thresholds.size();
+    std::vector<double> bin_match(T + 1, 0.0);
+    std::vector<double> bin_unmatch(T + 1, 0.0);
+    for (size_t r : rows) {
+      const double v = features.at(r, m);
+      const size_t k = static_cast<size_t>(
+          std::lower_bound(thresholds.begin(), thresholds.end(), v) -
+          thresholds.begin());
+      if (labels[r]) {
+        bin_match[k] += 1.0;
+      } else {
+        bin_unmatch[k] += 1.0;
+      }
+    }
+    double lm = 0.0;
+    double lu = 0.0;
+    for (size_t k = 0; k < T; ++k) {
+      lm += bin_match[k];
+      lu += bin_unmatch[k];
+      const double rm = matches - lm;
+      const double ru = unmatches - lu;
+      const double nl = lm + lu;
+      const double nr = rm + ru;
+      if (nl < static_cast<double>(options.min_leaf_size) ||
+          nr < static_cast<double>(options.min_leaf_size)) {
+        continue;
+      }
+      // Eq. 5: size-weighted Gini of the two children.
+      const double score =
+          (nl * GiniOf(lm, lu) + nr * GiniOf(rm, ru)) / (nl + nr);
+      if (score < best_score) {
+        best_score = score;
+        best_metric = m;
+        best_threshold = thresholds[k];
+      }
+    }
+  }
+  if (!std::isfinite(best_score) || best_score >= node.impurity - 1e-12) {
+    return node_id;  // no useful split
+  }
+
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (size_t r : rows) {
+    if (features.at(r, best_metric) <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[node_id].metric = best_metric;
+  nodes_[node_id].threshold = best_threshold;
+  const int left_id =
+      Grow(features, labels, std::move(left_rows), depth + 1, options, rng);
+  nodes_[node_id].left = left_id;
+  const int right_id =
+      Grow(features, labels, std::move(right_rows), depth + 1, options, rng);
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+Status DecisionTree::Train(const FeatureMatrix& features,
+                           const std::vector<uint8_t>& labels,
+                           const std::vector<size_t>& rows,
+                           const CartOptions& options, Rng* rng) {
+  if (features.rows() != labels.size()) {
+    return Status::InvalidArgument("feature rows != label count");
+  }
+  if (features.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  nodes_.clear();
+  std::vector<size_t> all_rows = rows;
+  if (all_rows.empty()) {
+    all_rows.resize(features.rows());
+    for (size_t i = 0; i < features.rows(); ++i) all_rows[i] = i;
+  }
+  Grow(features, labels, std::move(all_rows), 0, options, rng);
+  return Status::OK();
+}
+
+double DecisionTree::PredictProba(const double* features) const {
+  if (nodes_.empty()) return 0.5;
+  int id = 0;
+  while (nodes_[id].left >= 0) {
+    id = features[nodes_[id].metric] <= nodes_[id].threshold
+             ? nodes_[id].left
+             : nodes_[id].right;
+  }
+  return nodes_[id].match_rate;
+}
+
+std::vector<Rule> DecisionTree::ExtractRules(
+    const std::vector<std::string>& metric_names) const {
+  std::vector<Rule> rules;
+  if (nodes_.empty()) return rules;
+  struct Frame {
+    int node;
+    std::vector<Predicate> path;
+  };
+  std::vector<Frame> stack = {{0, {}}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const Node& node = nodes_[frame.node];
+    if (node.left < 0) {
+      Rule rule;
+      rule.predicates = frame.path;
+      rule.support = node.support;
+      rule.match_rate = node.match_rate;
+      rule.impurity = node.impurity;
+      rule.label = node.match_rate > 0.5 ? RuleClass::kMatching
+                                         : RuleClass::kUnmatching;
+      rules.push_back(std::move(rule));
+      continue;
+    }
+    const std::string name = node.metric < metric_names.size()
+                                 ? metric_names[node.metric]
+                                 : "m" + std::to_string(node.metric);
+    Predicate left_pred{node.metric, name, false, node.threshold};
+    Predicate right_pred{node.metric, name, true, node.threshold};
+    Frame left_frame{node.left, frame.path};
+    left_frame.path.push_back(left_pred);
+    Frame right_frame{node.right, std::move(frame.path)};
+    right_frame.path.push_back(right_pred);
+    stack.push_back(std::move(left_frame));
+    stack.push_back(std::move(right_frame));
+  }
+  return rules;
+}
+
+Status RandomForest::Train(const FeatureMatrix& features,
+                           const std::vector<uint8_t>& labels) {
+  if (features.rows() != labels.size()) {
+    return Status::InvalidArgument("feature rows != label count");
+  }
+  if (features.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  trees_.clear();
+  Rng rng(options_.seed);
+  CartOptions tree_options = options_.tree;
+  if (tree_options.features_per_split == 0) {
+    tree_options.features_per_split = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::lround(std::sqrt(static_cast<double>(features.cols())))));
+  }
+  const size_t n = features.rows();
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> sample(n);
+    for (size_t i = 0; i < n; ++i) sample[i] = rng.Index(n);
+    DecisionTree tree;
+    LEARNRISK_RETURN_NOT_OK(
+        tree.Train(features, labels, sample, tree_options, &rng));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProba(const double* features, size_t n) const {
+  (void)n;
+  if (trees_.empty()) return 0.5;
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    total += tree.PredictProba(features);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<Rule> RandomForest::ExtractRules(
+    const std::vector<std::string>& metric_names, size_t max_rules) const {
+  std::vector<Rule> rules;
+  for (const DecisionTree& tree : trees_) {
+    std::vector<Rule> tree_rules = tree.ExtractRules(metric_names);
+    rules.insert(rules.end(), tree_rules.begin(), tree_rules.end());
+  }
+  rules = DeduplicateRules(std::move(rules));
+  if (max_rules > 0 && rules.size() > max_rules) {
+    std::stable_sort(rules.begin(), rules.end(),
+                     [](const Rule& a, const Rule& b) {
+                       return a.support > b.support;
+                     });
+    rules.resize(max_rules);
+  }
+  return rules;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,100 @@
+// Copyright 2026 The LearnRisk Authors
+// Classical two-sided CART decision trees and random forests (Gini index,
+// Eq. 5-6). These back (a) the HoloClean comparison, which generates
+// two-sided labeling rules with a random forest as in Corleone/Gokhale et
+// al. (paper Sec. 7.3), and (b) the rule-shape ablation (one-sided vs
+// two-sided risk features).
+
+#ifndef LEARNRISK_RULES_CART_H_
+#define LEARNRISK_RULES_CART_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "rules/rule.h"
+
+namespace learnrisk {
+
+/// \brief CART growth parameters (paper Sec. 7.3: depth 4, min samples 5).
+struct CartOptions {
+  size_t max_depth = 4;
+  size_t min_leaf_size = 5;
+  size_t num_thresholds = 32;
+  /// Features considered per split; 0 = all (single tree), forests use
+  /// sqrt(num_features).
+  size_t features_per_split = 0;
+};
+
+/// \brief A two-sided binary decision tree minimizing the Gini index.
+class DecisionTree {
+ public:
+  /// \brief Fits on the given rows (empty = all rows).
+  Status Train(const FeatureMatrix& features,
+               const std::vector<uint8_t>& labels,
+               const std::vector<size_t>& rows, const CartOptions& options,
+               Rng* rng);
+
+  /// \brief Leaf match fraction for a feature row.
+  double PredictProba(const double* features) const;
+
+  /// \brief Every root-to-leaf path as a two-sided labeling rule.
+  std::vector<Rule> ExtractRules(
+      const std::vector<std::string>& metric_names) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int left = -1;    // -1 for leaves
+    int right = -1;
+    size_t metric = 0;
+    double threshold = 0.0;
+    double match_rate = 0.0;
+    double impurity = 0.0;
+    size_t support = 0;
+  };
+
+  int Grow(const FeatureMatrix& features, const std::vector<uint8_t>& labels,
+           std::vector<size_t> rows, size_t depth, const CartOptions& options,
+           Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+/// \brief Random forest hyperparameters.
+struct RandomForestOptions {
+  size_t num_trees = 50;
+  CartOptions tree;
+  uint64_t seed = 1;
+};
+
+/// \brief Bagged forest of CART trees; also a BinaryClassifier.
+class RandomForest : public BinaryClassifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {})
+      : options_(options) {}
+
+  Status Train(const FeatureMatrix& features,
+               const std::vector<uint8_t>& labels) override;
+
+  double PredictProba(const double* features, size_t n) const override;
+
+  /// \brief All leaf rules across trees, deduplicated; when `max_rules` > 0
+  /// the highest-support rules are kept (HoloClean's rule budget is matched
+  /// to LearnRisk's one-sided rule count in Fig. 11).
+  std::vector<Rule> ExtractRules(const std::vector<std::string>& metric_names,
+                                 size_t max_rules = 0) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_RULES_CART_H_

@@ -1,0 +1,68 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "rules/rule.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace learnrisk {
+
+const char* RuleClassToString(RuleClass c) {
+  return c == RuleClass::kMatching ? "matching" : "unmatching";
+}
+
+std::string Predicate::ToString() const {
+  return StrFormat("%s %s %.3f", metric_name.c_str(), greater ? ">" : "<=",
+                   threshold);
+}
+
+std::string Rule::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += predicates[i].ToString();
+  }
+  out += " -> ";
+  out += RuleClassToString(label);
+  out += StrFormat(" [support=%zu, impurity=%.3f, match_rate=%.3f]", support,
+                   impurity, match_rate);
+  return out;
+}
+
+std::string Rule::ConditionKey() const {
+  std::string key;
+  for (const Predicate& p : predicates) {
+    key += StrFormat("%zu%c%.6f;", p.metric, p.greater ? '>' : '<',
+                     p.threshold);
+  }
+  return key;
+}
+
+std::vector<Rule> DeduplicateRules(std::vector<Rule> rules) {
+  std::unordered_map<std::string, size_t> best;  // key -> index in output
+  std::vector<Rule> out;
+  for (Rule& rule : rules) {
+    const std::string key = rule.ConditionKey();
+    auto it = best.find(key);
+    if (it == best.end()) {
+      best.emplace(key, out.size());
+      out.push_back(std::move(rule));
+    } else if (rule.support > out[it->second].support) {
+      out[it->second] = std::move(rule);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> CoveredPairs(const Rule& rule,
+                                 const FeatureMatrix& features) {
+  std::vector<size_t> covered;
+  for (size_t i = 0; i < features.rows(); ++i) {
+    if (rule.Matches(features.row(i))) covered.push_back(i);
+  }
+  return covered;
+}
+
+}  // namespace learnrisk

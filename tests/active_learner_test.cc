@@ -1,0 +1,106 @@
+// Copyright 2026 The LearnRisk Authors
+// Tests for the active-learning loop (Sec. 8, Fig. 14).
+
+#include "active/active_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/experiment.h"
+
+namespace learnrisk {
+namespace {
+
+struct Fixture {
+  FeatureMatrix features;
+  std::vector<uint8_t> truth;
+  std::vector<size_t> pool;
+  std::vector<size_t> test;
+};
+
+Fixture MakeFixture() {
+  GeneratorOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  Workload w = GenerateDataset("DS", gen).MoveValueOrDie();
+  MetricSuite suite = MetricSuite::ForSchema(w.left().schema());
+  suite.Fit(w);
+  Fixture f;
+  f.features = ComputeFeatures(w, suite);
+  f.truth = w.Labels();
+  Rng rng(7);
+  WorkloadSplit split = StratifiedSplit(w, 5, 0, 5, &rng).MoveValueOrDie();
+  f.pool = split.train;
+  f.test = split.test;
+  return f;
+}
+
+ActiveLearningConfig FastConfig() {
+  ActiveLearningConfig config;
+  config.initial_labels = 64;
+  config.batch_size = 32;
+  config.num_batches = 3;
+  config.classifier.epochs = 20;
+  config.risk_trainer.epochs = 60;
+  return config;
+}
+
+TEST(ActiveLearnerTest, StrategyNames) {
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kLeastConfidence),
+               "LeastConfidence");
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kEntropy),
+               "Entropy");
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kLearnRisk),
+               "LearnRisk");
+}
+
+TEST(ActiveLearnerTest, PoolTooSmallRejected) {
+  Fixture f = MakeFixture();
+  ActiveLearningConfig config = FastConfig();
+  config.initial_labels = f.pool.size();
+  EXPECT_FALSE(RunActiveLearning(f.features, f.truth, f.pool, f.test,
+                                 SelectionStrategy::kEntropy, config)
+                   .ok());
+}
+
+class StrategyRuns : public ::testing::TestWithParam<SelectionStrategy> {};
+
+TEST_P(StrategyRuns, ProducesGrowingCurve) {
+  Fixture f = MakeFixture();
+  ActiveLearningConfig config = FastConfig();
+  auto curve = RunActiveLearning(f.features, f.truth, f.pool, f.test,
+                                 GetParam(), config);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->labeled_sizes.size(), config.num_batches + 1);
+  ASSERT_EQ(curve->f1_scores.size(), config.num_batches + 1);
+  EXPECT_EQ(curve->labeled_sizes.front(), config.initial_labels);
+  for (size_t i = 1; i < curve->labeled_sizes.size(); ++i) {
+    EXPECT_EQ(curve->labeled_sizes[i],
+              curve->labeled_sizes[i - 1] + config.batch_size);
+  }
+  // F1 at the end should beat the seed-set model (learning happened).
+  EXPECT_GT(curve->f1_scores.back(), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyRuns,
+                         ::testing::Values(SelectionStrategy::kLeastConfidence,
+                                           SelectionStrategy::kEntropy,
+                                           SelectionStrategy::kLearnRisk),
+                         [](const auto& info) {
+                           return SelectionStrategyToString(info.param);
+                         });
+
+TEST(ActiveLearnerTest, DeterministicGivenSeed) {
+  Fixture f = MakeFixture();
+  ActiveLearningConfig config = FastConfig();
+  auto a = RunActiveLearning(f.features, f.truth, f.pool, f.test,
+                             SelectionStrategy::kEntropy, config);
+  auto b = RunActiveLearning(f.features, f.truth, f.pool, f.test,
+                             SelectionStrategy::kEntropy, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->f1_scores, b->f1_scores);
+}
+
+}  // namespace
+}  // namespace learnrisk

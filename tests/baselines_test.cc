@@ -1,0 +1,198 @@
+// Copyright 2026 The LearnRisk Authors
+// Behavioral tests for the comparator risk-analysis baselines (Sec. 7).
+
+#include <gtest/gtest.h>
+
+#include "baselines/holoclean_adapter.h"
+#include "baselines/simple_baselines.h"
+#include "baselines/static_risk.h"
+#include "baselines/trust_score.h"
+#include "common/random.h"
+#include "eval/roc.h"
+
+namespace learnrisk {
+namespace {
+
+TEST(AmbiguityTest, PeaksAtHalf) {
+  const auto risk = AmbiguityRisk({0.0, 0.25, 0.5, 0.75, 1.0});
+  EXPECT_DOUBLE_EQ(risk[0], 0.0);
+  EXPECT_DOUBLE_EQ(risk[1], 0.5);
+  EXPECT_DOUBLE_EQ(risk[2], 1.0);
+  EXPECT_DOUBLE_EQ(risk[3], 0.5);
+  EXPECT_DOUBLE_EQ(risk[4], 0.0);
+}
+
+TEST(UncertaintyTest, PeaksAtHalfVote) {
+  const auto risk = UncertaintyRisk({0.0, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(risk[0], 0.0);
+  EXPECT_DOUBLE_EQ(risk[1], 0.25);
+  EXPECT_DOUBLE_EQ(risk[2], 0.0);
+}
+
+// Two Gaussian blobs in feature space; machine labels follow the blob.
+void TrustData(FeatureMatrix* train, std::vector<uint8_t>* labels,
+               uint64_t seed = 3) {
+  Rng rng(seed);
+  *train = FeatureMatrix(300, 2);
+  labels->resize(300);
+  for (size_t i = 0; i < 300; ++i) {
+    const bool pos = i % 3 == 0;
+    train->set(i, 0, rng.Normal(pos ? 2.0 : -2.0, 0.4));
+    train->set(i, 1, rng.Normal(pos ? 2.0 : -2.0, 0.4));
+    (*labels)[i] = pos ? 1 : 0;
+  }
+}
+
+TEST(TrustScoreTest, PointNearWrongClusterIsRisky) {
+  FeatureMatrix train;
+  std::vector<uint8_t> labels;
+  TrustData(&train, &labels);
+  TrustScore trust;
+  ASSERT_TRUE(trust.Fit(train, labels).ok());
+  // A point deep in the negative blob but machine-labeled positive.
+  double wrong[] = {-2.0, -2.0};
+  double right[] = {2.0, 2.0};
+  EXPECT_GT(trust.Risk(wrong, 1), trust.Risk(right, 1));
+  EXPECT_GT(trust.Risk(wrong, 1), 1.0);   // rho_Y >> rho_N
+  EXPECT_LT(trust.Risk(right, 1), 1.0);
+}
+
+TEST(TrustScoreTest, AlphaFilterDropsOutliers) {
+  FeatureMatrix train;
+  std::vector<uint8_t> labels;
+  TrustData(&train, &labels);
+  TrustScoreOptions opts;
+  opts.alpha = 0.2;
+  TrustScore trust(opts);
+  ASSERT_TRUE(trust.Fit(train, labels).ok());
+  EXPECT_LT(trust.class_size(0), 201u);
+  EXPECT_GT(trust.class_size(0), 100u);
+}
+
+TEST(TrustScoreTest, SingleClassRejected) {
+  FeatureMatrix train(10, 2);
+  std::vector<uint8_t> labels(10, 0);
+  TrustScore trust;
+  EXPECT_TRUE(trust.Fit(train, labels).IsFailedPrecondition());
+}
+
+TEST(TrustScoreTest, RiskAllMatchesSingle) {
+  FeatureMatrix train;
+  std::vector<uint8_t> labels;
+  TrustData(&train, &labels);
+  TrustScore trust;
+  ASSERT_TRUE(trust.Fit(train, labels).ok());
+  const auto all = trust.RiskAll(train, labels);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(all[i], trust.Risk(train.row(i), labels[i]));
+  }
+}
+
+TEST(StaticRiskTest, BucketEvidenceOverridesPrior) {
+  StaticRisk sr;
+  // Validation: pairs with output ~0.8 are actually unmatches half the time
+  // (a badly calibrated region); pairs with output ~0.1 are reliable.
+  std::vector<double> probs;
+  std::vector<uint8_t> truth;
+  for (int i = 0; i < 100; ++i) {
+    probs.push_back(0.82);
+    truth.push_back(i % 2 == 0 ? 1 : 0);
+    probs.push_back(0.08);
+    truth.push_back(0);
+  }
+  ASSERT_TRUE(sr.Fit(probs, truth).ok());
+  // Matching-labeled pair at 0.82 should now look far riskier than a
+  // prior-only view would suggest, and riskier than the reliable 0.08 one.
+  EXPECT_GT(sr.Risk(0.82, 1), 0.3);
+  EXPECT_GT(sr.Risk(0.82, 1), sr.Risk(0.08, 0));
+}
+
+TEST(StaticRiskTest, WithoutEvidenceFollowsPrior) {
+  StaticRisk sr;
+  ASSERT_TRUE(sr.Fit({}, {}).ok());
+  // Ambiguous output -> higher risk than confident output.
+  EXPECT_GT(sr.Risk(0.55, 1), sr.Risk(0.95, 1));
+  EXPECT_GT(sr.Risk(0.45, 0), sr.Risk(0.05, 0));
+}
+
+TEST(StaticRiskTest, MismatchedInputRejected) {
+  StaticRisk sr;
+  EXPECT_TRUE(sr.Fit({0.5}, {}).IsInvalidArgument());
+}
+
+TEST(StaticRiskTest, RiskAllUsesMachineLabelFromOutput) {
+  StaticRisk sr;
+  ASSERT_TRUE(sr.Fit({0.9, 0.1}, {1, 0}).ok());
+  const auto risks = sr.RiskAll({0.9, 0.1});
+  EXPECT_DOUBLE_EQ(risks[0], sr.Risk(0.9, 1));
+  EXPECT_DOUBLE_EQ(risks[1], sr.Risk(0.1, 0));
+}
+
+// HoloClean adapter over a hand-made rule space: metric 0 high -> unmatching
+// vote; metric 1 high -> matching vote.
+std::vector<Rule> VoteRules() {
+  Rule unmatch;
+  unmatch.predicates = {{0, "diff", true, 0.5}};
+  unmatch.label = RuleClass::kUnmatching;
+  Rule match;
+  match.predicates = {{1, "sim", true, 0.5}};
+  match.label = RuleClass::kMatching;
+  return {unmatch, match};
+}
+
+TEST(HoloCleanTest, InfersFromRuleVotes) {
+  // Build a workload where classifier output is confident and consistent
+  // with the votes, so the learned weights align votes with labels.
+  FeatureMatrix metrics(200, 2);
+  std::vector<double> probs(200);
+  Rng rng(3);
+  for (size_t i = 0; i < 200; ++i) {
+    const bool match = i % 2 == 0;
+    metrics.set(i, 0, match ? 0.0 : 1.0);
+    metrics.set(i, 1, match ? 1.0 : 0.0);
+    probs[i] = match ? 0.95 : 0.05;
+  }
+  HoloCleanAdapter adapter;
+  ASSERT_TRUE(adapter.Fit(VoteRules(), metrics, probs).ok());
+  const auto inferred = adapter.InferMatchProbability(metrics);
+  EXPECT_GT(inferred[0], 0.7);
+  EXPECT_LT(inferred[1], 0.3);
+}
+
+TEST(HoloCleanTest, RiskHighWhenVotesContradictMachineLabel) {
+  FeatureMatrix metrics(200, 2);
+  std::vector<double> probs(200);
+  Rng rng(3);
+  for (size_t i = 0; i < 200; ++i) {
+    const bool match = i % 2 == 0;
+    metrics.set(i, 0, match ? 0.0 : 1.0);
+    metrics.set(i, 1, match ? 1.0 : 0.0);
+    probs[i] = match ? 0.95 : 0.05;
+  }
+  HoloCleanAdapter adapter;
+  ASSERT_TRUE(adapter.Fit(VoteRules(), metrics, probs).ok());
+
+  // A pair the machine calls matching (p=0.9) whose votes scream unmatching.
+  FeatureMatrix contradicted(2, 2);
+  contradicted.set(0, 0, 1.0);  // unmatch vote, machine match
+  contradicted.set(1, 1, 1.0);  // match vote, machine match
+  const auto risk = adapter.RiskAll(contradicted, {0.9, 0.9});
+  EXPECT_GT(risk[0], risk[1]);
+}
+
+TEST(HoloCleanTest, NoRulesRejected) {
+  HoloCleanAdapter adapter;
+  FeatureMatrix metrics(5, 1);
+  EXPECT_FALSE(adapter.Fit({}, metrics, {0.5, 0.5, 0.5, 0.5, 0.5}).ok());
+}
+
+TEST(BaselineComparisonTest, AmbiguityCannotSeeConfidentMistakes) {
+  // Confident mistake at p=0.95 vs ambiguous correct pair at p=0.55:
+  // ambiguity ranks the correct one as riskier — the failure mode LearnRisk
+  // fixes (Sec. 1).
+  const auto risk = AmbiguityRisk({0.95, 0.55});
+  EXPECT_LT(risk[0], risk[1]);
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -1,0 +1,121 @@
+// Copyright 2026 The LearnRisk Authors
+// Tests for Platt calibration, including the related-work claim (paper
+// Sec. 2): a monotone calibration map cannot change risk rankings.
+
+#include "classifier/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple_baselines.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "eval/roc.h"
+
+namespace learnrisk {
+namespace {
+
+// Overconfident synthetic outputs: true P(match) = sigmoid(z), reported
+// p = sigmoid(2.5 z) (too extreme).
+void MakeOverconfident(size_t n, std::vector<double>* probs,
+                       std::vector<uint8_t>* labels, uint64_t seed = 3) {
+  Rng rng(seed);
+  probs->resize(n);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double z = rng.Normal(0.0, 1.5);
+    (*labels)[i] = rng.Bernoulli(Sigmoid(z)) ? 1 : 0;
+    (*probs)[i] = Sigmoid(2.5 * z);
+  }
+}
+
+TEST(PlattTest, ReducesExpectedCalibrationError) {
+  std::vector<double> probs;
+  std::vector<uint8_t> labels;
+  MakeOverconfident(5000, &probs, &labels);
+  const double before =
+      PlattCalibrator::ExpectedCalibrationError(probs, labels);
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(probs, labels).ok());
+  const double after = PlattCalibrator::ExpectedCalibrationError(
+      calibrator.CalibrateAll(probs), labels);
+  EXPECT_LT(after, before * 0.7);
+  // The fitted slope must shrink the overconfident logits (a < 1).
+  EXPECT_LT(calibrator.a(), 1.0);
+  EXPECT_GT(calibrator.a(), 0.0);
+}
+
+TEST(PlattTest, CalibratedOutputsStayInUnitInterval) {
+  std::vector<double> probs;
+  std::vector<uint8_t> labels;
+  MakeOverconfident(500, &probs, &labels);
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(probs, labels).ok());
+  for (double p : calibrator.CalibrateAll({0.0, 0.01, 0.5, 0.99, 1.0})) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(PlattTest, MonotoneMapPreservesOrder) {
+  std::vector<double> probs;
+  std::vector<uint8_t> labels;
+  MakeOverconfident(1000, &probs, &labels);
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(probs, labels).ok());
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double c = calibrator.Calibrate(p);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(PlattTest, CalibrationCannotChangeRiskAuroc) {
+  // The paper's Sec. 2 argument, demonstrated: ambiguity risk computed on
+  // calibrated outputs ranks identically (same AUROC) iff the map preserves
+  // |p - 0.5| ordering; with a symmetric-ish fitted map the AUROC stays
+  // essentially unchanged, so calibration is no substitute for risk
+  // analysis.
+  std::vector<double> probs;
+  std::vector<uint8_t> labels;
+  MakeOverconfident(4000, &probs, &labels);
+  std::vector<uint8_t> mislabeled(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    mislabeled[i] = (probs[i] >= 0.5) != (labels[i] == 1) ? 1 : 0;
+  }
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(probs, labels).ok());
+  const double raw_auroc = Auroc(AmbiguityRisk(probs), mislabeled);
+  const double cal_auroc =
+      Auroc(AmbiguityRisk(calibrator.CalibrateAll(probs)), mislabeled);
+  EXPECT_NEAR(raw_auroc, cal_auroc, 0.02);
+}
+
+TEST(PlattTest, InvalidInputsRejected) {
+  PlattCalibrator calibrator;
+  EXPECT_TRUE(calibrator.Fit({0.5}, {}).IsInvalidArgument());
+  EXPECT_TRUE(calibrator.Fit({}, {}).IsInvalidArgument());
+}
+
+TEST(EceTest, PerfectCalibrationScoresNearZero) {
+  Rng rng(5);
+  std::vector<double> probs(20000);
+  std::vector<uint8_t> labels(20000);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(probs[i]) ? 1 : 0;
+  }
+  EXPECT_LT(PlattCalibrator::ExpectedCalibrationError(probs, labels), 0.02);
+}
+
+TEST(EceTest, MaximallyMiscalibratedScoresHigh) {
+  // Always predicts 0.9 but labels are 10% positive.
+  std::vector<double> probs(1000, 0.9);
+  std::vector<uint8_t> labels(1000, 0);
+  for (size_t i = 0; i < 100; ++i) labels[i] = 1;
+  EXPECT_NEAR(PlattCalibrator::ExpectedCalibrationError(probs, labels), 0.8,
+              0.01);
+}
+
+}  // namespace
+}  // namespace learnrisk

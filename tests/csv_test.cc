@@ -1,0 +1,103 @@
+// Copyright 2026 The LearnRisk Authors
+// Unit tests for the CSV reader/writer.
+
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace learnrisk {
+namespace {
+
+TEST(CsvParseTest, SimpleDocument) {
+  auto doc = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][2], "6");
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto doc = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvParseTest, QuotedFieldWithSeparator) {
+  auto doc = ParseCsv("a,b\n\"x, y\",2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "x, y");
+}
+
+TEST(CsvParseTest, EscapedQuotes) {
+  auto doc = ParseCsv("a\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParseTest, EmbeddedNewline) {
+  auto doc = ParseCsv("a,b\n\"line1\nline2\",2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "1");
+}
+
+TEST(CsvParseTest, WidthMismatchIsError) {
+  auto doc = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsInvalidArgument());
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto doc = ParseCsv("a\n\"unterminated\n");
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(CsvParseTest, EmptyInputIsError) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvParseTest, CustomSeparator) {
+  auto doc = ParseCsv("a\tb\n1\t2\n", '\t');
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvWriteTest, RoundTripWithQuoting) {
+  CsvDocument doc;
+  doc.header = {"name", "note"};
+  doc.rows = {{"a,b", "say \"hi\""}, {"plain", "line1\nline2"}};
+  auto parsed = ParseCsv(ToCsv(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, doc.header);
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/learnrisk_csv_test.csv";
+  CsvDocument doc;
+  doc.header = {"x"};
+  doc.rows = {{"1"}, {"2"}};
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto read = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -1,0 +1,225 @@
+// Copyright 2026 The LearnRisk Authors
+// Tests for the synthetic dataset generators and blocking: determinism,
+// Table 2 calibration, schema shapes, noise channels.
+
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "data/blocking.h"
+#include "data/noise.h"
+
+namespace learnrisk {
+namespace {
+
+TEST(PaperStatsTest, MatchesTableTwo) {
+  auto ds = PaperStats("DS");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->pairs, 41416u);
+  EXPECT_EQ(ds->matches, 5073u);
+  EXPECT_EQ(ds->attributes, 4u);
+  EXPECT_EQ(PaperStats("AB")->pairs, 52191u);
+  EXPECT_EQ(PaperStats("AB")->matches, 904u);
+  EXPECT_EQ(PaperStats("AB")->attributes, 3u);
+  EXPECT_EQ(PaperStats("AG")->pairs, 13049u);
+  EXPECT_EQ(PaperStats("SG")->pairs, 144946u);
+  EXPECT_EQ(PaperStats("SG")->attributes, 7u);
+  EXPECT_FALSE(PaperStats("XX").ok());
+}
+
+TEST(GeneratorTest, UnknownDatasetRejected) {
+  EXPECT_FALSE(GenerateDataset("nope", {}).ok());
+}
+
+TEST(GeneratorTest, NonPositiveScaleRejected) {
+  GeneratorOptions opts;
+  opts.scale = 0.0;
+  EXPECT_FALSE(GenerateDataset("DS", opts).ok());
+}
+
+class DatasetShape : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetShape, CalibratedToScaledTableTwo) {
+  GeneratorOptions opts;
+  opts.scale = 0.05;
+  opts.seed = 11;
+  auto workload = GenerateDataset(GetParam(), opts);
+  ASSERT_TRUE(workload.ok());
+  const auto stats = *PaperStats(GetParam());
+  const double want_pairs = static_cast<double>(stats.pairs) * opts.scale;
+  const double want_matches = static_cast<double>(stats.matches) * opts.scale;
+  // Pair count within 10% of target; match count within 25% (twins and
+  // blocking coverage add jitter).
+  EXPECT_NEAR(static_cast<double>(workload->size()), want_pairs,
+              0.1 * want_pairs + 10.0);
+  EXPECT_NEAR(static_cast<double>(workload->num_matches()), want_matches,
+              0.25 * want_matches + 10.0);
+  EXPECT_EQ(workload->left().schema().num_attributes(), stats.attributes);
+}
+
+TEST_P(DatasetShape, DeterministicForSameSeed) {
+  GeneratorOptions opts;
+  opts.scale = 0.02;
+  opts.seed = 19;
+  auto a = GenerateDataset(GetParam(), opts);
+  auto b = GenerateDataset(GetParam(), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->pair(i).left, b->pair(i).left);
+    EXPECT_EQ(a->pair(i).right, b->pair(i).right);
+    EXPECT_EQ(a->pair(i).is_equivalent, b->pair(i).is_equivalent);
+  }
+  EXPECT_EQ(a->left().record(0).values, b->left().record(0).values);
+}
+
+TEST_P(DatasetShape, GroundTruthConsistentWithEntityIds) {
+  GeneratorOptions opts;
+  opts.scale = 0.02;
+  auto w = GenerateDataset(GetParam(), opts);
+  ASSERT_TRUE(w.ok());
+  for (size_t i = 0; i < w->size(); ++i) {
+    const RecordPair& p = w->pair(i);
+    EXPECT_EQ(p.is_equivalent, w->left().entity_id(p.left) ==
+                                   w->right().entity_id(p.right));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetShape,
+                         ::testing::Values("DS", "DA", "AB", "AG", "SG"));
+
+TEST(GeneratorTest, SongsIsDedupWorkload) {
+  GeneratorOptions opts;
+  opts.scale = 0.02;
+  auto sg = GenerateDataset("SG", opts);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(&sg->left(), &sg->right());
+  // Dedup pairs must never be self-pairs.
+  for (size_t i = 0; i < sg->size(); ++i) {
+    EXPECT_NE(sg->pair(i).left, sg->pair(i).right);
+  }
+}
+
+TEST(GeneratorTest, AbHasNoManufacturerAgDoes) {
+  GeneratorOptions opts;
+  opts.scale = 0.02;
+  auto ab = GenerateDataset("AB", opts);
+  auto ag = GenerateDataset("AG", opts);
+  EXPECT_FALSE(ab->left().schema().IndexOf("manufacturer").ok());
+  EXPECT_TRUE(ag->left().schema().IndexOf("manufacturer").ok());
+}
+
+TEST(GeneratorTest, DirtySideHasMissingValues) {
+  GeneratorOptions opts;
+  opts.scale = 0.05;
+  auto ds = GenerateDataset("DS", opts);
+  ASSERT_TRUE(ds.ok());
+  const size_t year_attr = *ds->right().schema().IndexOf("year");
+  size_t missing = 0;
+  for (size_t i = 0; i < ds->right().num_records(); ++i) {
+    missing += ds->right().record(i).IsMissing(year_attr) ? 1 : 0;
+  }
+  // BibNoise.year_missing is 0.4 on the Scholar-like side.
+  EXPECT_GT(missing, ds->right().num_records() / 5);
+}
+
+TEST(BlockingTest, CandidatesShareTokensAndLabels) {
+  GeneratorOptions opts;
+  opts.scale = 0.02;
+  auto ds = GenerateDataset("DS", opts);
+  ASSERT_TRUE(ds.ok());
+  BlockingConfig config;
+  auto pairs = TokenBlocking(ds->left(), ds->right(), config);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_GT(pairs->size(), 0u);
+  for (size_t i = 0; i < std::min<size_t>(pairs->size(), 50); ++i) {
+    const RecordPair& p = (*pairs)[i];
+    EXPECT_EQ(p.is_equivalent, ds->left().entity_id(p.left) ==
+                                   ds->right().entity_id(p.right));
+  }
+}
+
+TEST(BlockingTest, RecallIsHighOnBibData) {
+  GeneratorOptions opts;
+  opts.scale = 0.02;
+  auto ds = GenerateDataset("DS", opts);
+  BlockingConfig config;
+  auto pairs = TokenBlocking(ds->left(), ds->right(), config);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_GT(BlockingRecall(ds->left(), ds->right(), *pairs), 0.8);
+}
+
+TEST(BlockingTest, DedupExcludesSelfAndMirrored) {
+  GeneratorOptions opts;
+  opts.scale = 0.01;
+  auto sg = GenerateDataset("SG", opts);
+  BlockingConfig config;
+  auto pairs = TokenBlocking(sg->left(), sg->left(), config);
+  ASSERT_TRUE(pairs.ok());
+  for (const RecordPair& p : *pairs) {
+    EXPECT_LT(p.left, p.right);
+  }
+}
+
+TEST(BlockingTest, BadKeyAttributeRejected) {
+  GeneratorOptions opts;
+  opts.scale = 0.01;
+  auto ds = GenerateDataset("DS", opts);
+  BlockingConfig config;
+  config.key_attribute = 99;
+  EXPECT_FALSE(TokenBlocking(ds->left(), ds->right(), config).ok());
+}
+
+TEST(NoiseTest, TypoChangesStringBoundedly) {
+  Rng rng(3);
+  const std::string s = "entity resolution";
+  for (int i = 0; i < 50; ++i) {
+    const std::string t = InjectTypo(s, &rng);
+    EXPECT_LE(t.size(), s.size() + 1);
+    EXPECT_GE(t.size() + 1, s.size());
+  }
+  EXPECT_EQ(InjectTypo("", &rng), "");
+}
+
+TEST(NoiseTest, DropTokensKeepsAtLeastOne) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::string out = DropTokens("a b c", 0.99, &rng);
+    EXPECT_FALSE(out.empty());
+  }
+  EXPECT_EQ(DropTokens("single", 0.99, &rng), "single");
+}
+
+TEST(NoiseTest, AbbreviateFirstName) {
+  Rng rng(3);
+  EXPECT_EQ(AbbreviateFirstName("michael franklin", false, &rng),
+            "m franklin");
+  EXPECT_EQ(AbbreviateFirstName("michael j franklin", true, &rng),
+            "m. j. franklin");
+  EXPECT_EQ(AbbreviateFirstName("cher", false, &rng), "cher");
+}
+
+TEST(NoiseTest, WordFactoryDeterministicAndDistinct) {
+  WordFactory a(5);
+  WordFactory b(5);
+  auto va = a.MakeVocabulary(100);
+  auto vb = b.MakeVocabulary(100);
+  EXPECT_EQ(va, vb);
+  std::set<std::string> unique(va.begin(), va.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(NoiseTest, CodesLookLikeModelNumbers) {
+  WordFactory f(5);
+  for (int i = 0; i < 20; ++i) {
+    const std::string code = f.MakeCode();
+    EXPECT_GE(code.size(), 3u);
+    bool has_digit = false;
+    for (char c : code) has_digit |= (c >= '0' && c <= '9');
+    EXPECT_TRUE(has_digit) << code;
+  }
+}
+
+}  // namespace
+}  // namespace learnrisk

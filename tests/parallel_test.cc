@@ -1,0 +1,60 @@
+// Copyright 2026 The LearnRisk Authors
+// Tests for the ParallelFor helper.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace learnrisk {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, SmallNRunsSerially) {
+  std::vector<int> order;
+  // Below the parallel threshold the loop must be plain and ordered.
+  ParallelFor(10, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoOp) {
+  bool called = false;
+  ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ExplicitSingleThread) {
+  constexpr size_t kN = 1000;
+  std::vector<int> visits(kN, 0);
+  ParallelFor(kN, [&](size_t i) { visits[i]++; }, /*num_threads=*/1);
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelForTest, ResultsMatchSerialComputation) {
+  constexpr size_t kN = 5000;
+  std::vector<double> parallel_out(kN);
+  std::vector<double> serial_out(kN);
+  auto work = [](size_t i) {
+    double x = static_cast<double>(i);
+    return x * x / (x + 1.0);
+  };
+  ParallelFor(kN, [&](size_t i) { parallel_out[i] = work(i); });
+  for (size_t i = 0; i < kN; ++i) serial_out[i] = work(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+}  // namespace
+}  // namespace learnrisk

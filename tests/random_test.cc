@@ -1,0 +1,131 @@
+// Copyright 2026 The LearnRisk Authors
+// Determinism and distribution sanity tests for the Rng wrapper.
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace learnrisk {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Uniform() != b.Uniform()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(1, 3));
+  EXPECT_EQ(seen, (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST(RngTest, IndexWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.Index(5), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateApproximatelyHolds) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(7);
+  const auto idx = rng.SampleIndices(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesKGreaterThanNReturnsAll) {
+  Rng rng(7);
+  EXPECT_EQ(rng.SampleIndices(5, 50).size(), 5u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SkewedIntBiasesLow) {
+  Rng rng(7);
+  double total = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.SkewedInt(1, 10, 2.0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+    total += static_cast<double>(v);
+  }
+  EXPECT_LT(total / 5000.0, 5.0);  // uniform mean would be 5.5
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(9);
+  Rng child1(parent.Fork());
+  Rng child2(parent.Fork());
+  int same = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (child1.Uniform() == child2.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace learnrisk

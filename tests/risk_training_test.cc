@@ -1,0 +1,124 @@
+// Copyright 2026 The LearnRisk Authors
+// Tests for risk-aware classifier training (the Sec. 8 "Model Training"
+// extension).
+
+#include "active/risk_training.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/classification_metrics.h"
+#include "eval/experiment.h"
+
+namespace learnrisk {
+namespace {
+
+struct Fixture {
+  FeatureMatrix features;
+  std::vector<uint8_t> truth;
+  std::vector<size_t> labeled;
+  std::vector<size_t> risk_valid;
+  std::vector<size_t> target;
+  std::vector<size_t> test;
+  std::vector<size_t> classifier_columns;
+};
+
+Fixture MakeFixture() {
+  GeneratorOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  Workload w = GenerateDataset("DS", gen).MoveValueOrDie();
+  MetricSuite suite = MetricSuite::ForSchema(w.left().schema());
+  suite.Fit(w);
+  Fixture f;
+  f.features = ComputeFeatures(w, suite);
+  f.truth = w.Labels();
+  Rng rng(7);
+  WorkloadSplit split = StratifiedSplit(w, 2, 2, 6, &rng).MoveValueOrDie();
+  f.labeled = split.train;
+  f.risk_valid = split.valid;
+  // Half the test pool is unlabeled "target" data, half held out for eval.
+  for (size_t k = 0; k < split.test.size(); ++k) {
+    (k % 2 == 0 ? f.target : f.test).push_back(split.test[k]);
+  }
+  for (size_t c = 0; c < suite.num_metrics(); ++c) {
+    if (!IsDifferenceMetric(suite.specs()[c].kind)) {
+      f.classifier_columns.push_back(c);
+    }
+  }
+  return f;
+}
+
+RiskAwareTrainingOptions FastOptions() {
+  RiskAwareTrainingOptions opts;
+  opts.classifier.epochs = 20;
+  opts.risk_trainer.epochs = 80;
+  opts.rounds = 1;
+  return opts;
+}
+
+TEST(RiskTrainingTest, EmptyLabeledSetRejected) {
+  Fixture f = MakeFixture();
+  auto result =
+      TrainWithRiskTerm(f.features, f.truth, {}, f.risk_valid, f.target,
+                        f.classifier_columns, FastOptions());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RiskTrainingTest, ProducesClassifierAndDiagnostics) {
+  Fixture f = MakeFixture();
+  auto result =
+      TrainWithRiskTerm(f.features, f.truth, f.labeled, f.risk_valid,
+                        f.target, f.classifier_columns, FastOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->classifier, nullptr);
+  EXPECT_GT(result->admitted, 0u);
+  // Risk screening must admit the low-risk labels.
+  EXPECT_LT(result->admitted_mean_risk, result->rejected_mean_risk);
+}
+
+TEST(RiskTrainingTest, AdmittedPseudoLabelsAreMostlyCorrect) {
+  Fixture f = MakeFixture();
+  RiskAwareTrainingOptions opts = FastOptions();
+  opts.admit_fraction = 0.3;
+  auto result = TrainWithRiskTerm(f.features, f.truth, f.labeled,
+                                  f.risk_valid, f.target,
+                                  f.classifier_columns, opts);
+  ASSERT_TRUE(result.ok());
+  // The final classifier should be at least as good as a plain supervised
+  // one on held-out data (self-training with risk screening must not
+  // poison the objective).
+  MlpOptions plain_opts = opts.classifier;
+  MlpClassifier plain(plain_opts);
+  FeatureMatrix view = GatherColumns(f.features, f.classifier_columns);
+  std::vector<uint8_t> labeled_truth;
+  for (size_t i : f.labeled) labeled_truth.push_back(f.truth[i]);
+  ASSERT_TRUE(plain.Train(GatherRows(view, f.labeled), labeled_truth).ok());
+
+  auto f1_of = [&](const MlpClassifier& clf) {
+    std::vector<uint8_t> pred;
+    std::vector<uint8_t> truth;
+    for (size_t i : f.test) {
+      pred.push_back(
+          clf.PredictProba(GatherRows(view, {i}).row(0), view.cols()) >= 0.5
+              ? 1
+              : 0);
+      truth.push_back(f.truth[i]);
+    }
+    return Confusion(pred, truth).F1();
+  };
+  EXPECT_GT(f1_of(*result->classifier), f1_of(plain) - 0.05);
+}
+
+TEST(RiskTrainingTest, NoTargetDataDegradesToSupervised) {
+  Fixture f = MakeFixture();
+  auto result =
+      TrainWithRiskTerm(f.features, f.truth, f.labeled, f.risk_valid, {},
+                        f.classifier_columns, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->admitted, 0u);
+  ASSERT_NE(result->classifier, nullptr);
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -1,0 +1,127 @@
+// Copyright 2026 The LearnRisk Authors
+// Tests for ROC / AUROC (Sec. 3) and the classification metrics.
+
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "eval/classification_metrics.h"
+
+namespace learnrisk {
+namespace {
+
+TEST(AurocTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(Auroc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AurocTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(Auroc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AurocTest, AllTiesIsHalf) {
+  EXPECT_DOUBLE_EQ(Auroc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AurocTest, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs: (0.8>0.6)=1, (0.8>0.2)=1,
+  // (0.4<0.6)=0, (0.4>0.2)=1 -> 3/4.
+  EXPECT_DOUBLE_EQ(Auroc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AurocTest, TieBetweenClassesCountsHalf) {
+  // pos 0.5, neg {0.5, 0.1}: pairs = tie(0.5) + win(0.1) -> (0.5+1)/2.
+  EXPECT_DOUBLE_EQ(Auroc({0.5, 0.5, 0.1}, {1, 0, 0}), 0.75);
+}
+
+TEST(AurocTest, DegenerateSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(Auroc({0.9, 0.1}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auroc({0.9, 0.1}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(Auroc({}, {}), 0.5);
+}
+
+TEST(AurocTest, RandomScoresNearHalf) {
+  Rng rng(3);
+  std::vector<double> scores(5000);
+  std::vector<uint8_t> labels(5000);
+  for (size_t i = 0; i < 5000; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(Auroc(scores, labels), 0.5, 0.03);
+}
+
+TEST(AurocTest, InvariantToMonotoneTransform) {
+  Rng rng(3);
+  std::vector<double> scores(500);
+  std::vector<double> transformed(500);
+  std::vector<uint8_t> labels(500);
+  for (size_t i = 0; i < 500; ++i) {
+    scores[i] = rng.Uniform();
+    transformed[i] = 3.0 * scores[i] * scores[i] * scores[i] + 1.0;
+    labels[i] = rng.Bernoulli(0.4) ? 1 : 0;
+  }
+  EXPECT_NEAR(Auroc(scores, labels), Auroc(transformed, labels), 1e-12);
+}
+
+TEST(RocCurveTest, EndpointsAndMonotonicity) {
+  Rng rng(3);
+  std::vector<double> scores(300);
+  std::vector<uint8_t> labels(300);
+  for (size_t i = 0; i < 300; ++i) {
+    labels[i] = rng.Bernoulli(0.3) ? 1 : 0;
+    scores[i] = labels[i] ? rng.Uniform(0.3, 1.0) : rng.Uniform(0.0, 0.7);
+  }
+  RocCurve curve = ComputeRoc(scores, labels);
+  ASSERT_GE(curve.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.points.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().tpr, 1.0);
+  for (size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].fpr, curve.points[i - 1].fpr);
+    EXPECT_GE(curve.points[i].tpr, curve.points[i - 1].tpr);
+  }
+}
+
+TEST(RocCurveTest, TrapezoidAreaMatchesAuroc) {
+  Rng rng(7);
+  std::vector<double> scores(400);
+  std::vector<uint8_t> labels(400);
+  for (size_t i = 0; i < 400; ++i) {
+    labels[i] = rng.Bernoulli(0.25) ? 1 : 0;
+    scores[i] = labels[i] ? rng.Normal(1.0, 1.0) : rng.Normal(0.0, 1.0);
+  }
+  RocCurve curve = ComputeRoc(scores, labels);
+  double area = 0.0;
+  for (size_t i = 1; i < curve.points.size(); ++i) {
+    area += (curve.points[i].fpr - curve.points[i - 1].fpr) *
+            0.5 * (curve.points[i].tpr + curve.points[i - 1].tpr);
+  }
+  EXPECT_NEAR(area, curve.auroc, 1e-9);
+}
+
+TEST(ConfusionTest, CountsAndDerivedMetrics) {
+  ConfusionMatrix cm = Confusion({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.6);
+  EXPECT_EQ(cm.mislabeled(), 2u);
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+  ConfusionMatrix all_negative = Confusion({0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(all_negative.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(all_negative.F1(), 0.0);
+}
+
+}  // namespace
+}  // namespace learnrisk

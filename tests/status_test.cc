@@ -1,0 +1,119 @@
+// Copyright 2026 The LearnRisk Authors
+// Unit tests for Status / Result<T>.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace learnrisk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status st = Status::InvalidArgument("bad ratio");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad ratio");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad ratio");
+}
+
+TEST(StatusTest, NotFound) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+}
+
+TEST(StatusTest, OutOfRange) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+TEST(StatusTest, FailedPrecondition) {
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, IOError) { EXPECT_TRUE(Status::IOError("x").IsIOError()); }
+
+TEST(StatusTest, Internal) { EXPECT_TRUE(Status::Internal("x").IsInternal()); }
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "Invalid argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "Out of range");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "Failed precondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrReturnsDefaultOnError) {
+  Result<int> err = Status::Internal("boom");
+  EXPECT_EQ(err.ValueOr(-1), -1);
+  Result<int> ok = 7;
+  EXPECT_EQ(ok.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveValueOrDie) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = r.MoveValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r = std::string("a");
+  *r += "b";
+  EXPECT_EQ(r.ValueOrDie(), "ab");
+}
+
+Status FailsThrough() {
+  LEARNRISK_RETURN_NOT_OK(Status::IOError("inner"));
+  return Status::OK();
+}
+
+Status Passes() {
+  LEARNRISK_RETURN_NOT_OK(Status::OK());
+  return Status::InvalidArgument("reached end");
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(FailsThrough().IsIOError());
+  EXPECT_TRUE(Passes().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -1,0 +1,112 @@
+// Copyright 2026 The LearnRisk Authors
+// Unit tests for string utilities.
+
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace learnrisk {
+namespace {
+
+TEST(ToLowerTest, MixedCase) { EXPECT_EQ(ToLower("SiGMoD"), "sigmod"); }
+
+TEST(ToLowerTest, PreservesNonAlpha) {
+  EXPECT_EQ(ToLower("A-1 B"), "a-1 b");
+}
+
+TEST(TrimTest, BothEnds) { EXPECT_EQ(Trim("  a b \t\n"), "a b"); }
+
+TEST(TrimTest, AllWhitespaceBecomesEmpty) { EXPECT_EQ(Trim(" \t "), ""); }
+
+TEST(TrimTest, NoWhitespaceUnchanged) { EXPECT_EQ(Trim("abc"), "abc"); }
+
+TEST(SplitTest, PreservesEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  const auto parts = SplitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespaceTest, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(TokenizeTest, LowercasesAndStripsPunctuation) {
+  const auto toks = Tokenize("The VLDB Journal, 7(3): 163-178");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0], "the");
+  EXPECT_EQ(toks[1], "vldb");
+  EXPECT_EQ(toks[3], "7");
+  EXPECT_EQ(toks[5], "163");
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!!").empty());
+}
+
+TEST(AbbreviationTest, FirstLetters) {
+  EXPECT_EQ(FirstLetterAbbreviation("very large data bases"), "vldb");
+  EXPECT_EQ(FirstLetterAbbreviation("SIGMOD"), "s");
+  EXPECT_EQ(FirstLetterAbbreviation(""), "");
+}
+
+TEST(ContainsTest, Basics) {
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+  EXPECT_FALSE(Contains("abc", "abcd"));
+  EXPECT_TRUE(Contains("abc", ""));
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("sigmod record", "sigmod"));
+  EXPECT_FALSE(StartsWith("sigmod", "sigmod record"));
+  EXPECT_TRUE(EndsWith("sigmod record", "record"));
+  EXPECT_FALSE(EndsWith("record", "sigmod record"));
+}
+
+TEST(CharNgramsTest, Trigrams) {
+  const auto grams = CharNgrams("abcd", 3);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "abc");
+  EXPECT_EQ(grams[1], "bcd");
+}
+
+TEST(CharNgramsTest, ShortInputReturnsWhole) {
+  const auto grams = CharNgrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(CharNgramsTest, EdgeCases) {
+  EXPECT_TRUE(CharNgrams("", 3).empty());
+  EXPECT_TRUE(CharNgrams("abc", 0).empty());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace learnrisk
