@@ -56,14 +56,16 @@ Result<RiskAwareTrainingResult> TrainWithRiskTerm(
                               labeled_truth);
     RiskModel risk_model(risk_features, options.risk_model);
 
+    // One batched gather instead of a one-row FeatureMatrix per pair.
     const FeatureMatrix valid_full = GatherRows(features, risk_valid);
-    std::vector<double> valid_probs;
-    std::vector<uint8_t> valid_machine;
-    for (size_t i : risk_valid) {
-      const double p = classifier->PredictProba(
-          GatherRows(classifier_view, {i}).row(0), classifier_view.cols());
-      valid_probs.push_back(p);
-      valid_machine.push_back(p >= 0.5 ? 1 : 0);
+    const FeatureMatrix valid_view = GatherRows(classifier_view, risk_valid);
+    std::vector<double> valid_probs(risk_valid.size());
+    std::vector<uint8_t> valid_machine(risk_valid.size());
+    for (size_t k = 0; k < risk_valid.size(); ++k) {
+      const double p =
+          classifier->PredictProba(valid_view.row(k), valid_view.cols());
+      valid_probs[k] = p;
+      valid_machine[k] = p >= 0.5 ? 1 : 0;
     }
     RiskActivation valid_act =
         ComputeActivation(risk_features, valid_full, valid_probs);

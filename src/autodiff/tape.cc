@@ -43,7 +43,10 @@ Var Tape::Binary(double value, Var a, double grad_a, Var b, double grad_b) {
 
 void Tape::Backward(Var output) {
   assert(output.tape() == this);
-  nodes_[output.index()].grad += 1.0;
+  // Self-zeroing: reset the live subrange so back-to-back Backward calls on
+  // a rewound tape cannot accumulate gradients from a previous epoch.
+  for (int32_t i = 0; i <= output.index(); ++i) nodes_[i].grad = 0.0;
+  nodes_[output.index()].grad = 1.0;
   for (int32_t i = output.index(); i >= 0; --i) {
     const Node& node = nodes_[i];
     if (node.grad == 0.0) continue;
@@ -60,6 +63,17 @@ void Tape::ZeroGrad() {
 }
 
 void Tape::Clear() { nodes_.clear(); }
+
+void Tape::Rewind(size_t mark) {
+  assert(mark <= nodes_.size());
+  nodes_.resize(mark);
+}
+
+void Tape::SetValue(Var v, double value) {
+  assert(v.tape() == this);
+  assert(nodes_[v.index()].parent[0] < 0 && nodes_[v.index()].parent[1] < 0);
+  nodes_[v.index()].value = value;
+}
 
 // --- Arithmetic -------------------------------------------------------------
 
@@ -90,15 +104,22 @@ Var operator*(Var a, double b) {
 }
 Var operator*(double a, Var b) { return b * a; }
 
+// Division guard (SafeDenominator, shared via math_util.h): like Log's input
+// floor, the denominator magnitude is clamped to 1e-300 (sign preserved) so
+// a degenerate divisor yields a huge but finite quotient instead of a
+// NaN/inf that would poison the whole backward pass.
 Var operator/(Var a, Var b) {
-  const double bv = b.value();
-  return a.tape()->Binary(a.value() / bv, a, 1.0 / bv, b,
-                          -a.value() / (bv * bv));
+  const double bv = SafeDenominator(b.value());
+  const double v = a.value() / bv;
+  // d(a/b)/db written as -(a/b)/b: avoids squaring bv, which would underflow
+  // to zero (and produce 0/0 = NaN) for subnormal denominators.
+  return a.tape()->Binary(v, a, 1.0 / bv, b, -v / bv);
 }
 Var operator/(Var a, double b) { return a * (1.0 / b); }
 Var operator/(double a, Var b) {
-  const double bv = b.value();
-  return b.tape()->Unary(a / bv, b, -a / (bv * bv));
+  const double bv = SafeDenominator(b.value());
+  const double v = a / bv;
+  return b.tape()->Unary(v, b, -v / bv);
 }
 
 // --- Elementary functions ----------------------------------------------------

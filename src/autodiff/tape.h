@@ -66,8 +66,12 @@ class Tape {
   Var Binary(double value, Var a, double grad_a, Var b, double grad_b);
 
   /// \brief Runs the reverse sweep from `output` (seed gradient 1.0).
-  /// Gradients accumulate; call ZeroGrad() between backward passes on
-  /// different outputs if accumulation is not wanted.
+  ///
+  /// Contract: Backward is self-zeroing — it resets the gradients of every
+  /// node up to and including `output` before seeding, so repeated calls
+  /// (e.g. one per training epoch on a rewound tape) never accumulate stale
+  /// gradients. The sweep is restricted to the output's live subrange
+  /// [0, output.index()]; nodes recorded after `output` are untouched.
   void Backward(Var output);
 
   /// \brief d(output)/d(v) after Backward().
@@ -78,6 +82,25 @@ class Tape {
 
   /// \brief Discards all nodes (start of a new iteration).
   void Clear();
+
+  /// \brief Pre-allocates arena capacity for `n` nodes so epoch-sized graphs
+  /// record without reallocation.
+  void Reserve(size_t n) { nodes_.reserve(n); }
+
+  /// \brief Marks the current tape length for a later Rewind(). Typical use:
+  /// record the parameter leaves once, checkpoint, then per epoch rewind and
+  /// re-record only the loss subgraph.
+  size_t Checkpoint() const { return nodes_.size(); }
+
+  /// \brief Truncates the tape back to a Checkpoint() mark. Handles created
+  /// at indices below the mark stay valid; later ones are invalidated. The
+  /// arena capacity is retained, so re-recording allocates nothing.
+  void Rewind(size_t mark);
+
+  /// \brief Overwrites the value of a leaf (a node with no parents), e.g. to
+  /// refresh parameter values on a rewound tape. Interior nodes cannot be
+  /// rewritten: their cached partials would go stale.
+  void SetValue(Var v, double value);
 
   size_t size() const { return nodes_.size(); }
   double ValueAt(int32_t index) const { return nodes_[index].value; }

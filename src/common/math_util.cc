@@ -9,8 +9,6 @@
 namespace learnrisk {
 namespace {
 
-constexpr double kSqrt2 = 1.4142135623730950488;
-constexpr double kInvSqrt2Pi = 0.3989422804014326779;
 
 // Acklam's rational approximation to the inverse normal CDF.
 double AcklamQuantile(double p) {
@@ -49,10 +47,6 @@ double AcklamQuantile(double p) {
 }
 
 }  // namespace
-
-double NormalPdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
-
-double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
 
 double NormalQuantile(double p) {
   if (p <= 0.0) return -std::numeric_limits<double>::infinity();
@@ -113,31 +107,11 @@ double TruncatedNormalMean(double mu, double sigma, double lo, double hi) {
   return mu + sigma * (NormalPdf(a) - NormalPdf(b)) / mass;
 }
 
-double Sigmoid(double x) {
-  if (x >= 0.0) {
-    double z = std::exp(-x);
-    return 1.0 / (1.0 + z);
-  }
-  double z = std::exp(x);
-  return z / (1.0 + z);
-}
-
-double Softplus(double x) {
-  // log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|)).
-  return std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
-}
-
-double SoftplusGrad(double x) { return Sigmoid(x); }
-
 double SoftplusInverse(double y) {
   // x = log(exp(y) - 1) = y + log(1 - exp(-y)), stable for large y.
   if (y <= 0.0) return -std::numeric_limits<double>::infinity();
   if (y > 30.0) return y;  // exp(-y) underflows; softplus is identity here.
   return y + std::log(-std::expm1(-y));
-}
-
-double Clamp(double x, double lo, double hi) {
-  return std::min(std::max(x, lo), hi);
 }
 
 double Mean(const std::vector<double>& xs) {

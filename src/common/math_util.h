@@ -6,6 +6,8 @@
 #ifndef LEARNRISK_COMMON_MATH_UTIL_H_
 #define LEARNRISK_COMMON_MATH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -15,11 +17,21 @@ namespace learnrisk {
 /// (near-zero variance) cases.
 inline constexpr double kTinySigma = 1e-12;
 
+// The scalar helpers on the risk-scoring hot path (called several times per
+// pair per epoch) are defined inline here; the heavier distribution
+// functions stay in math_util.cc.
+
 /// \brief Standard normal probability density phi(x).
-double NormalPdf(double x);
+inline double NormalPdf(double x) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
 
 /// \brief Standard normal CDF Phi(x), accurate over the full double range.
-double NormalCdf(double x);
+inline double NormalCdf(double x) {
+  constexpr double kSqrt2 = 1.4142135623730950488;
+  return 0.5 * std::erfc(-x / kSqrt2);
+}
 
 /// \brief Inverse standard normal CDF Phi^{-1}(p) for p in (0, 1).
 ///
@@ -50,20 +62,42 @@ double TruncatedNormalCdf(double x, double mu, double sigma, double lo,
 double TruncatedNormalMean(double mu, double sigma, double lo, double hi);
 
 /// \brief Numerically-stable logistic function 1 / (1 + exp(-x)).
-double Sigmoid(double x);
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
 
 /// \brief Numerically-stable log(1 + exp(x)); the softplus link keeps learned
 /// weights positive.
-double Softplus(double x);
+inline double Softplus(double x) {
+  // log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|)).
+  return std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+}
 
 /// \brief Derivative of softplus, i.e. Sigmoid(x).
-double SoftplusGrad(double x);
+inline double SoftplusGrad(double x) { return Sigmoid(x); }
 
 /// \brief Inverse of softplus: x such that Softplus(x) == y, for y > 0.
 double SoftplusInverse(double y);
 
 /// \brief Clamps x into [lo, hi].
-double Clamp(double x, double lo, double hi);
+inline double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+/// \brief Division guard shared by the autodiff tape and the analytic
+/// batch-scoring fast path: clamps the denominator's magnitude to 1e-300
+/// (sign preserved) so a degenerate divisor yields a huge but finite
+/// quotient instead of a NaN/inf. The two consumers must stay bit-identical
+/// for the documented tape/analytic parity, which is why this lives here.
+inline double SafeDenominator(double b) {
+  if (std::fabs(b) >= 1e-300) return b;
+  return std::signbit(b) ? -1e-300 : 1e-300;
+}
 
 /// \brief Arithmetic mean; returns 0 for an empty vector.
 double Mean(const std::vector<double>& xs);

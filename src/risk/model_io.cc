@@ -19,7 +19,8 @@ std::string EscapeName(const std::string& name) {
 
 }  // namespace
 
-std::string SerializeRiskModel(const RiskModel& model) {
+std::string SerializeRiskModel(const RiskModel& model,
+                               const RiskTrainerOptions* trainer) {
   std::ostringstream out;
   out.precision(17);  // max_digits10: doubles round-trip exactly
   const RiskModelOptions& opts = model.options();
@@ -28,6 +29,14 @@ std::string SerializeRiskModel(const RiskModel& model) {
       << static_cast<int>(opts.metric) << ' ' << opts.rsd_max << ' '
       << opts.output_buckets << ' ' << (opts.use_classifier_feature ? 1 : 0)
       << '\n';
+  if (trainer != nullptr) {
+    out << "trainer " << trainer->epochs << ' ' << trainer->learning_rate
+        << ' ' << trainer->l1 << ' ' << trainer->l2 << ' '
+        << trainer->max_mislabeled_per_epoch << ' '
+        << trainer->max_correct_per_epoch << ' ' << trainer->max_rank_pairs
+        << ' ' << (trainer->use_adam ? 1 : 0) << ' '
+        << (trainer->use_tape ? 1 : 0) << ' ' << trainer->seed << '\n';
+  }
   out << "params " << model.alpha_raw() << ' ' << model.beta_raw() << '\n';
   out << "phi_out";
   for (double p : model.phi_out()) out << ' ' << p;
@@ -49,7 +58,8 @@ std::string SerializeRiskModel(const RiskModel& model) {
   return out.str();
 }
 
-Result<RiskModel> DeserializeRiskModel(const std::string& text) {
+Result<RiskModel> DeserializeRiskModel(const std::string& text,
+                                       RiskTrainerOptions* trainer_out) {
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || Trim(line) != "learnrisk-model v1") {
@@ -82,6 +92,18 @@ Result<RiskModel> DeserializeRiskModel(const std::string& text) {
       }
       options.metric = static_cast<RiskMetric>(metric);
       options.use_classifier_feature = use_out != 0;
+    } else if (tag == "trainer") {
+      RiskTrainerOptions trainer;
+      int use_adam = 1;
+      int use_tape = 0;
+      ls >> trainer.epochs >> trainer.learning_rate >> trainer.l1 >>
+          trainer.l2 >> trainer.max_mislabeled_per_epoch >>
+          trainer.max_correct_per_epoch >> trainer.max_rank_pairs >>
+          use_adam >> use_tape >> trainer.seed;
+      if (!ls) return Status::InvalidArgument("malformed trainer line");
+      trainer.use_adam = use_adam != 0;
+      trainer.use_tape = use_tape != 0;
+      if (trainer_out != nullptr) *trainer_out = trainer;
     } else if (tag == "params") {
       ls >> alpha_raw >> beta_raw;
       if (!ls) return Status::InvalidArgument("malformed params line");

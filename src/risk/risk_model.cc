@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/parallel.h"
 
 namespace learnrisk {
 namespace {
@@ -17,6 +18,23 @@ double Logit(double p) {
   p = Clamp(p, 1e-9, 1.0 - 1e-9);
   return std::log(p / (1.0 - p));
 }
+
+/// Per-batch precomputed parameter transforms, shared by every pair: one
+/// softplus/sigmoid per rule and bucket for the whole batch instead of one
+/// per (pair, rule) tape node.
+struct BatchContext {
+  double alpha = 0.0;
+  double safe_alpha = 0.0;  ///< SafeDenominator(alpha), hoisted per batch
+  double inv_alpha = 0.0;   ///< 1 / safe_alpha (gradient-path reciprocal)
+  double beta = 0.0;
+  double sig_alpha = 0.0;  ///< d softplus(alpha_raw)
+  double sig_beta = 0.0;
+  std::vector<double> w;         ///< softplus(theta_j)
+  std::vector<double> dw;        ///< sigmoid(theta_j)
+  std::vector<double> sigma;     ///< (sigmoid(phi_j) * rsd_max) * mu_j
+  std::vector<double> dsigma;    ///< d sigma_j / d phi_j
+  std::vector<double> s_out;     ///< sigmoid(phi_out_b)
+};
 
 }  // namespace
 
@@ -117,12 +135,181 @@ double RiskModel::RiskScore(const std::vector<uint32_t>& active_rules,
 
 std::vector<double> RiskModel::Score(const RiskActivation& activation) const {
   std::vector<double> scores(activation.size());
-  for (size_t i = 0; i < activation.size(); ++i) {
+  ParallelFor(activation.size(), [&](size_t i) {
     scores[i] = RiskScore(activation.active[i],
                           activation.classifier_output[i],
                           activation.machine_label[i]);
-  }
+  });
   return scores;
+}
+
+void RiskModel::RiskScoreBatch(const RiskActivation& activation,
+                               const std::vector<size_t>& indices,
+                               BatchScore* out, size_t num_threads) const {
+  const size_t n = indices.size();
+  out->num_params = num_params();
+  out->value.resize(n);
+  out->dalpha.resize(n);
+  out->dbeta.resize(n);
+  out->dbucket.resize(n);
+  out->bucket.resize(n);
+  // CSR offsets over each pair's active-rule list (serial prefix sum; the
+  // per-pair fill below is what parallelizes).
+  out->offset.resize(n + 1);
+  out->offset[0] = 0;
+  for (size_t k = 0; k < n; ++k) {
+    out->offset[k + 1] =
+        out->offset[k] + activation.active[indices[k]].size();
+  }
+  const size_t nnz = out->offset[n];
+  out->rule.resize(nnz);
+  out->dtheta.resize(nnz);
+  out->dphi.resize(nnz);
+
+  // Parameter transforms, once per batch.
+  BatchContext ctx;
+  ctx.alpha = Softplus(alpha_raw_);
+  ctx.safe_alpha = SafeDenominator(ctx.alpha);
+  ctx.inv_alpha = 1.0 / ctx.safe_alpha;
+  ctx.beta = Softplus(beta_raw_);
+  ctx.sig_alpha = Sigmoid(alpha_raw_);
+  ctx.sig_beta = Sigmoid(beta_raw_);
+  const size_t n_rules = num_rules();
+  ctx.w.resize(n_rules);
+  ctx.dw.resize(n_rules);
+  ctx.sigma.resize(n_rules);
+  ctx.dsigma.resize(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    ctx.w[j] = Softplus(theta_[j]);
+    ctx.dw[j] = Sigmoid(theta_[j]);
+    const double s = Sigmoid(phi_[j]);
+    const double mu_j = features_.expectation(j);
+    ctx.sigma[j] = (s * options_.rsd_max) * mu_j;
+    ctx.dsigma[j] = s * (1.0 - s) * options_.rsd_max * mu_j;
+  }
+  ctx.s_out.resize(phi_out_.size());
+  for (size_t b = 0; b < phi_out_.size(); ++b) {
+    ctx.s_out[b] = Sigmoid(phi_out_[b]);
+  }
+
+  const double rsd_max = options_.rsd_max;
+  const double theta_conf = options_.var_confidence;
+  const RiskMetric metric = options_.metric;
+
+  ParallelFor(
+      n,
+      [&](size_t k) {
+        const size_t i = indices[k];
+        const std::vector<uint32_t>& active = activation.active[i];
+        const uint8_t label = activation.machine_label[i];
+
+        // --- Forward pass: the exact arithmetic of RiskScoreOnTape. -------
+        const bool with_output =
+            options_.use_classifier_feature || active.empty();
+        const double x = Clamp(activation.classifier_output[i], 0.0, 1.0);
+        const size_t bucket = OutputBucket(x);
+        const double m = with_output ? 1.0 : 0.0;
+        const double z = (x - 0.5) / ctx.safe_alpha;
+        const double eg = std::exp(-0.5 * (z * z));
+        const double w_out = ((-eg + ctx.beta) + 1.0) * m;
+        const double rsd_out = ctx.s_out[bucket] * rsd_max;
+        const double sigma_out = rsd_out * x;
+
+        double weight_sum = w_out;
+        double mu_acc = w_out * x;
+        double var_acc = (w_out * w_out) * (sigma_out * sigma_out);
+        for (uint32_t j : active) {
+          weight_sum = weight_sum + ctx.w[j];
+          mu_acc = mu_acc + ctx.w[j] * features_.expectation(j);
+          var_acc = var_acc + (ctx.w[j] * ctx.w[j]) *
+                                  (ctx.sigma[j] * ctx.sigma[j]);
+        }
+        const double safe_sum = SafeDenominator(weight_sum);
+        const double mu = mu_acc / safe_sum;
+        const double root = std::sqrt(std::max(var_acc, 0.0));
+        const double root_over_sum = root / safe_sum;
+        const double sigma = root_over_sum + kSigmaFloor;
+
+        // --- Reverse chain collapsed to a linear functional: ---------------
+        //   d value = c_mu * d mu + c_sigma * d sigma
+        // with the tape's exact sub-gradient conventions (clamp kinks give
+        // zero, the quantile's input clamp passes gradient through).
+        double value = 0.0;
+        double c_mu = 0.0;
+        double c_sigma = 0.0;
+        const double sgn = label == 0 ? 1.0 : -1.0;
+        if (metric == RiskMetric::kExpectation) {
+          value = label == 0 ? mu : 1.0 - mu;
+          c_mu = sgn;
+        } else {
+          const double p = label == 0 ? theta_conf : 1.0 - theta_conf;
+          const double safe_sigma = SafeDenominator(sigma);
+          const double as = (0.0 - mu) / safe_sigma;
+          const double bs = (1.0 - mu) / safe_sigma;
+          const double ca = NormalCdf(as);
+          const double cb = NormalCdf(bs);
+          const double u = ca + (cb - ca) * p;
+          const double uc = Clamp(u, 1e-12, 1.0 - 1e-12);
+          const double q = NormalQuantile(uc);
+          const double dq_du = 1.0 / std::max(NormalPdf(q), 1e-300);
+          const double q_raw = mu + sigma * q;
+          const double quantile = Clamp(q_raw, 0.0, 1.0);
+          value = label == 0 ? quantile : 1.0 - quantile;
+
+          if (q_raw > 0.0 && q_raw < 1.0) {
+            // du/dmu and du/dsigma through both normal CDFs. Gradient-only
+            // arithmetic (1e-6 parity budget), so divisions fold into one
+            // reciprocal.
+            const double inv_sigma = 1.0 / safe_sigma;
+            const double wa = (1.0 - p) * NormalPdf(as);
+            const double wb = p * NormalPdf(bs);
+            const double du_dmu = -(wa + wb) * inv_sigma;
+            const double du_dsigma = -(wa * as + wb * bs) * inv_sigma;
+            c_mu = sgn * (1.0 + sigma * dq_du * du_dmu);
+            c_sigma = sgn * (q + sigma * dq_du * du_dsigma);
+          }
+        }
+        out->value[k] = value;
+
+        // Pull (c_mu, c_sigma) back onto the portfolio accumulators
+        // (S, M, V) = (weight_sum, mu_acc, var_acc):
+        //   mu    = M / S
+        //   sigma = sqrt(V) / S + floor
+        const double inv_sum = 1.0 / safe_sum;
+        const double d_root = root > 0.0 ? 0.5 / root : 0.0;
+        const double c_M = c_mu * inv_sum;
+        const double c_S =
+            -(c_mu * mu + c_sigma * root_over_sum) * inv_sum;
+        const double c_V = c_sigma * d_root * inv_sum;
+
+        // Sparse parameter partials: active rules (CSR slice), alpha/beta,
+        // one bucket.
+        size_t e = out->offset[k];
+        for (uint32_t j : active) {
+          const double dS = ctx.dw[j];
+          out->rule[e] = j;
+          out->dtheta[e] =
+              dS * (c_S + c_M * features_.expectation(j) +
+                    c_V * 2.0 * ctx.w[j] * (ctx.sigma[j] * ctx.sigma[j]));
+          out->dphi[e] = c_V * (ctx.w[j] * ctx.w[j]) * 2.0 * ctx.sigma[j] *
+                         ctx.dsigma[j];
+          ++e;
+        }
+        // d w_out / d alpha_raw: through z = (x - 0.5) / softplus(alpha_raw)
+        // and exp(-z^2 / 2).
+        const double dwout_da =
+            m * eg * z * (-z * ctx.inv_alpha) * ctx.sig_alpha;
+        const double dwout_db = m * ctx.sig_beta;
+        const double out_common =
+            c_S + c_M * x + c_V * 2.0 * w_out * (sigma_out * sigma_out);
+        out->dalpha[k] = dwout_da * out_common;
+        out->dbeta[k] = dwout_db * out_common;
+        out->bucket[k] = static_cast<uint32_t>(bucket);
+        out->dbucket[k] =
+            c_V * (w_out * w_out) * 2.0 * sigma_out *
+            (ctx.s_out[bucket] * (1.0 - ctx.s_out[bucket]) * rsd_max * x);
+      },
+      num_threads);
 }
 
 std::vector<RiskContribution> RiskModel::Explain(

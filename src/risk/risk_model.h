@@ -92,6 +92,68 @@ class RiskModel {
       const std::vector<uint32_t>& active_rules, double classifier_output,
       size_t top_k = 5) const;
 
+  // --- Batched analytic scoring (the trainer's fast path) ------------------
+
+  /// \brief Flat parameter layout used by RiskScoreBatch jacobians and the
+  /// trainer's gradient vectors:
+  ///   [0, R)        theta (raw rule weights)
+  ///   [R, 2R)       phi (raw rule RSDs)
+  ///   2R            alpha_raw
+  ///   2R + 1        beta_raw
+  ///   [2R+2, 2R+2+B) phi_out (raw per-bucket output RSDs)
+  size_t num_params() const {
+    return 2 * num_rules() + 2 + phi_out_.size();
+  }
+  size_t theta_offset() const { return 0; }
+  size_t phi_offset() const { return num_rules(); }
+  size_t alpha_offset() const { return 2 * num_rules(); }
+  size_t beta_offset() const { return 2 * num_rules() + 1; }
+  size_t phi_out_offset() const { return 2 * num_rules() + 2; }
+
+  /// \brief Risk scores plus exact parameter Jacobians for a batch of pairs,
+  /// written into contiguous SoA buffers. A pair's jacobian row is sparse —
+  /// nonzero only for its active rules, alpha/beta, and its output bucket —
+  /// so the rule partials are stored CSR-style: entry e in
+  /// [offset[k], offset[k+1]) holds d value[k] / d theta[rule[e]] and
+  /// d value[k] / d phi[rule[e]]. A rule listed twice in an activation
+  /// yields two entries whose partials sum to the true derivative. Every
+  /// element is rewritten on each RiskScoreBatch call, so the buffers can be
+  /// reused across epochs without clearing.
+  struct BatchScore {
+    size_t num_params = 0;          ///< flat layout size (for callers)
+    std::vector<double> value;      ///< [n] risk score per pair
+    std::vector<size_t> offset;     ///< [n+1] CSR row offsets
+    std::vector<uint32_t> rule;     ///< [nnz] rule index per entry
+    std::vector<double> dtheta;     ///< [nnz] d value / d theta[rule]
+    std::vector<double> dphi;       ///< [nnz] d value / d phi[rule]
+    std::vector<double> dalpha;     ///< [n] d value / d alpha_raw
+    std::vector<double> dbeta;      ///< [n] d value / d beta_raw
+    std::vector<double> dbucket;    ///< [n] d value / d phi_out[bucket[k]]
+    std::vector<uint32_t> bucket;   ///< [n] output bucket per pair
+
+    /// \brief Expands row k into a dense flat-layout jacobian row
+    /// (convenience for tests/tools; the trainer consumes the SoA buffers
+    /// directly).
+    std::vector<double> DenseRow(size_t k, size_t num_rules) const {
+      std::vector<double> row(num_params, 0.0);
+      for (size_t e = offset[k]; e < offset[k + 1]; ++e) {
+        row[rule[e]] += dtheta[e];
+        row[num_rules + rule[e]] += dphi[e];
+      }
+      row[2 * num_rules] = dalpha[k];
+      row[2 * num_rules + 1] = dbeta[k];
+      row[2 * num_rules + 2 + bucket[k]] = dbucket[k];
+      return row;
+    }
+  };
+
+  /// \brief Evaluates `RiskScoreOnTape`'s exact arithmetic in closed form for
+  /// every pair in `indices` — same values, same sub-gradient conventions —
+  /// but without recording any tape nodes. Chunk-parallel over pairs.
+  void RiskScoreBatch(const RiskActivation& activation,
+                      const std::vector<size_t>& indices, BatchScore* out,
+                      size_t num_threads = 0) const;
+
   // --- Differentiable scoring (used by the trainer) ------------------------
 
   /// \brief Handles to the model parameters re-created on a tape.

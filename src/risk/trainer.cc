@@ -4,9 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "autodiff/tape.h"
+#include "common/math_util.h"
+#include "common/timer.h"
 
 namespace learnrisk {
 namespace {
@@ -39,6 +43,262 @@ void GdStep(std::vector<double>* params, const std::vector<double>& grads,
   }
 }
 
+/// One epoch's sampled rank pairs. `indices` lists the global activation
+/// indices to score (the mislabeled block first, then the correct block);
+/// `pairs` holds (mislabeled, correct) positions into that list. Both paths
+/// draw from the RNG in the same order, so seeded runs are comparable.
+struct EpochSample {
+  std::vector<size_t> indices;
+  size_t num_mis = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+};
+
+/// Bounded index draw via Lemire's multiply-shift reduction straight off the
+/// 64-bit engine — an order of magnitude cheaper than constructing a
+/// uniform_int_distribution per draw, and the epoch loop draws tens of
+/// thousands of these. The modulo bias is < n / 2^64, far below sampling
+/// noise.
+size_t FastIndex(Rng* rng, size_t n) {
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(rng->engine()()) * n;
+  return static_cast<size_t>(wide >> 64);
+}
+
+/// Partial Fisher-Yates: randomizes the first `k` slots of `pool` (k draws
+/// instead of a full shuffle of the pool). Starting from the previous
+/// epoch's permutation is fine — any starting order yields uniform
+/// k-subsets.
+void SampleFront(std::vector<size_t>* pool, size_t k, Rng* rng) {
+  const size_t n = pool->size();
+  for (size_t i = 0; i < k; ++i) {
+    std::swap((*pool)[i], (*pool)[i + FastIndex(rng, n - i)]);
+  }
+}
+
+/// Draws one epoch's scored indices and rank pairs into `sample`, reusing
+/// its buffers. `mis_pool`/`cor_pool` persist across epochs as sampling
+/// scratch.
+void DrawEpochSample(std::vector<size_t>* mis_pool,
+                     std::vector<size_t>* cor_pool,
+                     const RiskTrainerOptions& options, Rng* rng,
+                     EpochSample* sample) {
+  const size_t num_mis =
+      std::min(mis_pool->size(), options.max_mislabeled_per_epoch);
+  const size_t num_cor =
+      std::min(cor_pool->size(), options.max_correct_per_epoch);
+  if (num_mis < mis_pool->size()) SampleFront(mis_pool, num_mis, rng);
+  if (num_cor < cor_pool->size()) SampleFront(cor_pool, num_cor, rng);
+
+  sample->num_mis = num_mis;
+  sample->indices.clear();
+  sample->indices.insert(sample->indices.end(), mis_pool->begin(),
+                         mis_pool->begin() + static_cast<long>(num_mis));
+  sample->indices.insert(sample->indices.end(), cor_pool->begin(),
+                         cor_pool->begin() + static_cast<long>(num_cor));
+
+  sample->pairs.clear();
+  const size_t all_pairs = num_mis * num_cor;
+  if (all_pairs <= options.max_rank_pairs) {
+    sample->pairs.reserve(all_pairs);
+    for (size_t a = 0; a < num_mis; ++a) {
+      for (size_t b = 0; b < num_cor; ++b) {
+        sample->pairs.emplace_back(static_cast<uint32_t>(a),
+                                   static_cast<uint32_t>(num_mis + b));
+      }
+    }
+  } else {
+    sample->pairs.reserve(options.max_rank_pairs);
+    for (size_t k = 0; k < options.max_rank_pairs; ++k) {
+      const size_t a = FastIndex(rng, num_mis);
+      const size_t b = FastIndex(rng, num_cor);
+      sample->pairs.emplace_back(static_cast<uint32_t>(a),
+                                 static_cast<uint32_t>(num_mis + b));
+    }
+  }
+}
+
+/// Flat parameter vector <-> model, using RiskModel's flat layout.
+std::vector<double> GatherParams(const RiskModel& model) {
+  const size_t num_rules = model.num_rules();
+  std::vector<double> params(model.num_params());
+  std::copy(model.theta().begin(), model.theta().end(), params.begin());
+  std::copy(model.phi().begin(), model.phi().end(),
+            params.begin() + static_cast<long>(num_rules));
+  params[model.alpha_offset()] = model.alpha_raw();
+  params[model.beta_offset()] = model.beta_raw();
+  std::copy(model.phi_out().begin(), model.phi_out().end(),
+            params.begin() + static_cast<long>(model.phi_out_offset()));
+  return params;
+}
+
+void ScatterParams(const std::vector<double>& params, RiskModel* model) {
+  const size_t num_rules = model->num_rules();
+  std::vector<double> theta(params.begin(),
+                            params.begin() + static_cast<long>(num_rules));
+  std::vector<double> phi(
+      params.begin() + static_cast<long>(num_rules),
+      params.begin() + static_cast<long>(2 * num_rules));
+  std::vector<double> phi_out(
+      params.begin() + static_cast<long>(model->phi_out_offset()),
+      params.end());
+  model->ApplyUpdate(theta, phi, params[model->alpha_offset()],
+                     params[model->beta_offset()], phi_out);
+}
+
+/// Analytic fast path (the default): one batched forward/Jacobian pass, the
+/// rank loss gradient in closed form, then a Jacobian-transpose multiply.
+/// No tape nodes are recorded.
+double FastEpoch(RiskModel* model, const RiskActivation& data,
+                 const EpochSample& sample, const RiskTrainerOptions& options,
+                 RiskModel::BatchScore* batch, std::vector<double>* coef,
+                 std::vector<double>* grad) {
+  model->RiskScoreBatch(data, sample.indices, batch, options.num_threads);
+
+  // Rank loss (Eq. 15): mean softplus(gamma_cor - gamma_mis), summed in the
+  // same pair order as the tape path so the values agree bit-for-bit.
+  // Softplus and its sigmoid derivative share one exp(-|t|) (the same
+  // branches math_util takes, so the loss stays bit-identical).
+  const double n_pairs = static_cast<double>(sample.pairs.size());
+  coef->assign(sample.indices.size(), 0.0);
+  double loss = 0.0;
+  const double inv_pairs = 1.0 / n_pairs;
+  for (const auto& [a, b] : sample.pairs) {
+    const double t = batch->value[b] - batch->value[a];
+    const double e = std::exp(-std::fabs(t));
+    loss = loss + (std::max(t, 0.0) + std::log1p(e));
+    // dL/dgamma: each pair adds sigmoid(t)/n to the correct side and
+    // subtracts it from the mislabeled side. The select compiles to a cmov
+    // (sign of t is data-dependent and unpredictable); gradient-path
+    // arithmetic, so the single reciprocal is fine.
+    const double inv = 1.0 / (1.0 + e);
+    const double g = (t >= 0.0 ? inv : 1.0 - inv) * inv_pairs;
+    (*coef)[b] += g;
+    (*coef)[a] -= g;
+  }
+  loss = loss / n_pairs;
+
+  // Full parameter gradient: a Jacobian-transpose multiply over the CSR
+  // sparsity pattern — each row touches its active rules (theta and phi),
+  // alpha/beta, and its output bucket.
+  const size_t num_rules = model->num_rules();
+  const size_t alpha = model->alpha_offset();
+  const size_t phi_out = model->phi_out_offset();
+  grad->assign(batch->num_params, 0.0);
+  for (size_t k = 0; k < sample.indices.size(); ++k) {
+    const double c = (*coef)[k];
+    if (c == 0.0) continue;
+    for (size_t e = batch->offset[k]; e < batch->offset[k + 1]; ++e) {
+      (*grad)[batch->rule[e]] += c * batch->dtheta[e];
+      (*grad)[num_rules + batch->rule[e]] += c * batch->dphi[e];
+    }
+    (*grad)[alpha] += c * batch->dalpha[k];
+    (*grad)[alpha + 1] += c * batch->dbeta[k];
+    (*grad)[phi_out + batch->bucket[k]] += c * batch->dbucket[k];
+  }
+
+  // L1 + L2 on the effective rule weights, in closed form. The tape path's
+  // Abs sub-gradient is 0 at exactly 0; softplus weights are positive, so
+  // the sign term is 1 whenever the weight hasn't underflowed.
+  if (options.l1 > 0.0 || options.l2 > 0.0) {
+    for (size_t j = 0; j < model->num_rules(); ++j) {
+      const double theta_j = model->theta()[j];
+      const double w = Softplus(theta_j);
+      const double sign = w > 0.0 ? 1.0 : 0.0;
+      (*grad)[j] +=
+          (options.l1 * sign + options.l2 * 2.0 * w) * Sigmoid(theta_j);
+    }
+  }
+  return loss;
+}
+
+/// Original tape path, kept behind options.use_tape for parity testing. The
+/// parameter leaves are recorded once; each epoch rewinds to the checkpoint,
+/// refreshes the leaf values, and re-records only the loss subgraph.
+class TapeTrainer {
+ public:
+  TapeTrainer(const RiskModel& model, size_t reserve_hint) {
+    tape_.Reserve(reserve_hint);
+    params_ = model.MakeTapeParams(&tape_);
+    mark_ = tape_.Checkpoint();
+  }
+
+  double RunEpoch(const RiskModel& model, const RiskActivation& data,
+                  const std::vector<double>& flat_params,
+                  const EpochSample& sample,
+                  const RiskTrainerOptions& options,
+                  std::vector<double>* grad) {
+    const size_t num_rules = model.num_rules();
+    tape_.Rewind(mark_);
+    for (size_t j = 0; j < num_rules; ++j) {
+      tape_.SetValue(params_.theta[j], flat_params[j]);
+      tape_.SetValue(params_.phi[j], flat_params[num_rules + j]);
+    }
+    tape_.SetValue(params_.alpha_raw, flat_params[model.alpha_offset()]);
+    tape_.SetValue(params_.beta_raw, flat_params[model.beta_offset()]);
+    for (size_t b = 0; b < params_.phi_out.size(); ++b) {
+      tape_.SetValue(params_.phi_out[b],
+                     flat_params[model.phi_out_offset() + b]);
+    }
+
+    // Risk scores recorded once per scored pair, lazily in pair order (the
+    // same recording order as the historical Clear()+rebuild loop).
+    std::vector<Var> scores(sample.indices.size());
+    std::vector<char> scored(sample.indices.size(), 0);
+    auto score_at = [&](uint32_t pos) {
+      if (!scored[pos]) {
+        const size_t i = sample.indices[pos];
+        scores[pos] = model.RiskScoreOnTape(&tape_, params_, data.active[i],
+                                            data.classifier_output[i],
+                                            data.machine_label[i]);
+        scored[pos] = 1;
+      }
+      return scores[pos];
+    };
+
+    Var loss = tape_.Constant(0.0);
+    for (const auto& [a, b] : sample.pairs) {
+      Var cor = score_at(b);
+      Var mis = score_at(a);
+      loss = loss + SoftplusV(cor - mis);
+    }
+    loss = loss / static_cast<double>(sample.pairs.size());
+    const double epoch_loss = loss.value();
+
+    if (options.l1 > 0.0 || options.l2 > 0.0) {
+      Var reg = tape_.Constant(0.0);
+      for (size_t j = 0; j < num_rules; ++j) {
+        Var w = SoftplusV(params_.theta[j]);
+        reg = reg + options.l1 * Abs(w) + options.l2 * Square(w);
+      }
+      loss = loss + reg;
+    }
+
+    peak_nodes_ = std::max(peak_nodes_, tape_.size());
+    tape_.Backward(loss);
+
+    grad->assign(flat_params.size(), 0.0);
+    for (size_t j = 0; j < num_rules; ++j) {
+      (*grad)[j] = tape_.Gradient(params_.theta[j]);
+      (*grad)[num_rules + j] = tape_.Gradient(params_.phi[j]);
+    }
+    (*grad)[model.alpha_offset()] = tape_.Gradient(params_.alpha_raw);
+    (*grad)[model.beta_offset()] = tape_.Gradient(params_.beta_raw);
+    for (size_t b = 0; b < params_.phi_out.size(); ++b) {
+      (*grad)[model.phi_out_offset() + b] =
+          tape_.Gradient(params_.phi_out[b]);
+    }
+    return epoch_loss;
+  }
+
+  size_t peak_nodes() const { return peak_nodes_; }
+
+ private:
+  Tape tape_;
+  RiskModel::TapeParams params_;
+  size_t mark_ = 0;
+  size_t peak_nodes_ = 0;
+};
+
 }  // namespace
 
 Status RiskTrainer::Train(RiskModel* model, const RiskActivation& data,
@@ -48,6 +308,7 @@ Status RiskTrainer::Train(RiskModel* model, const RiskActivation& data,
         "activation size != mislabel flag count");
   }
   loss_history_.clear();
+  stats_ = RiskTrainerStats{};
 
   std::vector<size_t> mis;
   std::vector<size_t> cor;
@@ -59,125 +320,59 @@ Status RiskTrainer::Train(RiskModel* model, const RiskActivation& data,
     return Status::OK();
   }
 
+  Timer timer;
   Rng rng(options_.seed);
-  const size_t n_rules = model->num_rules();
+  const size_t num_params = model->num_params();
 
-  // Flat parameter vectors mirrored into the tape each epoch.
-  std::vector<double> theta = model->theta();
-  std::vector<double> phi = model->phi();
-  double alpha_raw = model->alpha_raw();
-  double beta_raw = model->beta_raw();
-  std::vector<double> phi_out = model->phi_out();
+  std::vector<double> params = GatherParams(*model);
+  std::vector<double> grad(num_params, 0.0);
+  AdamState adam{std::vector<double>(num_params, 0.0),
+                 std::vector<double>(num_params, 0.0)};
 
-  AdamState adam_theta{std::vector<double>(n_rules, 0.0),
-                       std::vector<double>(n_rules, 0.0)};
-  AdamState adam_phi = adam_theta;
-  AdamState adam_out{std::vector<double>(phi_out.size(), 0.0),
-                     std::vector<double>(phi_out.size(), 0.0)};
-  double m_alpha = 0.0, v_alpha = 0.0, m_beta = 0.0, v_beta = 0.0;
+  std::unique_ptr<TapeTrainer> tape_trainer;
+  if (options_.use_tape) {
+    // ~40 nodes per score plus 3 per rank pair is a comfortable upper bound
+    // for one epoch's subgraph.
+    const size_t scored_bound =
+        std::min(mis.size(), options_.max_mislabeled_per_epoch) +
+        std::min(cor.size(), options_.max_correct_per_epoch);
+    tape_trainer = std::make_unique<TapeTrainer>(
+        *model, 64 * scored_bound + 4 * options_.max_rank_pairs);
+  }
+  RiskModel::BatchScore batch;
+  std::vector<double> coef;
+  EpochSample sample;
 
-  Tape tape;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    tape.Clear();
-    model->ApplyUpdate(theta, phi, alpha_raw, beta_raw, phi_out);
-    RiskModel::TapeParams params = model->MakeTapeParams(&tape);
+    DrawEpochSample(&mis, &cor, options_, &rng, &sample);
 
-    // Epoch sample: a bounded subset of mislabeled and correct pairs.
-    std::vector<size_t> epoch_mis = mis;
-    std::vector<size_t> epoch_cor = cor;
-    if (epoch_mis.size() > options_.max_mislabeled_per_epoch) {
-      rng.Shuffle(&epoch_mis);
-      epoch_mis.resize(options_.max_mislabeled_per_epoch);
-    }
-    if (epoch_cor.size() > options_.max_correct_per_epoch) {
-      rng.Shuffle(&epoch_cor);
-      epoch_cor.resize(options_.max_correct_per_epoch);
-    }
-
-    // Risk scores recorded once per distinct pair.
-    std::unordered_map<size_t, Var> gamma;
-    auto score_of = [&](size_t i) {
-      auto it = gamma.find(i);
-      if (it != gamma.end()) return it->second;
-      Var g = model->RiskScoreOnTape(&tape, params, data.active[i],
-                                     data.classifier_output[i],
-                                     data.machine_label[i]);
-      gamma.emplace(i, g);
-      return g;
-    };
-
-    // Rank-pair sample and loss (Eq. 15 with target 1 for (mis, cor)).
-    const size_t all_pairs = epoch_mis.size() * epoch_cor.size();
-    const size_t n_pairs = std::min(all_pairs, options_.max_rank_pairs);
-    Var loss = tape.Constant(0.0);
-    if (all_pairs <= options_.max_rank_pairs) {
-      for (size_t i : epoch_mis) {
-        for (size_t j : epoch_cor) {
-          loss = loss + SoftplusV(score_of(j) - score_of(i));
-        }
-      }
+    double epoch_loss = 0.0;
+    if (options_.use_tape) {
+      epoch_loss = tape_trainer->RunEpoch(*model, data, params, sample,
+                                          options_, &grad);
     } else {
-      for (size_t k = 0; k < n_pairs; ++k) {
-        const size_t i = epoch_mis[rng.Index(epoch_mis.size())];
-        const size_t j = epoch_cor[rng.Index(epoch_cor.size())];
-        loss = loss + SoftplusV(score_of(j) - score_of(i));
-      }
+      ScatterParams(params, model);
+      epoch_loss = FastEpoch(model, data, sample, options_, &batch, &coef,
+                             &grad);
     }
-    loss = loss / static_cast<double>(n_pairs);
-    loss_history_.push_back(loss.value());
-
-    // L1 + L2 regularization on the effective rule weights (Sec. 6.2.3).
-    if (options_.l1 > 0.0 || options_.l2 > 0.0) {
-      Var reg = tape.Constant(0.0);
-      for (size_t j = 0; j < n_rules; ++j) {
-        Var w = SoftplusV(params.theta[j]);
-        reg = reg + options_.l1 * Abs(w) + options_.l2 * Square(w);
-      }
-      loss = loss + reg;
-    }
-
-    tape.Backward(loss);
-
-    std::vector<double> g_theta(n_rules);
-    std::vector<double> g_phi(n_rules);
-    for (size_t j = 0; j < n_rules; ++j) {
-      g_theta[j] = tape.Gradient(params.theta[j]);
-      g_phi[j] = tape.Gradient(params.phi[j]);
-    }
-    std::vector<double> g_out(phi_out.size());
-    for (size_t b = 0; b < phi_out.size(); ++b) {
-      g_out[b] = tape.Gradient(params.phi_out[b]);
-    }
-    const double g_alpha = tape.Gradient(params.alpha_raw);
-    const double g_beta = tape.Gradient(params.beta_raw);
+    loss_history_.push_back(epoch_loss);
+    stats_.rank_pairs += sample.pairs.size();
+    stats_.scored_pairs += sample.indices.size();
 
     if (options_.use_adam) {
       const double t = static_cast<double>(epoch + 1);
       const double bias1 = 1.0 - std::pow(kAdamBeta1, t);
       const double bias2 = 1.0 - std::pow(kAdamBeta2, t);
-      AdamStep(&theta, g_theta, &adam_theta, options_.learning_rate, bias1,
-               bias2);
-      AdamStep(&phi, g_phi, &adam_phi, options_.learning_rate, bias1, bias2);
-      AdamStep(&phi_out, g_out, &adam_out, options_.learning_rate, bias1,
-               bias2);
-      m_alpha = kAdamBeta1 * m_alpha + (1.0 - kAdamBeta1) * g_alpha;
-      v_alpha = kAdamBeta2 * v_alpha + (1.0 - kAdamBeta2) * g_alpha * g_alpha;
-      alpha_raw -= options_.learning_rate * (m_alpha / bias1) /
-                   (std::sqrt(v_alpha / bias2) + kAdamEps);
-      m_beta = kAdamBeta1 * m_beta + (1.0 - kAdamBeta1) * g_beta;
-      v_beta = kAdamBeta2 * v_beta + (1.0 - kAdamBeta2) * g_beta * g_beta;
-      beta_raw -= options_.learning_rate * (m_beta / bias1) /
-                  (std::sqrt(v_beta / bias2) + kAdamEps);
+      AdamStep(&params, grad, &adam, options_.learning_rate, bias1, bias2);
     } else {
-      GdStep(&theta, g_theta, options_.learning_rate);
-      GdStep(&phi, g_phi, options_.learning_rate);
-      GdStep(&phi_out, g_out, options_.learning_rate);
-      alpha_raw -= options_.learning_rate * g_alpha;
-      beta_raw -= options_.learning_rate * g_beta;
+      GdStep(&params, grad, options_.learning_rate);
     }
   }
 
-  model->ApplyUpdate(theta, phi, alpha_raw, beta_raw, phi_out);
+  ScatterParams(params, model);
+  stats_.epochs = options_.epochs;
+  stats_.peak_tape_nodes = tape_trainer ? tape_trainer->peak_nodes() : 0;
+  stats_.train_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }
 

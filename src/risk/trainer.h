@@ -3,9 +3,19 @@
 // cross-entropy loss of Eq. 13-15. For a (mislabeled, correctly-labeled)
 // pair (i, j) the target posterior is 1, so the per-pair loss reduces to
 // -log sigmoid(gamma_i - gamma_j) = softplus(gamma_j - gamma_i); minimizing
-// it maximizes AUROC (Sec. 3). Gradients flow through the truncated-normal
-// VaR via the autodiff tape; parameters are updated by gradient descent
+// it maximizes AUROC (Sec. 3). Parameters are updated by gradient descent
 // (optionally Adam) with L1+L2 regularization on the feature weights.
+//
+// Two gradient paths compute the same update:
+//  * Fast path (default): the rank loss depends on the scores only through
+//    pairwise differences, so dL/dgamma_i is a weighted sum of
+//    sigmoid(gamma_j - gamma_i) terms. RiskModel::RiskScoreBatch evaluates
+//    all scores plus exact per-parameter jacobian rows in one batched pass,
+//    and the full gradient is a single jacobian-transpose multiply — no
+//    autodiff tape is recorded.
+//  * Tape path (options.use_tape): the original Sec. 6.2.3 formulation
+//    through the autodiff tape, kept for parity testing. Its seeded loss
+//    trajectory matches the fast path to ~1e-9 per epoch.
 
 #ifndef LEARNRISK_RISK_TRAINER_H_
 #define LEARNRISK_RISK_TRAINER_H_
@@ -35,6 +45,32 @@ struct RiskTrainerOptions {
   /// false for the paper-literal optimizer.
   bool use_adam = true;
   uint64_t seed = 13;
+  /// When true, trains through the autodiff tape (the original Sec. 6.2.3
+  /// path, kept for gradient-parity testing). The default analytic fast path
+  /// computes the same loss and gradients in closed form via
+  /// RiskModel::RiskScoreBatch — no per-epoch tape recording — and matches
+  /// the tape path's seeded loss trajectory to ~1e-9 per epoch.
+  bool use_tape = false;
+  /// Worker threads for batched scoring (0 = hardware concurrency).
+  size_t num_threads = 0;
+};
+
+/// \brief Throughput/size counters from the last Train() call.
+struct RiskTrainerStats {
+  size_t epochs = 0;            ///< epochs actually run
+  size_t rank_pairs = 0;        ///< rank pairs summed across epochs
+  size_t scored_pairs = 0;      ///< risk-score evaluations across epochs
+  size_t peak_tape_nodes = 0;   ///< tape path only; 0 on the fast path
+  double train_seconds = 0.0;   ///< wall clock inside Train()
+  double EpochsPerSec() const {
+    return train_seconds > 0.0 ? static_cast<double>(epochs) / train_seconds
+                               : 0.0;
+  }
+  double PairsPerSec() const {
+    return train_seconds > 0.0
+               ? static_cast<double>(rank_pairs) / train_seconds
+               : 0.0;
+  }
 };
 
 /// \brief Trains a RiskModel on a labeled risk-training activation set.
@@ -52,9 +88,13 @@ class RiskTrainer {
   /// \brief Mean sampled rank loss per epoch.
   const std::vector<double>& loss_history() const { return loss_history_; }
 
+  /// \brief Counters from the last Train() call.
+  const RiskTrainerStats& stats() const { return stats_; }
+
  private:
   RiskTrainerOptions options_;
   std::vector<double> loss_history_;
+  RiskTrainerStats stats_;
 };
 
 }  // namespace learnrisk

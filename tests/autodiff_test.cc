@@ -148,6 +148,94 @@ TEST(TapeTest, ClearEmptiesTape) {
   EXPECT_EQ(tape.size(), 0u);
 }
 
+TEST(TapeTest, BackwardIsSelfZeroing) {
+  // The historical bug: Backward accumulated `grad += 1.0` on the output
+  // without resetting first, so back-to-back calls silently doubled every
+  // gradient. The contract is now self-zeroing over the live subrange.
+  Tape tape;
+  Var x = tape.Variable(2.0);
+  Var y = Square(x);
+  tape.Backward(y);
+  EXPECT_DOUBLE_EQ(tape.Gradient(x), 4.0);
+  tape.Backward(y);  // no ZeroGrad in between
+  EXPECT_DOUBLE_EQ(tape.Gradient(x), 4.0);
+}
+
+TEST(TapeTest, CheckpointRewindRebuildsLossSubgraph) {
+  Tape tape;
+  Var w = tape.Variable(1.0);
+  const size_t mark = tape.Checkpoint();
+  EXPECT_EQ(mark, 1u);
+
+  // Epoch 1: record a loss subgraph, backprop.
+  Var loss1 = Square(w) + 3.0 * w;
+  tape.Backward(loss1);
+  EXPECT_DOUBLE_EQ(tape.Gradient(w), 2.0 * 1.0 + 3.0);
+  const size_t grown = tape.size();
+  EXPECT_GT(grown, mark);
+
+  // Epoch 2: rewind, refresh the parameter leaf, re-record.
+  tape.Rewind(mark);
+  EXPECT_EQ(tape.size(), mark);
+  tape.SetValue(w, 2.5);
+  EXPECT_DOUBLE_EQ(w.value(), 2.5);
+  Var loss2 = Square(w) + 3.0 * w;
+  tape.Backward(loss2);
+  EXPECT_DOUBLE_EQ(tape.Gradient(w), 2.0 * 2.5 + 3.0);
+}
+
+TEST(TapeTest, DivisionByZeroIsGuarded) {
+  // Var / Var with a zero denominator: huge but finite, never NaN.
+  {
+    Tape tape;
+    Var a = tape.Variable(0.0);
+    Var b = tape.Variable(0.0);
+    Var q = a / b;
+    tape.Backward(q);
+    EXPECT_FALSE(std::isnan(q.value()));
+    EXPECT_FALSE(std::isnan(tape.Gradient(a)));
+    EXPECT_FALSE(std::isnan(tape.Gradient(b)));
+  }
+  // double / Var likewise.
+  {
+    Tape tape;
+    Var b = tape.Variable(0.0);
+    Var q = 0.0 / b;
+    tape.Backward(q);
+    EXPECT_FALSE(std::isnan(q.value()));
+    EXPECT_FALSE(std::isnan(tape.Gradient(b)));
+  }
+  // A downstream softplus of a guarded quotient stays NaN-free end to end.
+  {
+    Tape tape;
+    Var b = tape.Variable(0.0);
+    Var loss = SoftplusV(ClampV(1.0 / b, -10.0, 10.0));
+    tape.Backward(loss);
+    EXPECT_FALSE(std::isnan(loss.value()));
+    EXPECT_FALSE(std::isnan(tape.Gradient(b)));
+  }
+  // Normal denominators are unaffected by the guard.
+  {
+    Tape tape;
+    Var a = tape.Variable(3.0);
+    Var b = tape.Variable(2.0);
+    Var q = a / b;
+    tape.Backward(q);
+    EXPECT_DOUBLE_EQ(q.value(), 1.5);
+    EXPECT_DOUBLE_EQ(tape.Gradient(a), 0.5);
+    EXPECT_DOUBLE_EQ(tape.Gradient(b), -0.75);
+  }
+}
+
+TEST(TapeTest, ReserveDoesNotDisturbRecording) {
+  Tape tape;
+  tape.Reserve(1024);
+  Var x = tape.Variable(1.0);
+  Var y = Exp(x) + x;
+  tape.Backward(y);
+  EXPECT_NEAR(tape.Gradient(x), std::exp(1.0) + 1.0, 1e-12);
+}
+
 TEST(TapeTest, RankNetLossGradientSigns) {
   // loss = softplus(gamma_j - gamma_i): decreasing in gamma_i (mislabeled
   // pair's risk should rise), increasing in gamma_j.

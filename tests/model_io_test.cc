@@ -48,6 +48,49 @@ RiskModel TrainedModel() {
   return model;
 }
 
+TEST(ModelIoTest, TrainerOptionsRoundTrip) {
+  RiskModel model = TrainedModel();
+  RiskTrainerOptions trainer;
+  trainer.epochs = 321;
+  trainer.learning_rate = 5e-4;
+  trainer.l1 = 2e-4;
+  trainer.l2 = 3e-4;
+  trainer.max_mislabeled_per_epoch = 128;
+  trainer.max_correct_per_epoch = 512;
+  trainer.max_rank_pairs = 4096;
+  trainer.use_adam = false;
+  trainer.use_tape = true;
+  trainer.seed = 99;
+
+  const std::string text = SerializeRiskModel(model, &trainer);
+  EXPECT_NE(text.find("trainer "), std::string::npos);
+
+  RiskTrainerOptions restored;
+  auto loaded = DeserializeRiskModel(text, &restored);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(restored.epochs, trainer.epochs);
+  EXPECT_DOUBLE_EQ(restored.learning_rate, trainer.learning_rate);
+  EXPECT_DOUBLE_EQ(restored.l1, trainer.l1);
+  EXPECT_DOUBLE_EQ(restored.l2, trainer.l2);
+  EXPECT_EQ(restored.max_mislabeled_per_epoch,
+            trainer.max_mislabeled_per_epoch);
+  EXPECT_EQ(restored.max_correct_per_epoch, trainer.max_correct_per_epoch);
+  EXPECT_EQ(restored.max_rank_pairs, trainer.max_rank_pairs);
+  EXPECT_EQ(restored.use_adam, trainer.use_adam);
+  EXPECT_EQ(restored.use_tape, trainer.use_tape);
+  EXPECT_EQ(restored.seed, trainer.seed);
+}
+
+TEST(ModelIoTest, PayloadWithoutTrainerRecordKeepsDefaults) {
+  RiskModel model = TrainedModel();
+  RiskTrainerOptions restored;
+  restored.epochs = 1;  // canary value
+  auto loaded = DeserializeRiskModel(SerializeRiskModel(model), &restored);
+  ASSERT_TRUE(loaded.ok());
+  // No trainer record in the payload: the out-param is left untouched.
+  EXPECT_EQ(restored.epochs, 1u);
+}
+
 TEST(ModelIoTest, RoundTripPreservesScores) {
   RiskModel original = TrainedModel();
   auto restored = DeserializeRiskModel(SerializeRiskModel(original));

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace learnrisk {
@@ -41,6 +42,65 @@ TEST(ParallelForTest, ExplicitSingleThread) {
   std::vector<int> visits(kN, 0);
   ParallelFor(kN, [&](size_t i) { visits[i]++; }, /*num_threads=*/1);
   for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelForTest, FewerIterationsThanThreads) {
+  // n below any plausible thread count: every index must still run once.
+  for (size_t n : {1u, 2u, 3u}) {
+    std::vector<std::atomic<int>> visits(n);
+    ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); },
+                /*num_threads=*/64);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ManyMoreIterationsThanThreads) {
+  constexpr size_t kN = 200000;
+  std::vector<std::atomic<uint8_t>> visits(kN);
+  ParallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); },
+              /*num_threads=*/2);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(static_cast<int>(visits[i].load()), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromBody) {
+  constexpr size_t kN = 50000;
+  auto boom = [&](size_t i) {
+    if (i == kN / 2) throw std::runtime_error("body failed");
+  };
+  EXPECT_THROW(ParallelFor(kN, boom), std::runtime_error);
+  // Small-n serial fallback propagates too.
+  EXPECT_THROW(
+      ParallelFor(10, [](size_t) { throw std::runtime_error("serial"); }),
+      std::runtime_error);
+  // The pool survives a failed loop: the next loop runs normally.
+  std::atomic<size_t> count{0};
+  ParallelFor(kN, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), kN);
+}
+
+TEST(ParallelForTest, NestedCallsRunSerially) {
+  constexpr size_t kOuter = 1000;
+  constexpr size_t kInner = 300;
+  std::vector<std::atomic<int>> visits(kOuter);
+  ParallelFor(kOuter, [&](size_t i) {
+    // Nested parallel loops must not deadlock; they degrade to serial.
+    std::atomic<int> inner{0};
+    ParallelFor(kInner, [&](size_t) { inner.fetch_add(1); });
+    if (inner.load() == kInner) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kOuter; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, RangeVariantCoversAllIndices) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelForRange(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+  EXPECT_GE(ParallelConcurrency(), 1u);
 }
 
 TEST(ParallelForTest, ResultsMatchSerialComputation) {
