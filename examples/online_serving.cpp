@@ -1,0 +1,135 @@
+// Copyright 2026 The LearnRisk Authors
+//
+// Online serving: train a risk model, publish it to a ServingEngine, score
+// incoming pair batches against the live snapshot, then hot-swap in a
+// retrained model without stopping the readers — the r-HUMO-style loop where
+// a human-machine workflow continuously consumes a risk ranking while the
+// model behind it is periodically refreshed.
+//
+// Run: ./build/online_serving
+
+#include <cstdio>
+
+#include "learnrisk/learnrisk.h"
+#include "serve/serving_engine.h"
+
+using namespace learnrisk;  // NOLINT: example brevity
+
+namespace {
+
+/// Fits the full pipeline (classifier + rules + risk model) on the workload.
+bool FitPipeline(LearnRiskPipeline* pipeline, const Workload& workload,
+                 const WorkloadSplit& split) {
+  const Status st = pipeline->Fit(workload, split.train, split.valid);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fit: %s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Workload + pipeline fit, as in quickstart but smaller.
+  GeneratorOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  auto workload_result = GenerateDataset("DS", gen);
+  if (!workload_result.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 workload_result.status().ToString().c_str());
+    return 1;
+  }
+  const Workload& workload = *workload_result;
+  Rng rng(7);
+  auto split_result = StratifiedSplit(workload, 3, 2, 5, &rng);
+  const WorkloadSplit& split = *split_result;
+
+  PipelineOptions options;
+  options.risk_trainer.epochs = 200;
+  LearnRiskPipeline pipeline(options);
+  if (!FitPipeline(&pipeline, workload, split)) return 1;
+
+  // 2. Publish the trained model. The engine freezes it into an immutable
+  // snapshot (transforms pre-applied, rules compiled to a columnar plan).
+  ServingEngine engine;
+  const uint64_t v1 = engine.Publish(pipeline.risk_model());
+  std::printf("published model version %llu (%zu rules)\n",
+              static_cast<unsigned long long>(v1),
+              pipeline.risk_model().num_rules());
+
+  // 3. An "incoming batch": metric rows + classifier outputs for test pairs.
+  // In production these come from the blocking/classifier stages; here we
+  // recompute the deterministic metric matrix the pipeline fitted on.
+  MetricSuite suite = MetricSuite::ForSchema(workload.left().schema());
+  suite.Fit(workload);
+  const FeatureMatrix all_features = ComputeFeatures(workload, suite);
+  const size_t batch_size = std::min<size_t>(256, split.test.size());
+  FeatureMatrix batch(batch_size, all_features.cols());
+  ScoreRequest request;
+  request.classifier_probs.resize(batch_size);
+  for (size_t k = 0; k < batch_size; ++k) {
+    const size_t pair = split.test[k];
+    for (size_t m = 0; m < all_features.cols(); ++m) {
+      batch.set(k, m, all_features.at(pair, m));
+    }
+    request.classifier_probs[k] = pipeline.classifier_probs()[pair];
+  }
+  request.metric_features = &batch;
+  request.explain_top_k = 2;
+
+  auto response = engine.Score(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "score: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  size_t riskiest = 0;
+  for (size_t k = 1; k < response->risk.size(); ++k) {
+    if (response->risk[k] > response->risk[riskiest]) riskiest = k;
+  }
+  std::printf("scored %zu pairs against v%llu; riskiest: pair %zu risk=%.3f\n",
+              response->risk.size(),
+              static_cast<unsigned long long>(response->model_version),
+              riskiest, response->risk[riskiest]);
+  for (const RiskContribution& c : response->explanations[riskiest]) {
+    std::printf("  [w=%.2f mu=%.2f rsd=%.2f] %s\n", c.weight, c.expectation,
+                c.rsd, c.description.c_str());
+  }
+
+  // 4. Hot swap: a retrained model (longer risk training) replaces the
+  // snapshot while the request path stays available the whole time.
+  PipelineOptions retrain_options;
+  retrain_options.risk_trainer.epochs = 600;
+  LearnRiskPipeline retrained(retrain_options);
+  if (!FitPipeline(&retrained, workload, split)) return 1;
+  const uint64_t v2 = engine.Publish(retrained.risk_model());
+  response = engine.Score(request);
+  if (!response.ok()) return 1;
+  std::printf("hot-swapped to version %llu; riskiest pair now risk=%.3f\n",
+              static_cast<unsigned long long>(v2),
+              response->risk[riskiest]);
+
+  // 5. Persistence: the live snapshot survives a save/load roundtrip, so a
+  // restarted server resumes from the same model.
+  const std::string path = "served_model.txt";
+  if (!engine.SaveCurrent(path).ok()) return 1;
+  ServingEngine restarted;
+  auto loaded = restarted.LoadAndPublish(path);
+  if (!loaded.ok()) return 1;
+  auto after = restarted.Score(request);
+  if (!after.ok()) {
+    std::fprintf(stderr, "score after restart: %s\n",
+                 after.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("restart from %s: version %llu, riskiest risk=%.3f (%s)\n",
+              path.c_str(), static_cast<unsigned long long>(*loaded),
+              after->risk[riskiest],
+              after->risk[riskiest] == response->risk[riskiest]
+                  ? "bit-identical"
+                  : "MISMATCH");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -3,8 +3,20 @@
 #include "risk/risk_feature.h"
 
 #include "common/parallel.h"
+#include "serve/compiled_rules.h"
 
 namespace learnrisk {
+
+void RiskFeatureSet::Compile() {
+  compiled_ = std::make_shared<const CompiledRuleSet>(rules_);
+}
+
+const CompiledRuleSet& RiskFeatureSet::compiled() const {
+  // Default-constructed sets (e.g. a not-yet-fitted pipeline member) never
+  // ran Compile; give them the empty plan instead of a null deref.
+  static const CompiledRuleSet kEmptyPlan{std::vector<Rule>()};
+  return compiled_ == nullptr ? kEmptyPlan : *compiled_;
+}
 
 RiskFeatureSet RiskFeatureSet::Build(std::vector<Rule> rules,
                                      const FeatureMatrix& train_features,
@@ -27,6 +39,7 @@ RiskFeatureSet RiskFeatureSet::Build(std::vector<Rule> rules,
     set.expectations_[j] = (static_cast<double>(matches) + 1.0) /
                            (static_cast<double>(covered) + 2.0);
   });
+  set.Compile();
   return set;
 }
 
@@ -37,6 +50,7 @@ RiskFeatureSet RiskFeatureSet::FromParts(std::vector<Rule> rules,
   set.rules_ = std::move(rules);
   set.expectations_ = std::move(expectations);
   set.train_support_ = std::move(train_support);
+  set.Compile();
   return set;
 }
 
@@ -52,22 +66,27 @@ std::vector<uint32_t> RiskFeatureSet::ActiveRules(
 }
 
 double RiskFeatureSet::Coverage(const FeatureMatrix& features) const {
-  if (features.rows() == 0) return 0.0;
-  size_t covered = 0;
-  for (size_t i = 0; i < features.rows(); ++i) {
-    for (const Rule& rule : rules_) {
-      if (rule.Matches(features.row(i))) {
-        ++covered;
-        break;
-      }
-    }
-  }
-  return static_cast<double>(covered) / static_cast<double>(features.rows());
+  return compiled().Coverage(features);
 }
 
 RiskActivation ComputeActivation(const RiskFeatureSet& features,
                                  const FeatureMatrix& metric_features,
                                  const std::vector<double>& classifier_probs) {
+  RiskActivation activation;
+  const size_t n = metric_features.rows();
+  activation.active.resize(n);
+  activation.classifier_output = classifier_probs;
+  activation.machine_label.resize(n);
+  features.compiled().EvaluateInto(metric_features, &activation.active);
+  for (size_t i = 0; i < n; ++i) {
+    activation.machine_label[i] = classifier_probs[i] >= 0.5 ? 1 : 0;
+  }
+  return activation;
+}
+
+RiskActivation ComputeActivationNaive(
+    const RiskFeatureSet& features, const FeatureMatrix& metric_features,
+    const std::vector<double>& classifier_probs) {
   RiskActivation activation;
   const size_t n = metric_features.rows();
   activation.active.resize(n);

@@ -11,8 +11,8 @@
 namespace learnrisk {
 namespace {
 
-// Keeps portfolio variances strictly positive so quantile gradients exist.
-constexpr double kSigmaFloor = 1e-6;
+// Local alias of the shared floor (risk_model.h) used throughout this file.
+constexpr double kSigmaFloor = kRiskSigmaFloor;
 
 double Logit(double p) {
   p = Clamp(p, 1e-9, 1.0 - 1e-9);

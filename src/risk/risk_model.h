@@ -28,6 +28,11 @@
 
 namespace learnrisk {
 
+/// Additive floor keeping portfolio sigmas strictly positive so quantile
+/// gradients exist. Shared by RiskModel and the serving ScorerSnapshot,
+/// whose scoring kernels must stay bit-identical.
+inline constexpr double kRiskSigmaFloor = 1e-6;
+
 /// \brief How a pair's risk is read off its probability distribution.
 enum class RiskMetric {
   kVaR,          ///< Value-at-Risk at confidence theta (the paper's choice)

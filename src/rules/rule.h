@@ -65,12 +65,24 @@ struct Rule {
   std::string ToString() const;
 
   /// \brief Canonical key of the condition (metric ids, directions,
-  /// thresholds rounded to 1e-6) for redundancy removal.
+  /// thresholds rounded to 1e-6) for redundancy removal. The key is computed
+  /// over the canonical predicate form, so it is independent of predicate
+  /// order and of redundant thresholds on the same metric/direction.
   std::string ConditionKey() const;
 };
 
-/// \brief Drops rules with duplicate conditions, keeping the highest-support
-/// instance of each condition. Order of first appearance is preserved.
+/// \brief Rewrites the rule's condition into canonical form: predicates
+/// sorted by (metric, direction, threshold) with redundant thresholds on the
+/// same metric/direction merged — the tightest wins (max threshold for '>',
+/// min for '<='). Semantics are unchanged; tree paths that test the same
+/// metric repeatedly collapse to one predicate per direction.
+void CanonicalizeRule(Rule* rule);
+
+/// \brief Canonicalizes every rule in place and drops rules with duplicate
+/// conditions, keeping the highest-support instance of each condition. Order
+/// of first appearance is preserved. Canonicalization makes the key
+/// order-independent, so permuted or threshold-redundant variants of the
+/// same condition deduplicate too.
 std::vector<Rule> DeduplicateRules(std::vector<Rule> rules);
 
 /// \brief Pairs covered by the rule in a feature matrix.

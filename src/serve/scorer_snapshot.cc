@@ -1,0 +1,114 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "serve/scorer_snapshot.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/parallel.h"
+
+namespace learnrisk {
+
+ScorerSnapshot::ScorerSnapshot(RiskModel model) : model_(std::move(model)) {
+  const size_t n_rules = model_.num_rules();
+  weight_.resize(n_rules);
+  expectation_.resize(n_rules);
+  sigma_.resize(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    // Same call chain as RiskModel::Distribution's per-rule terms, evaluated
+    // once here instead of once per (pair, rule).
+    weight_[j] = model_.RuleWeight(j);
+    expectation_[j] = model_.features().expectation(j);
+    sigma_[j] = model_.RuleRsd(j) * expectation_[j];
+  }
+  const RiskModelOptions& opts = model_.options();
+  alpha_ = Softplus(model_.alpha_raw());
+  beta_ = Softplus(model_.beta_raw());
+  var_confidence_ = opts.var_confidence;
+  metric_ = opts.metric;
+  use_classifier_feature_ = opts.use_classifier_feature;
+  out_rsd_.resize(model_.phi_out().size());
+  for (size_t b = 0; b < out_rsd_.size(); ++b) {
+    out_rsd_[b] = opts.rsd_max * Sigmoid(model_.phi_out()[b]);
+  }
+}
+
+double ScorerSnapshot::ScorePair(const uint32_t* active_rules,
+                                 size_t num_active, double classifier_output,
+                                 uint8_t machine_label) const {
+  // --- Portfolio distribution: RiskModel::Distribution with baked
+  // transforms; identical operations in identical order. ---
+  const bool with_output = use_classifier_feature_ || num_active == 0;
+  double w_out = 0.0;
+  if (with_output) {
+    const double z = (classifier_output - 0.5) / alpha_;
+    w_out = -std::exp(-0.5 * z * z) + beta_ + 1.0;
+  }
+  const double mu_out = Clamp(classifier_output, 0.0, 1.0);
+  const double sigma_out =
+      out_rsd_[model_.OutputBucket(classifier_output)] * mu_out;
+
+  double weight_sum = w_out;
+  double mu_acc = w_out * mu_out;
+  double var_acc = w_out * w_out * sigma_out * sigma_out;
+  for (size_t k = 0; k < num_active; ++k) {
+    const uint32_t j = active_rules[k];
+    const double w = weight_[j];
+    const double mu = expectation_[j];
+    const double sigma = sigma_[j];
+    weight_sum += w;
+    mu_acc += w * mu;
+    var_acc += w * w * sigma * sigma;
+  }
+  const double mu = mu_acc / weight_sum;
+  const double sigma = std::sqrt(var_acc) / weight_sum + kRiskSigmaFloor;
+
+  // --- Risk metric: RiskModel::RiskScore's switch, verbatim. ---
+  const double theta = var_confidence_;
+  switch (metric_) {
+    case RiskMetric::kVaR:
+      if (machine_label == 0) {
+        return TruncatedNormalQuantile(theta, mu, sigma, 0.0, 1.0);
+      }
+      return 1.0 - TruncatedNormalQuantile(1.0 - theta, mu, sigma, 0.0, 1.0);
+    case RiskMetric::kCVaR: {
+      if (machine_label == 0) {
+        const double var = TruncatedNormalQuantile(theta, mu, sigma, 0.0, 1.0);
+        return TruncatedNormalMean(mu, sigma, var, 1.0);
+      }
+      const double var =
+          TruncatedNormalQuantile(1.0 - theta, mu, sigma, 0.0, 1.0);
+      return 1.0 - TruncatedNormalMean(mu, sigma, 0.0, var);
+    }
+    case RiskMetric::kExpectation: {
+      const double mean = TruncatedNormalMean(mu, sigma, 0.0, 1.0);
+      return machine_label == 0 ? mean : 1.0 - mean;
+    }
+  }
+  return 0.0;
+}
+
+void ScorerSnapshot::ScoreBatch(const CsrActivation& activation,
+                                const std::vector<double>& classifier_probs,
+                                double* risk_out, uint8_t* label_out,
+                                size_t num_threads) const {
+  ParallelFor(
+      activation.rows(),
+      [&](size_t i) {
+        const uint8_t label = classifier_probs[i] >= 0.5 ? 1 : 0;
+        risk_out[i] = ScorePair(activation.row(i), activation.row_size(i),
+                                classifier_probs[i], label);
+        if (label_out != nullptr) label_out[i] = label;
+      },
+      num_threads);
+}
+
+std::vector<RiskContribution> ScorerSnapshot::Explain(
+    const uint32_t* active_rules, size_t num_active, double classifier_output,
+    size_t top_k) const {
+  return model_.Explain(
+      std::vector<uint32_t>(active_rules, active_rules + num_active),
+      classifier_output, top_k);
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,74 @@
+// Copyright 2026 The LearnRisk Authors
+// Frozen, immutable view of a trained RiskModel for online scoring — the
+// second layer of the serving subsystem. Construction bakes every parameter
+// transform (softplus rule weights, sigmoid-bounded RSDs, the influence
+// function's alpha/beta, per-bucket output RSDs) into flat arrays once, so
+// scoring a pair is pure arithmetic over precomputed doubles: no transform
+// re-evaluation, no allocation. The kernel mirrors RiskModel::RiskScore
+// operation-for-operation and is bit-identical to it.
+
+#ifndef LEARNRISK_SERVE_SCORER_SNAPSHOT_H_
+#define LEARNRISK_SERVE_SCORER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "risk/risk_model.h"
+#include "serve/compiled_rules.h"
+
+namespace learnrisk {
+
+/// \brief An immutable scoring view frozen from a RiskModel.
+///
+/// The snapshot owns a copy of the model (rules, priors, raw parameters —
+/// needed for explanations and model_io persistence) plus the baked flat
+/// arrays the hot scoring loop reads. A snapshot is safe to share across
+/// threads without synchronization: nothing mutates after construction.
+class ScorerSnapshot {
+ public:
+  explicit ScorerSnapshot(RiskModel model);
+
+  /// \brief The underlying model (for persistence / introspection).
+  const RiskModel& model() const { return model_; }
+  /// \brief The compiled activation plan (shared with the model's features).
+  const CompiledRuleSet& compiled() const { return model_.features().compiled(); }
+  size_t num_rules() const { return weight_.size(); }
+
+  /// \brief Risk score of one pair from its active-rule slice; bit-identical
+  /// to RiskModel::RiskScore on the same inputs.
+  double ScorePair(const uint32_t* active_rules, size_t num_active,
+                   double classifier_output, uint8_t machine_label) const;
+
+  /// \brief Scores every row of a CSR activation into caller-provided
+  /// buffers (risk_out, label_out sized activation.rows()); chunk-parallel
+  /// and allocation-free. label_out may be nullptr if machine labels are not
+  /// needed.
+  void ScoreBatch(const CsrActivation& activation,
+                  const std::vector<double>& classifier_probs,
+                  double* risk_out, uint8_t* label_out,
+                  size_t num_threads = 0) const;
+
+  /// \brief Top-k feature contributions for one pair (delegates to
+  /// RiskModel::Explain).
+  std::vector<RiskContribution> Explain(const uint32_t* active_rules,
+                                        size_t num_active,
+                                        double classifier_output,
+                                        size_t top_k) const;
+
+ private:
+  RiskModel model_;
+  // Baked transforms; read-only after construction.
+  double alpha_ = 0.0;           ///< softplus(alpha_raw)
+  double beta_ = 0.0;            ///< softplus(beta_raw)
+  double var_confidence_ = 0.9;
+  RiskMetric metric_ = RiskMetric::kVaR;
+  bool use_classifier_feature_ = true;
+  std::vector<double> weight_;       ///< RuleWeight(j)
+  std::vector<double> expectation_;  ///< mu_j prior
+  std::vector<double> sigma_;        ///< RuleRsd(j) * mu_j
+  std::vector<double> out_rsd_;      ///< rsd_max * sigmoid(phi_out_b)
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_SERVE_SCORER_SNAPSHOT_H_

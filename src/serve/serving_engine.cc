@@ -1,0 +1,94 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "serve/serving_engine.h"
+
+#include "risk/model_io.h"
+
+namespace learnrisk {
+
+uint64_t ServingEngine::Publish(RiskModel model) {
+  const uint64_t version =
+      next_version_.fetch_add(1, std::memory_order_relaxed);
+  auto published = std::make_shared<const Published>(version, std::move(model));
+  // Swap forward only: if a concurrent Publish drew a later version and its
+  // store landed first, installing ours would regress the served version.
+  auto expected = Load();
+  while (expected == nullptr || expected->version < version) {
+    if (std::atomic_compare_exchange_weak_explicit(
+            &published_, &expected,
+            std::shared_ptr<const Published>(published),
+            std::memory_order_release, std::memory_order_acquire)) {
+      break;
+    }
+  }
+  return version;
+}
+
+uint64_t ServingEngine::version() const {
+  const auto published = Load();
+  return published == nullptr ? 0 : published->version;
+}
+
+std::shared_ptr<const ScorerSnapshot> ServingEngine::snapshot() const {
+  const auto published = Load();
+  if (published == nullptr) return nullptr;
+  // Aliasing constructor: the returned pointer shares ownership of the whole
+  // Published record, keeping version and snapshot alive together.
+  return {published, &published->snapshot};
+}
+
+Result<ScoreResponse> ServingEngine::Score(const ScoreRequest& request) const {
+  const auto published = Load();
+  if (published == nullptr) {
+    return Status::FailedPrecondition("no model published to the engine");
+  }
+  if (request.metric_features == nullptr) {
+    return Status::InvalidArgument("ScoreRequest.metric_features is null");
+  }
+  const size_t n = request.metric_features->rows();
+  if (request.classifier_probs.size() != n) {
+    return Status::InvalidArgument(
+        "classifier_probs size does not match metric_features rows");
+  }
+
+  const ScorerSnapshot& snap = published->snapshot;
+  if (request.metric_features->cols() <
+      snap.compiled().min_feature_columns()) {
+    return Status::InvalidArgument(
+        "metric_features has fewer columns than the model's rules read");
+  }
+  const CsrActivation activation =
+      snap.compiled().EvaluateCsr(*request.metric_features);
+
+  ScoreResponse response;
+  response.model_version = published->version;
+  response.risk.resize(n);
+  response.machine_label.resize(n);
+  snap.ScoreBatch(activation, request.classifier_probs, response.risk.data(),
+                  response.machine_label.data());
+  if (request.explain_top_k > 0) {
+    response.explanations.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      response.explanations[i] =
+          snap.Explain(activation.row(i), activation.row_size(i),
+                       request.classifier_probs[i], request.explain_top_k);
+    }
+  }
+  return response;
+}
+
+Status ServingEngine::SaveCurrent(const std::string& path) const {
+  const auto published = Load();
+  if (published == nullptr) {
+    return Status::FailedPrecondition("no model published to the engine");
+  }
+  return SaveRiskModel(published->snapshot.model(), path);
+}
+
+Result<uint64_t> ServingEngine::LoadAndPublish(const std::string& path) {
+  Result<RiskModel> model = LoadRiskModel(path);
+  if (!model.ok()) return model.status();
+  return Publish(model.MoveValueOrDie());
+}
+
+}  // namespace learnrisk

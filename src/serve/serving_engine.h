@@ -1,0 +1,109 @@
+// Copyright 2026 The LearnRisk Authors
+// Hot-swappable risk-scoring engine — the top layer of the serving subsystem.
+// Holds the current ScorerSnapshot behind an atomically-swapped shared_ptr:
+// Score() loads the pointer once and works off that frozen snapshot for the
+// whole batch, while Publish() builds a new snapshot off to the side and
+// swaps it in with release semantics. Readers therefore never see a
+// half-updated model (no torn reads) and never block on a publish; requests
+// in flight finish on the snapshot they started with, which stays alive via
+// shared ownership until the last reader drops it (zero-downtime updates,
+// e.g. after a retraining cycle in a human-machine loop).
+
+#ifndef LEARNRISK_SERVE_SERVING_ENGINE_H_
+#define LEARNRISK_SERVE_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/scorer_snapshot.h"
+
+namespace learnrisk {
+
+/// \brief One scoring batch: metric features plus classifier outputs for the
+/// same pairs, and optionally a request for top-k explanations per pair.
+struct ScoreRequest {
+  /// Per-pair basic-metric rows (the rule evaluation input). Must stay alive
+  /// for the duration of the Score call. Required.
+  const FeatureMatrix* metric_features = nullptr;
+  /// Per-pair classifier equivalence probabilities; size must equal
+  /// metric_features->rows().
+  std::vector<double> classifier_probs;
+  /// When > 0, ScoreResponse::explanations carries the top-k
+  /// RiskContribution entries per pair.
+  size_t explain_top_k = 0;
+};
+
+/// \brief Scores plus the version of the model that produced them.
+struct ScoreResponse {
+  /// Monotonically increasing id of the snapshot used (Publish order). All
+  /// values in one response come from the same snapshot.
+  uint64_t model_version = 0;
+  std::vector<double> risk;           ///< mislabeling risk per pair
+  std::vector<uint8_t> machine_label; ///< classifier_prob >= 0.5
+  /// Per-pair top-k contributions; empty unless explain_top_k > 0.
+  std::vector<std::vector<RiskContribution>> explanations;
+};
+
+/// \brief Thread-safe registry of the current scoring snapshot.
+///
+/// All methods are safe to call concurrently. Score is wait-free with
+/// respect to Publish (one atomic shared_ptr load); concurrent Publish calls
+/// may interleave, but the engine only ever swaps forward — the snapshot
+/// with the highest version stays installed, so the served version never
+/// regresses and versions stay unique and increasing.
+class ServingEngine {
+ public:
+  ServingEngine() = default;
+
+  /// \brief Freezes the model into a snapshot and swaps it in as the current
+  /// scorer. Returns the new snapshot's version. Never blocks readers: the
+  /// (comparatively expensive) snapshot build happens before the swap.
+  uint64_t Publish(RiskModel model);
+
+  /// \brief True once a model has been published.
+  bool has_model() const { return Load() != nullptr; }
+
+  /// \brief Version of the current snapshot (0 if none published yet).
+  uint64_t version() const;
+
+  /// \brief The current snapshot, or nullptr before the first Publish. The
+  /// returned pointer keeps the snapshot alive independently of later swaps.
+  std::shared_ptr<const ScorerSnapshot> snapshot() const;
+
+  /// \brief Scores a batch against the current snapshot: compiled rule
+  /// activation, baked-kernel risk scores, optional top-k explanations.
+  /// Fails with FailedPrecondition before the first Publish and
+  /// InvalidArgument on malformed requests.
+  Result<ScoreResponse> Score(const ScoreRequest& request) const;
+
+  /// \brief Persists the current snapshot's model via model_io (text format;
+  /// survives a save/load roundtrip bit-exactly).
+  Status SaveCurrent(const std::string& path) const;
+
+  /// \brief Loads a model_io file and publishes it; returns the new version.
+  Result<uint64_t> LoadAndPublish(const std::string& path);
+
+ private:
+  struct Published {
+    uint64_t version;
+    ScorerSnapshot snapshot;
+    Published(uint64_t v, RiskModel m) : version(v), snapshot(std::move(m)) {}
+  };
+
+  std::shared_ptr<const Published> Load() const {
+    return std::atomic_load_explicit(&published_, std::memory_order_acquire);
+  }
+
+  // Swapped via std::atomic_load/store (C++17's shared_ptr atomic access);
+  // never mutated in place.
+  std::shared_ptr<const Published> published_;
+  std::atomic<uint64_t> next_version_{1};
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_SERVE_SERVING_ENGINE_H_

@@ -1,0 +1,284 @@
+// Copyright 2026 The LearnRisk Authors
+// Tests for the online-serving subsystem: ScorerSnapshot parity with
+// RiskModel::Score, ServingEngine request validation and explanations,
+// hot-swap safety under concurrent readers, and model_io persistence of a
+// published snapshot.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "risk/risk_feature.h"
+#include "serve/serving_engine.h"
+
+namespace learnrisk {
+namespace {
+
+constexpr size_t kMetrics = 5;
+
+// A feature set with real rules over kMetrics columns plus randomized
+// priors, and a model whose raw parameters are perturbed away from their
+// init values so every transform actually matters.
+RiskModel MakeModel(uint64_t seed, size_t n_rules) {
+  Rng rng(seed);
+  std::vector<Rule> rules(n_rules);
+  std::vector<double> expectations(n_rules);
+  std::vector<size_t> support(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    const size_t n_preds = 1 + rng.Index(3);
+    for (size_t k = 0; k < n_preds; ++k) {
+      Predicate p;
+      p.metric = rng.Index(kMetrics);
+      p.metric_name = "m" + std::to_string(p.metric);
+      p.greater = rng.Bernoulli(0.5);
+      p.threshold = rng.Uniform();
+      rules[j].predicates.push_back(std::move(p));
+    }
+    expectations[j] = rng.Uniform(0.1, 0.9);
+    support[j] = 10 + rng.Index(100);
+  }
+  RiskModel model(RiskFeatureSet::FromParts(std::move(rules),
+                                            std::move(expectations),
+                                            std::move(support)));
+  std::vector<double> theta(n_rules);
+  std::vector<double> phi(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    theta[j] = rng.Normal(0.0, 1.0);
+    phi[j] = rng.Normal(0.0, 1.0);
+  }
+  std::vector<double> phi_out(model.phi_out().size());
+  for (double& v : phi_out) v = rng.Normal(0.0, 1.0);
+  model.ApplyUpdate(theta, phi, rng.Normal(0.0, 0.5), rng.Normal(0.5, 0.5),
+                    phi_out);
+  return model;
+}
+
+FeatureMatrix MakeFeatures(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  FeatureMatrix features(rows, kMetrics);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t m = 0; m < kMetrics; ++m) features.set(i, m, rng.Uniform());
+  }
+  return features;
+}
+
+std::vector<double> MakeProbs(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  std::vector<double> probs(rows);
+  for (double& p : probs) p = rng.Uniform();
+  return probs;
+}
+
+TEST(ScorerSnapshotTest, BitIdenticalToModelScore) {
+  const RiskModel model = MakeModel(3, 48);
+  const FeatureMatrix features = MakeFeatures(4, 400);
+  const std::vector<double> probs = MakeProbs(5, 400);
+
+  const RiskActivation activation =
+      ComputeActivation(model.features(), features, probs);
+  const std::vector<double> expected = model.Score(activation);
+
+  const ScorerSnapshot snapshot(model);
+  const CsrActivation csr = snapshot.compiled().EvaluateCsr(features);
+  std::vector<double> risk(features.rows());
+  std::vector<uint8_t> labels(features.rows());
+  snapshot.ScoreBatch(csr, probs, risk.data(), labels.data());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(risk[i], expected[i]) << "pair " << i;  // exact, not NEAR
+    ASSERT_EQ(labels[i], activation.machine_label[i]);
+  }
+}
+
+TEST(ScorerSnapshotTest, BitIdenticalAcrossRiskMetrics) {
+  for (RiskMetric metric :
+       {RiskMetric::kVaR, RiskMetric::kCVaR, RiskMetric::kExpectation}) {
+    RiskModelOptions options;
+    options.metric = metric;
+    RiskModel base = MakeModel(11, 32);
+    RiskModel model(base.features(), options);
+    model.ApplyUpdate(base.theta(), base.phi(), base.alpha_raw(),
+                      base.beta_raw(), base.phi_out());
+    const FeatureMatrix features = MakeFeatures(12, 150);
+    const std::vector<double> probs = MakeProbs(13, 150);
+    const RiskActivation activation =
+        ComputeActivation(model.features(), features, probs);
+    const std::vector<double> expected = model.Score(activation);
+    const ScorerSnapshot snapshot(model);
+    std::vector<double> risk(features.rows());
+    snapshot.ScoreBatch(snapshot.compiled().EvaluateCsr(features), probs,
+                        risk.data(), nullptr);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(risk[i], expected[i]);
+    }
+  }
+}
+
+TEST(ServingEngineTest, RejectsBeforePublishAndValidatesRequests) {
+  ServingEngine engine;
+  EXPECT_FALSE(engine.has_model());
+  EXPECT_EQ(engine.version(), 0u);
+  EXPECT_EQ(engine.snapshot(), nullptr);
+
+  const FeatureMatrix features = MakeFeatures(1, 10);
+  ScoreRequest request;
+  request.metric_features = &features;
+  request.classifier_probs = MakeProbs(2, 10);
+  EXPECT_TRUE(engine.Score(request).status().IsFailedPrecondition());
+
+  const uint64_t v = engine.Publish(MakeModel(3, 16));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(engine.has_model());
+  EXPECT_EQ(engine.version(), 1u);
+
+  ScoreRequest null_features;
+  EXPECT_TRUE(engine.Score(null_features).status().IsInvalidArgument());
+  ScoreRequest size_mismatch;
+  size_mismatch.metric_features = &features;
+  size_mismatch.classifier_probs = MakeProbs(2, 7);
+  EXPECT_TRUE(engine.Score(size_mismatch).status().IsInvalidArgument());
+
+  // Rows narrower than the metric columns the rules read are rejected
+  // (the compiled evaluator would index past the row otherwise).
+  const FeatureMatrix narrow(10, 1);
+  ScoreRequest narrow_request;
+  narrow_request.metric_features = &narrow;
+  narrow_request.classifier_probs = MakeProbs(2, 10);
+  EXPECT_TRUE(engine.Score(narrow_request).status().IsInvalidArgument());
+
+  const auto response = engine.Score(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->model_version, 1u);
+  EXPECT_EQ(response->risk.size(), 10u);
+  EXPECT_TRUE(response->explanations.empty());
+}
+
+TEST(ServingEngineTest, ExplanationsCarryTopKContributions) {
+  ServingEngine engine;
+  engine.Publish(MakeModel(21, 24));
+  const FeatureMatrix features = MakeFeatures(22, 20);
+  ScoreRequest request;
+  request.metric_features = &features;
+  request.classifier_probs = MakeProbs(23, 20);
+  request.explain_top_k = 3;
+  const auto response = engine.Score(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->explanations.size(), 20u);
+  for (const auto& contributions : response->explanations) {
+    ASSERT_FALSE(contributions.empty());
+    EXPECT_LE(contributions.size(), 3u);
+    for (size_t k = 1; k < contributions.size(); ++k) {
+      EXPECT_GE(contributions[k - 1].weight, contributions[k].weight);
+    }
+  }
+}
+
+// Readers score a fixed request in a loop while the main thread keeps
+// publishing different models. Every response must match one published
+// model's expected output exactly and entirely — a torn snapshot (scores
+// from a half-swapped model) would mix two expectation vectors and fail the
+// element-wise comparison against the version it reports.
+TEST(ServingEngineTest, ConcurrentScoreDuringPublishSeesNoTornState) {
+  constexpr size_t kModels = 4;
+  constexpr size_t kRows = 64;
+  constexpr size_t kPublishes = 60;
+  constexpr size_t kReaders = 3;
+
+  const FeatureMatrix features = MakeFeatures(100, kRows);
+  const std::vector<double> probs = MakeProbs(101, kRows);
+
+  std::vector<RiskModel> models;
+  std::vector<std::vector<double>> expected(kModels);
+  for (size_t k = 0; k < kModels; ++k) {
+    models.push_back(MakeModel(200 + k, 40));
+    const RiskActivation act =
+        ComputeActivation(models[k].features(), features, probs);
+    expected[k] = models[k].Score(act);
+  }
+
+  ServingEngine engine;
+  // Version v serves model (v - 1) % kModels: publishes go out in
+  // round-robin order from this single thread.
+  ASSERT_EQ(engine.Publish(models[0]), 1u);
+
+  ScoreRequest request;
+  request.metric_features = &features;
+  request.classifier_probs = probs;
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> total_reads{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto response = engine.Score(request);
+        if (!response.ok()) {
+          failed.store(true);
+          return;
+        }
+        const size_t model_index =
+            static_cast<size_t>((response->model_version - 1) % kModels);
+        if (response->model_version == 0 ||
+            response->risk != expected[model_index]) {
+          failed.store(true);
+          return;
+        }
+        total_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  uint64_t last_version = 1;
+  for (size_t p = 1; p <= kPublishes; ++p) {
+    const uint64_t v = engine.Publish(models[p % kModels]);
+    EXPECT_EQ(v, last_version + 1);
+    last_version = v;
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(total_reads.load(), 0u);
+  EXPECT_EQ(engine.version(), kPublishes + 1);
+}
+
+TEST(ServingEngineTest, SnapshotSurvivesSaveLoadRoundtrip) {
+  ServingEngine engine;
+  engine.Publish(MakeModel(77, 32));
+  const FeatureMatrix features = MakeFeatures(78, 120);
+  ScoreRequest request;
+  request.metric_features = &features;
+  request.classifier_probs = MakeProbs(79, 120);
+  const auto before = engine.Score(request);
+  ASSERT_TRUE(before.ok());
+
+  const std::string path = ::testing::TempDir() + "/learnrisk_snapshot.txt";
+  ASSERT_TRUE(engine.SaveCurrent(path).ok());
+
+  ServingEngine restored;
+  const auto version = restored.LoadAndPublish(path);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+  const auto after = restored.Score(request);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->risk.size(), before->risk.size());
+  for (size_t i = 0; i < before->risk.size(); ++i) {
+    // Text serialization uses max_digits10, so the roundtrip is exact.
+    ASSERT_EQ(after->risk[i], before->risk[i]);
+    ASSERT_EQ(after->machine_label[i], before->machine_label[i]);
+  }
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(
+      restored.LoadAndPublish("/nonexistent/learnrisk.model").status()
+          .IsIOError());
+  ServingEngine empty;
+  EXPECT_TRUE(empty.SaveCurrent(path).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace learnrisk
