@@ -1,0 +1,210 @@
+// Copyright 2026 The LearnRisk Authors
+//
+// Request-gateway bench: end-to-end throughput of Gateway::Resolve on a
+// generated DS workload — raw tables in, risk scores out — with the
+// per-stage breakdown (blocking / featurization / scoring) the gateway's
+// StageTiming reports, plus p50/p99 per-request latency over fixed-size
+// explicit-pair batches. Prints a table and writes BENCH_gateway.json so
+// later PRs have an end-to-end serving perf trajectory.
+//
+// Env knobs:
+//   LEARNRISK_BENCH_SCALE   dataset scale                (default 0.05)
+//   LEARNRISK_BENCH_BATCH   explicit-pair request size   (default 256)
+//   LEARNRISK_BENCH_RULES   risk-model rules             (default 64)
+//   LEARNRISK_SEED          master seed                  (default 7)
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "classifier/logistic.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "gateway/gateway.h"
+#include "risk/risk_feature.h"
+
+namespace {
+
+using namespace learnrisk;  // NOLINT
+
+constexpr double kMinRunSeconds = 0.4;
+
+double PairsPerSec(size_t pairs, double ms) {
+  return ms > 0.0 ? static_cast<double>(pairs) / (ms / 1e3) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Request gateway: raw tables -> risk scores, per-stage breakdown");
+
+  const double scale = bench::EnvDouble("LEARNRISK_BENCH_SCALE", 0.05);
+  const size_t batch_size = bench::EnvSize("LEARNRISK_BENCH_BATCH", 256);
+  const size_t num_rules = bench::EnvSize("LEARNRISK_BENCH_RULES", 64);
+  const uint64_t seed = bench::Seed();
+
+  GeneratorOptions generator;
+  generator.scale = scale;
+  generator.seed = seed;
+  Result<Workload> workload = GenerateDataset("DS", generator);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  MetricSuite suite = MetricSuite::ForSchema(workload->left().schema());
+  suite.Fit(*workload);
+  const size_t num_metrics = suite.num_metrics();
+  const FeatureMatrix features = ComputeFeatures(*workload, suite);
+  LogisticOptions logistic;
+  logistic.epochs = 60;
+  logistic.seed = seed;
+  auto classifier = std::make_shared<LogisticClassifier>(logistic);
+  if (!classifier->Train(features, workload->Labels()).ok()) {
+    std::fprintf(stderr, "classifier training failed\n");
+    return 1;
+  }
+
+  Gateway gateway;
+  NamespaceSpec spec;
+  spec.left = workload->left_ptr();
+  spec.right = workload->right_ptr();
+  spec.suite = suite;
+  spec.classifier = classifier;
+  Status registered = gateway.RegisterNamespace("ds", std::move(spec));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 registered.ToString().c_str());
+    return 1;
+  }
+  const auto published = gateway.Publish(
+      "ds", bench::MakeSyntheticRuleModel(num_rules, num_metrics, seed + 1));
+  if (!published.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Full-block end to end: one request = the whole candidate set. ------
+  ResolveRequest block_all;
+  block_all.block_all = true;
+  size_t candidate_pairs = 0;
+  size_t total_pairs = 0;
+  StageTiming stage_sum;
+  double total_ms = 0.0;
+  {
+    const auto warm = gateway.Resolve("ds", block_all);  // warm-up
+    if (!warm.ok()) {
+      std::fprintf(stderr, "resolve failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    candidate_pairs = warm->pairs.size();
+    Timer timer;
+    do {
+      const auto response = gateway.Resolve("ds", block_all);
+      if (!response.ok()) return 1;
+      total_pairs += response->pairs.size();
+      stage_sum.blocking_ms += response->timing.blocking_ms;
+      stage_sum.featurize_ms += response->timing.featurize_ms;
+      stage_sum.score_ms += response->timing.score_ms;
+    } while (timer.ElapsedSeconds() < kMinRunSeconds);
+    total_ms = timer.ElapsedMillis();
+  }
+  const double end_to_end = PairsPerSec(total_pairs, total_ms);
+  const double blocking_rate = PairsPerSec(total_pairs, stage_sum.blocking_ms);
+  const double featurize_rate =
+      PairsPerSec(total_pairs, stage_sum.featurize_ms);
+  const double score_rate = PairsPerSec(total_pairs, stage_sum.score_ms);
+
+  std::printf("workload: DS scale=%.2f, %zu x %zu records, %zu candidate "
+              "pairs, %zu metrics, %zu rules\n\n",
+              scale, workload->left().num_records(),
+              workload->right().num_records(), candidate_pairs, num_metrics,
+              num_rules);
+  std::printf("full-block resolve (end-to-end %16.0f pairs/s):\n", end_to_end);
+  std::printf("  %-12s %16s %10s\n", "stage", "pairs/s", "share");
+  const double stage_total_ms =
+      stage_sum.blocking_ms + stage_sum.featurize_ms + stage_sum.score_ms;
+  std::printf("  %-12s %16.0f %9.1f%%\n", "blocking", blocking_rate,
+              100.0 * stage_sum.blocking_ms / stage_total_ms);
+  std::printf("  %-12s %16.0f %9.1f%%\n", "featurize", featurize_rate,
+              100.0 * stage_sum.featurize_ms / stage_total_ms);
+  std::printf("  %-12s %16.0f %9.1f%%\n", "score", score_rate,
+              100.0 * stage_sum.score_ms / stage_total_ms);
+
+  // --- Batched requests: per-request latency distribution. ----------------
+  std::vector<ResolveRequest> batches;
+  {
+    const auto full = gateway.Resolve("ds", block_all);
+    if (!full.ok()) return 1;
+    for (size_t begin = 0; begin < full->pairs.size(); begin += batch_size) {
+      const size_t end = std::min(begin + batch_size, full->pairs.size());
+      ResolveRequest request;
+      request.pairs.assign(full->pairs.begin() + static_cast<ptrdiff_t>(begin),
+                           full->pairs.begin() + static_cast<ptrdiff_t>(end));
+      batches.push_back(std::move(request));
+    }
+  }
+  std::vector<double> latencies_ms;
+  size_t batched_pairs = 0;
+  double batched_ms = 0.0;
+  {
+    Timer run_timer;
+    do {
+      for (const ResolveRequest& request : batches) {
+        Timer request_timer;
+        const auto response = gateway.Resolve("ds", request);
+        latencies_ms.push_back(request_timer.ElapsedMillis());
+        if (!response.ok()) return 1;
+        batched_pairs += response->pairs.size();
+      }
+    } while (run_timer.ElapsedSeconds() < kMinRunSeconds);
+    batched_ms = run_timer.ElapsedMillis();
+  }
+  const double batched_rate = PairsPerSec(batched_pairs, batched_ms);
+  const double p50 = bench::Percentile(latencies_ms, 0.5);
+  const double p99 = bench::Percentile(latencies_ms, 0.99);
+  std::printf("\nbatched resolve (batch=%zu): %16.0f pairs/s, p50 %.3f ms, "
+              "p99 %.3f ms\n",
+              batch_size, batched_rate, p50, p99);
+
+  FILE* json = std::fopen("BENCH_gateway.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"records_left\": %zu,\n"
+                 "  \"records_right\": %zu,\n"
+                 "  \"candidate_pairs\": %zu,\n"
+                 "  \"metric_columns\": %zu,\n"
+                 "  \"rules\": %zu,\n",
+                 scale, workload->left().num_records(),
+                 workload->right().num_records(), candidate_pairs, num_metrics,
+                 num_rules);
+    std::fprintf(json,
+                 "  \"full_block\": {\n"
+                 "    \"end_to_end_pairs_per_sec\": %.1f,\n"
+                 "    \"blocking_pairs_per_sec\": %.1f,\n"
+                 "    \"featurize_pairs_per_sec\": %.1f,\n"
+                 "    \"score_pairs_per_sec\": %.1f\n"
+                 "  },\n",
+                 end_to_end, blocking_rate, featurize_rate, score_rate);
+    std::fprintf(json,
+                 "  \"batched\": {\n"
+                 "    \"batch\": %zu,\n"
+                 "    \"pairs_per_sec\": %.1f,\n"
+                 "    \"request_p50_ms\": %.4f,\n"
+                 "    \"request_p99_ms\": %.4f\n"
+                 "  }\n}\n",
+                 batch_size, batched_rate, p50, p99);
+    std::fclose(json);
+    std::printf("\n  wrote BENCH_gateway.json\n");
+  }
+  return 0;
+}

@@ -28,29 +28,6 @@ using namespace learnrisk;  // NOLINT
 
 constexpr double kMinRunSeconds = 0.4;
 
-RiskModel MakeModel(size_t num_rules, size_t num_metrics, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Rule> rules(num_rules);
-  std::vector<double> expectations(num_rules);
-  std::vector<size_t> support(num_rules);
-  for (size_t j = 0; j < num_rules; ++j) {
-    const size_t n_preds = 1 + rng.Index(3);
-    for (size_t k = 0; k < n_preds; ++k) {
-      Predicate p;
-      p.metric = rng.Index(num_metrics);
-      p.metric_name = "m" + std::to_string(p.metric);
-      p.greater = rng.Bernoulli(0.5);
-      p.threshold = rng.Uniform();
-      rules[j].predicates.push_back(std::move(p));
-    }
-    expectations[j] = rng.Uniform(0.1, 0.9);
-    support[j] = 10 + rng.Index(200);
-  }
-  return RiskModel(RiskFeatureSet::FromParts(std::move(rules),
-                                             std::move(expectations),
-                                             std::move(support)));
-}
-
 FeatureMatrix MakeFeatures(size_t rows, size_t num_metrics, uint64_t seed) {
   Rng rng(seed);
   FeatureMatrix features(rows, num_metrics);
@@ -75,13 +52,6 @@ double Throughput(const Fn& fn) {
   return static_cast<double>(runs) / timer.ElapsedSeconds();
 }
 
-double Percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const size_t k = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
-  return xs[k];
-}
-
 struct RunStats {
   size_t rules = 0;
   double naive_pairs_per_sec = 0.0;
@@ -97,7 +67,7 @@ RunStats RunOne(size_t num_rules, size_t num_pairs, size_t num_metrics,
                 size_t batch_size, uint64_t seed) {
   RunStats stats;
   stats.rules = num_rules;
-  RiskModel model = MakeModel(num_rules, num_metrics, seed);
+  RiskModel model = bench::MakeSyntheticRuleModel(num_rules, num_metrics, seed);
   const RiskFeatureSet& features = model.features();
   const FeatureMatrix metric_features =
       MakeFeatures(num_pairs, num_metrics, seed + 1);
@@ -164,8 +134,8 @@ RunStats RunOne(size_t num_rules, size_t num_pairs, size_t num_metrics,
   } while (run_timer.ElapsedSeconds() < kMinRunSeconds);
   stats.engine_pairs_per_sec =
       static_cast<double>(scored) / run_timer.ElapsedSeconds();
-  stats.engine_p50_ms = Percentile(latencies_ms, 0.5);
-  stats.engine_p99_ms = Percentile(latencies_ms, 0.99);
+  stats.engine_p50_ms = bench::Percentile(latencies_ms, 0.5);
+  stats.engine_p99_ms = bench::Percentile(latencies_ms, 0.99);
   return stats;
 }
 

@@ -10,9 +10,15 @@
 #ifndef LEARNRISK_BENCH_BENCH_UTIL_H_
 #define LEARNRISK_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "risk/risk_feature.h"
+#include "risk/risk_model.h"
 
 namespace learnrisk::bench {
 
@@ -47,6 +53,41 @@ inline void PrintBanner(const char* title) {
 inline void PrintPaperMeasured(const char* method, double paper,
                                double measured) {
   std::printf("  %-12s paper=%.3f  measured=%.3f\n", method, paper, measured);
+}
+
+/// The p-quantile (nearest-rank on the sorted copy) of a latency sample.
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t k = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[k];
+}
+
+/// A RiskModel over synthetic rules (1-3 random threshold predicates each on
+/// `num_metrics` columns, uniform priors) — the shared workload generator of
+/// the serving and gateway benches.
+inline RiskModel MakeSyntheticRuleModel(size_t num_rules, size_t num_metrics,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rule> rules(num_rules);
+  std::vector<double> expectations(num_rules);
+  std::vector<size_t> support(num_rules);
+  for (size_t j = 0; j < num_rules; ++j) {
+    const size_t n_preds = 1 + rng.Index(3);
+    for (size_t k = 0; k < n_preds; ++k) {
+      Predicate p;
+      p.metric = rng.Index(num_metrics);
+      p.metric_name = "m" + std::to_string(p.metric);
+      p.greater = rng.Bernoulli(0.5);
+      p.threshold = rng.Uniform();
+      rules[j].predicates.push_back(std::move(p));
+    }
+    expectations[j] = rng.Uniform(0.1, 0.9);
+    support[j] = 10 + rng.Index(200);
+  }
+  return RiskModel(RiskFeatureSet::FromParts(std::move(rules),
+                                             std::move(expectations),
+                                             std::move(support)));
 }
 
 }  // namespace learnrisk::bench

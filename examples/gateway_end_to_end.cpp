@@ -1,0 +1,126 @@
+// Copyright 2026 The LearnRisk Authors
+// End-to-end request gateway walkthrough: fit a LearnRisk pipeline per
+// dataset, register each as a gateway namespace (tables + blocking + metric
+// suite + frozen classifier), publish the trained risk models into the
+// multi-tenant registry, and resolve raw record pairs — batch (block_all)
+// and online (add a record, probe it) — through one API.
+//
+//   ./gateway_end_to_end
+
+#include <cstdio>
+#include <memory>
+
+#include "classifier/mlp.h"
+#include "gateway/gateway.h"
+#include "learnrisk/learnrisk.h"
+
+using namespace learnrisk;  // NOLINT
+
+namespace {
+
+// Fits the full LearnRisk stack on a generated dataset and registers the
+// result as a gateway namespace.
+bool SetUpNamespace(Gateway* gateway, const std::string& ns,
+                    const std::string& dataset, uint64_t seed) {
+  GeneratorOptions options;
+  options.scale = 0.05;
+  options.seed = seed;
+  Result<Workload> workload = GenerateDataset(dataset, options);
+  if (!workload.ok()) return false;
+  Rng rng(seed);
+  Result<WorkloadSplit> split = StratifiedSplit(*workload, 3, 2, 5, &rng);
+  if (!split.ok()) return false;
+
+  PipelineOptions pipeline_options;
+  pipeline_options.risk_trainer.epochs = 150;
+  LearnRiskPipeline pipeline(pipeline_options);
+  if (!pipeline.Fit(*workload, split->train, split->valid).ok()) return false;
+
+  NamespaceSpec spec;
+  spec.left = workload->left_ptr();
+  spec.right = workload->right_ptr();
+  spec.suite = pipeline.suite();
+  // The gateway freezes a copy of the fitted classifier; the pipeline
+  // object can be discarded after registration.
+  spec.classifier = std::make_shared<MlpClassifier>(pipeline.classifier());
+  spec.classifier_columns = pipeline.classifier_columns();
+  if (!gateway->RegisterNamespace(ns, std::move(spec)).ok()) return false;
+  const auto version = gateway->Publish(ns, pipeline.risk_model());
+  if (!version.ok()) return false;
+  std::printf("namespace %-4s <- %s: %zu risk rules, model v%llu\n",
+              ns.c_str(), dataset.c_str(),
+              pipeline.risk_model().num_rules(),
+              static_cast<unsigned long long>(*version));
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Gateway gateway;
+  if (!SetUpNamespace(&gateway, "ds", "DS", 7) ||
+      !SetUpNamespace(&gateway, "ab", "AB", 11)) {
+    std::fprintf(stderr, "namespace setup failed\n");
+    return 1;
+  }
+
+  // --- Batch: raw tables -> blocking -> ranked risky pairs. ---------------
+  for (const std::string& ns : gateway.Namespaces()) {
+    ResolveRequest request;
+    request.block_all = true;
+    request.explain_top_k = 2;
+    const auto response = gateway.Resolve(ns, request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "resolve failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    // Riskiest labeled pair in the namespace.
+    size_t top = 0;
+    for (size_t i = 1; i < response->scores.risk.size(); ++i) {
+      if (response->scores.risk[i] > response->scores.risk[top]) top = i;
+    }
+    std::printf(
+        "\n[%s] %zu candidate pairs (blocking %.1f ms, featurize %.1f ms, "
+        "score %.1f ms)\n",
+        ns.c_str(), response->pairs.size(), response->timing.blocking_ms,
+        response->timing.featurize_ms, response->timing.score_ms);
+    std::printf("  riskiest pair (%zu, %zu): label=%s risk=%.3f\n",
+                response->pairs[top].left, response->pairs[top].right,
+                response->scores.machine_label[top] ? "match" : "unmatch",
+                response->scores.risk[top]);
+    for (const RiskContribution& c : response->scores.explanations[top]) {
+      std::printf("    %-50.50s weight=%.2f mu=%.2f\n", c.description.c_str(),
+                  c.weight, c.expectation);
+    }
+  }
+
+  // --- Online: a new record arrives, gets indexed, and is probed. ---------
+  // Append a fresh bibliography record to the right side, then probe with a
+  // copy of it — the blocking index picks it (and any other token-sharing
+  // record) up without a rebuild, and the same Resolve stack scores the
+  // candidates.
+  Record arrival;
+  arrival.values = {"incremental entity resolution at serving time",
+                    "chen q, lee w", "sigmod", "2020"};
+  if (!gateway.AddRecord("ds", BlockingSide::kRight, arrival).ok()) return 1;
+  const auto probe_response = gateway.ResolveRecord("ds", arrival, 1);
+  if (!probe_response.ok()) {
+    std::fprintf(stderr, "probe failed: %s\n",
+                 probe_response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n[ds] online probe after AddRecord: %zu blocking "
+              "candidates, %zu scored\n",
+              probe_response->candidates.size(),
+              probe_response->scores.risk.size());
+
+  // --- Persistence: save every namespace's model, reload elsewhere. -------
+  const std::string dir = "/tmp/learnrisk_gateway_registry";
+  if (!gateway.registry().SaveAll(dir).ok()) return 1;
+  ModelRegistry restored;
+  const auto loaded = restored.LoadAll(dir);
+  if (!loaded.ok()) return 1;
+  std::printf("\nregistry saved and reloaded: %zu namespaces\n", *loaded);
+  return 0;
+}

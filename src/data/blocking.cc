@@ -21,16 +21,27 @@ using TokenIndex = std::unordered_map<std::string, std::vector<size_t>>;
 TokenIndex BuildIndex(const Table& table, size_t attr, size_t min_len) {
   TokenIndex index;
   for (size_t i = 0; i < table.num_records(); ++i) {
-    std::unordered_set<std::string> seen;
-    for (const std::string& tok : Tokenize(table.record(i).value(attr))) {
-      if (tok.size() < min_len) continue;
-      if (seen.insert(tok).second) index[tok].push_back(i);
+    for (const std::string& tok :
+         BlockingKeyTokens(table.record(i), attr, min_len)) {
+      index[tok].push_back(i);
     }
   }
   return index;
 }
 
 }  // namespace
+
+std::vector<std::string> BlockingKeyTokens(const Record& record,
+                                           size_t key_attribute,
+                                           size_t min_token_length) {
+  std::vector<std::string> tokens;
+  std::unordered_set<std::string> seen;
+  for (std::string& tok : Tokenize(record.value(key_attribute))) {
+    if (tok.size() < min_token_length) continue;
+    if (seen.insert(tok).second) tokens.push_back(std::move(tok));
+  }
+  return tokens;
+}
 
 Result<std::vector<RecordPair>> TokenBlocking(const Table& left,
                                               const Table& right,
@@ -79,8 +90,12 @@ Result<std::vector<RecordPair>> TokenBlocking(const Table& left,
   std::vector<RecordPair> pairs;
   pairs.reserve(pair_set.size());
   for (const auto& [li, ri] : pair_set) {
-    pairs.push_back(
-        RecordPair{li, ri, left.entity_id(li) == right.entity_id(ri)});
+    // Negative entity ids mean "unknown" (e.g. records added online without
+    // ground truth) and never count as equivalent; the gateway's
+    // BlockingIndex applies the same rule, keeping the two paths identical.
+    const bool equivalent = left.entity_id(li) >= 0 &&
+                            left.entity_id(li) == right.entity_id(ri);
+    pairs.push_back(RecordPair{li, ri, equivalent});
   }
   return pairs;
 }

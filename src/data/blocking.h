@@ -30,11 +30,20 @@ struct BlockingConfig {
   size_t max_block_size = 200;
 };
 
+/// \brief The deduplicated blocking tokens of one record's key attribute
+/// (tokens shorter than `min_token_length` dropped, first occurrence kept).
+/// Shared by the batch blocker and the gateway's incremental BlockingIndex so
+/// the two stay token-for-token identical.
+std::vector<std::string> BlockingKeyTokens(const Record& record,
+                                           size_t key_attribute,
+                                           size_t min_token_length);
+
 /// \brief Builds candidate pairs between two tables (pass the same table
 /// twice for deduplication; self-pairs and (j,i) duplicates are excluded).
 ///
-/// Ground-truth equivalence comes from the tables' entity ids. The result is
-/// deduplicated and ordered deterministically.
+/// Ground-truth equivalence comes from the tables' entity ids (negative ids
+/// mean unknown and never match). The result is deduplicated and ordered
+/// deterministically.
 Result<std::vector<RecordPair>> TokenBlocking(const Table& left,
                                               const Table& right,
                                               const BlockingConfig& config);

@@ -1,0 +1,119 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "gateway/blocking_index.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace learnrisk {
+
+Result<BlockingIndex> BlockingIndex::Build(const Table& left,
+                                           const Table& right,
+                                           const BlockingConfig& config) {
+  if (config.key_attribute >= left.schema().num_attributes() ||
+      config.key_attribute >= right.schema().num_attributes()) {
+    return Status::InvalidArgument("blocking key attribute out of range");
+  }
+  BlockingIndex index(config, &left == &right);
+  for (size_t i = 0; i < left.num_records(); ++i) {
+    LEARNRISK_RETURN_NOT_OK(
+        index.AddRecord(BlockingSide::kLeft, left.record(i),
+                        left.entity_id(i)));
+  }
+  if (!index.dedup_) {
+    for (size_t i = 0; i < right.num_records(); ++i) {
+      LEARNRISK_RETURN_NOT_OK(
+          index.AddRecord(BlockingSide::kRight, right.record(i),
+                          right.entity_id(i)));
+    }
+  }
+  return index;
+}
+
+Status BlockingIndex::AddRecord(BlockingSide side, const Record& record,
+                                int64_t entity_id) {
+  if (config_.key_attribute >= record.values.size()) {
+    return Status::InvalidArgument("blocking key attribute out of range");
+  }
+  const bool to_left = dedup_ || side == BlockingSide::kLeft;
+  Postings& postings = to_left ? left_postings_ : right_postings_;
+  std::vector<int64_t>& entities = to_left ? left_entities_ : right_entities_;
+  const size_t index = entities.size();
+  for (std::string& tok :
+       BlockingKeyTokens(record, config_.key_attribute,
+                         config_.min_token_length)) {
+    postings[std::move(tok)].push_back(index);
+  }
+  entities.push_back(entity_id);
+  return Status::OK();
+}
+
+size_t BlockingIndex::DfCap(BlockingSide side) const {
+  const auto cap = static_cast<size_t>(
+      config_.max_token_df * static_cast<double>(entities(side).size()));
+  return std::max<size_t>(cap, 1);
+}
+
+std::vector<size_t> BlockingIndex::Candidates(const Record& probe,
+                                              BlockingSide target) const {
+  std::vector<size_t> out;
+  if (config_.key_attribute >= probe.values.size()) return out;
+  const Postings& target_postings = postings(target);
+  const size_t df_cap = DfCap(target);
+  std::set<size_t> found;
+  for (const std::string& tok :
+       BlockingKeyTokens(probe, config_.key_attribute,
+                         config_.min_token_length)) {
+    auto it = target_postings.find(tok);
+    if (it == target_postings.end()) continue;
+    const std::vector<size_t>& ids = it->second;
+    if (ids.size() > df_cap) continue;          // token too common
+    if (ids.size() > config_.max_block_size) continue;  // block purging
+    found.insert(ids.begin(), ids.end());
+  }
+  out.assign(found.begin(), found.end());
+  return out;
+}
+
+std::vector<RecordPair> BlockingIndex::AllCandidates() const {
+  // Mirrors TokenBlocking's batch loop over the live postings: same caps
+  // (evaluated at the current record counts), same dedup semantics, same
+  // set-ordered deterministic output.
+  const Postings& right_postings = postings(BlockingSide::kRight);
+  const std::vector<int64_t>& right_entities = entities(BlockingSide::kRight);
+  const size_t left_df_cap = DfCap(BlockingSide::kLeft);
+  const size_t right_df_cap = DfCap(BlockingSide::kRight);
+
+  std::set<std::pair<size_t, size_t>> pair_set;
+  for (const auto& [token, left_ids] : left_postings_) {
+    auto it = right_postings.find(token);
+    if (it == right_postings.end()) continue;
+    const std::vector<size_t>& right_ids = it->second;
+    if (left_ids.size() > left_df_cap || right_ids.size() > right_df_cap) {
+      continue;  // token too common to be discriminating
+    }
+    if (left_ids.size() > config_.max_block_size ||
+        right_ids.size() > config_.max_block_size) {
+      continue;  // block purging
+    }
+    for (size_t li : left_ids) {
+      for (size_t ri : right_ids) {
+        if (dedup_ && li >= ri) continue;
+        pair_set.emplace(li, ri);
+      }
+    }
+  }
+
+  std::vector<RecordPair> pairs;
+  pairs.reserve(pair_set.size());
+  for (const auto& [li, ri] : pair_set) {
+    // Unknown entities (-1) never count as equivalent.
+    const bool equivalent =
+        left_entities_[li] >= 0 && left_entities_[li] == right_entities[ri];
+    pairs.push_back(RecordPair{li, ri, equivalent});
+  }
+  return pairs;
+}
+
+}  // namespace learnrisk

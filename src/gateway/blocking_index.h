@@ -1,0 +1,111 @@
+// Copyright 2026 The LearnRisk Authors
+// Incremental, queryable token blocking — the candidate-generation layer of
+// the request gateway. Holds per-side token postings in memory so records can
+// be added online one at a time and probed for blocking candidates without
+// rebuilding anything; materializing every candidate pair from the postings
+// reproduces the offline TokenBlocking batch blocker exactly (same tokens via
+// BlockingKeyTokens, same document-frequency and block-purging caps, same
+// deterministic pair order).
+
+#ifndef LEARNRISK_GATEWAY_BLOCKING_INDEX_H_
+#define LEARNRISK_GATEWAY_BLOCKING_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/blocking.h"
+#include "data/table.h"
+#include "data/workload.h"
+
+namespace learnrisk {
+
+/// \brief Which side of a two-table workload a record belongs to. Dedup
+/// (single-table) indexes fold both sides onto kLeft.
+enum class BlockingSide { kLeft, kRight };
+
+/// \brief An in-memory inverted index over blocking tokens, maintained
+/// incrementally.
+///
+/// The index is the online counterpart of TokenBlocking: AddRecord appends a
+/// record's postings, Candidates probes a raw (possibly unseen) record for
+/// blocking partners, and AllCandidates materializes the full candidate set.
+/// The df / block-size caps are evaluated lazily against the *current*
+/// posting sizes, so AllCandidates after N AddRecord calls is identical to
+/// batch-blocking the same N records. Not internally synchronized — the
+/// gateway guards each namespace's index with its table lock.
+class BlockingIndex {
+ public:
+  BlockingIndex() = default;
+
+  /// \brief An empty index. `dedup` selects single-table semantics: both
+  /// sides share one posting list and AllCandidates emits (i, j) with i < j.
+  BlockingIndex(BlockingConfig config, bool dedup)
+      : config_(config), dedup_(dedup) {}
+
+  /// \brief Index over all records of two tables (pass the same table object
+  /// twice for dedup). AllCandidates() of the result equals
+  /// TokenBlocking(left, right, config) exactly.
+  static Result<BlockingIndex> Build(const Table& left, const Table& right,
+                                     const BlockingConfig& config);
+
+  const BlockingConfig& config() const { return config_; }
+  bool dedup() const { return dedup_; }
+
+  /// \brief Records indexed on one side (dedup: both sides report the single
+  /// table's count).
+  size_t num_records(BlockingSide side) const {
+    return entities(side).size();
+  }
+
+  /// \brief Appends one record's postings. `entity_id` is the generator
+  /// ground truth used to flag AllCandidates pairs as equivalent; pass -1
+  /// when unknown (production traffic), which marks every pair non-match.
+  /// In dedup mode the side is ignored (single table). Fails if the key
+  /// attribute is out of range for the record.
+  Status AddRecord(BlockingSide side, const Record& record,
+                   int64_t entity_id = -1);
+
+  /// \brief Blocking candidates of a raw probe record on the target side:
+  /// indices of target-side records sharing at least one sufficiently
+  /// discriminating token, ascending. The df / block-size caps are applied
+  /// to the target side's postings; the probe side's df cap cannot be
+  /// evaluated for an unseen record and is skipped, so the result is a
+  /// superset of the batch pairs involving the probe. Dedup indexes probe
+  /// the single table regardless of `target`.
+  std::vector<size_t> Candidates(const Record& probe,
+                                 BlockingSide target) const;
+
+  /// \brief Every candidate pair implied by the current postings, with the
+  /// same caps, dedup semantics, and deterministic ordering as
+  /// TokenBlocking over the same records.
+  std::vector<RecordPair> AllCandidates() const;
+
+ private:
+  using Postings = std::unordered_map<std::string, std::vector<size_t>>;
+
+  const Postings& postings(BlockingSide side) const {
+    return !dedup_ && side == BlockingSide::kRight ? right_postings_
+                                                   : left_postings_;
+  }
+  const std::vector<int64_t>& entities(BlockingSide side) const {
+    return !dedup_ && side == BlockingSide::kRight ? right_entities_
+                                                   : left_entities_;
+  }
+  /// \brief df cap of one side at its current size (TokenBlocking's
+  /// max(max_token_df * records, 1)).
+  size_t DfCap(BlockingSide side) const;
+
+  BlockingConfig config_;
+  bool dedup_ = false;
+  Postings left_postings_;
+  Postings right_postings_;
+  std::vector<int64_t> left_entities_;
+  std::vector<int64_t> right_entities_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_GATEWAY_BLOCKING_INDEX_H_

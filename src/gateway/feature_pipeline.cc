@@ -1,0 +1,94 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "gateway/feature_pipeline.h"
+
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace learnrisk {
+
+FeaturePipeline::FeaturePipeline(
+    MetricSuite suite, std::shared_ptr<const BinaryClassifier> classifier,
+    std::vector<size_t> classifier_columns)
+    : suite_(std::move(suite)),
+      classifier_(std::move(classifier)),
+      classifier_columns_(std::move(classifier_columns)) {}
+
+template <typename PairAt>
+Result<FeaturizedBatch> FeaturePipeline::RunImpl(size_t n,
+                                                 const PairAt& pair_at) const {
+  if (classifier_ == nullptr) {
+    return Status::FailedPrecondition("feature pipeline has no classifier");
+  }
+  const size_t num_metrics = suite_.num_metrics();
+  if (num_metrics == 0) {
+    return Status::FailedPrecondition("feature pipeline has an empty suite");
+  }
+  for (size_t c : classifier_columns_) {
+    if (c >= num_metrics) {
+      return Status::InvalidArgument("classifier column out of range");
+    }
+  }
+
+  FeaturizedBatch batch;
+  batch.features = FeatureMatrix(n, num_metrics);
+  batch.features.column_names = suite_.MetricNames();
+  batch.probs.resize(n);
+  const bool gather = !classifier_columns_.empty();
+  const size_t classifier_width =
+      gather ? classifier_columns_.size() : num_metrics;
+  ParallelForRange(n, [&](size_t begin, size_t end) {
+    // Per-thread scratch for the classifier's gathered input columns; metric
+    // values land directly in the output matrix.
+    std::vector<double> gathered(gather ? classifier_width : 0);
+    for (size_t i = begin; i < end; ++i) {
+      const auto [left_record, right_record] = pair_at(i);
+      double* row = batch.features.mutable_row(i);
+      suite_.EvaluatePairInto(*left_record, *right_record, row);
+      const double* classifier_input = row;
+      if (gather) {
+        for (size_t k = 0; k < classifier_width; ++k) {
+          gathered[k] = row[classifier_columns_[k]];
+        }
+        classifier_input = gathered.data();
+      }
+      batch.probs[i] =
+          classifier_->PredictProba(classifier_input, classifier_width);
+    }
+  });
+  return batch;
+}
+
+Result<FeaturizedBatch> FeaturePipeline::Run(
+    const Table& left, const Table& right,
+    const std::vector<RecordPair>& pairs) const {
+  for (const RecordPair& pair : pairs) {
+    if (pair.left >= left.num_records() || pair.right >= right.num_records()) {
+      return Status::OutOfRange("record pair index out of table range");
+    }
+  }
+  return RunImpl(pairs.size(), [&](size_t i) {
+    return std::make_pair(&left.record(pairs[i].left),
+                          &right.record(pairs[i].right));
+  });
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunProbe(
+    const Record& probe, const Table& table,
+    const std::vector<size_t>& candidates) const {
+  if (probe.values.size() != table.schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "probe record width does not match the table schema");
+  }
+  for (size_t c : candidates) {
+    if (c >= table.num_records()) {
+      return Status::OutOfRange("candidate record index out of table range");
+    }
+  }
+  return RunImpl(candidates.size(), [&](size_t i) {
+    return std::make_pair(&probe, &table.record(candidates[i]));
+  });
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,77 @@
+// Copyright 2026 The LearnRisk Authors
+// Inline featurization — the middle layer of the request gateway. Evaluates
+// the fitted MetricSuite and the frozen classifier on raw record pairs in
+// one chunk-parallel pass: each thread writes metric rows straight into the
+// output FeatureMatrix and gathers the classifier's input columns into a
+// reused per-thread scratch buffer, so the hot loop allocates no per-pair
+// vectors. Values are bit-identical to the offline ComputeFeatures +
+// PredictProbaAll stages over the same pairs.
+
+#ifndef LEARNRISK_GATEWAY_FEATURE_PIPELINE_H_
+#define LEARNRISK_GATEWAY_FEATURE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "data/workload.h"
+#include "metrics/metric_suite.h"
+
+namespace learnrisk {
+
+/// \brief Featurization output for one batch of raw pairs: the metric rows
+/// (the rule-evaluation input) plus the classifier's equivalence
+/// probabilities — exactly what a ScoreRequest consumes.
+struct FeaturizedBatch {
+  FeatureMatrix features;
+  std::vector<double> probs;
+};
+
+/// \brief A frozen (suite, classifier) pair evaluating raw record pairs.
+///
+/// The pipeline owns a copy of the fitted metric suite and shares ownership
+/// of the classifier; both are immutable here, so Run is safe to call
+/// concurrently from many request threads.
+class FeaturePipeline {
+ public:
+  FeaturePipeline() = default;
+
+  /// \brief `classifier_columns` lists the metric columns the classifier was
+  /// trained on (empty = all columns). The suite must already be fitted.
+  FeaturePipeline(MetricSuite suite,
+                  std::shared_ptr<const BinaryClassifier> classifier,
+                  std::vector<size_t> classifier_columns = {});
+
+  const MetricSuite& suite() const { return suite_; }
+  const std::vector<size_t>& classifier_columns() const {
+    return classifier_columns_;
+  }
+
+  /// \brief Metric rows + classifier probabilities for record pairs indexing
+  /// into the two tables (chunk-parallel, per-thread scratch).
+  Result<FeaturizedBatch> Run(const Table& left, const Table& right,
+                              const std::vector<RecordPair>& pairs) const;
+
+  /// \brief Same pass for one raw probe record against candidate records of
+  /// a table (the online single-record path). The probe takes the pair's
+  /// left slot.
+  Result<FeaturizedBatch> RunProbe(const Record& probe, const Table& table,
+                                   const std::vector<size_t>& candidates)
+      const;
+
+ private:
+  /// \brief Shared core: featurize pair i via `record_at(i)` = (left record,
+  /// right record).
+  template <typename PairAt>
+  Result<FeaturizedBatch> RunImpl(size_t n, const PairAt& pair_at) const;
+
+  MetricSuite suite_;
+  std::shared_ptr<const BinaryClassifier> classifier_;
+  std::vector<size_t> classifier_columns_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_GATEWAY_FEATURE_PIPELINE_H_

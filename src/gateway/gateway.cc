@@ -1,0 +1,214 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "gateway/gateway.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace learnrisk {
+
+Gateway::Gateway(GatewayOptions options)
+    : options_(options), registry_(options.registry) {}
+
+Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
+  if (!ModelRegistry::ValidNamespace(ns)) {
+    return Status::InvalidArgument("invalid namespace '" + ns + "'");
+  }
+  if (spec.left == nullptr) {
+    return Status::InvalidArgument("namespace spec has no left table");
+  }
+  const bool dedup = spec.right == nullptr || spec.right == spec.left;
+  if (!dedup && !spec.left->schema().Equals(spec.right->schema())) {
+    return Status::InvalidArgument(
+        "left and right tables have different schemas");
+  }
+  if (spec.suite.num_metrics() == 0) {
+    return Status::InvalidArgument("namespace spec has an empty metric suite");
+  }
+  if (spec.classifier == nullptr) {
+    return Status::InvalidArgument("namespace spec has no classifier");
+  }
+  for (size_t c : spec.classifier_columns) {
+    if (c >= spec.suite.num_metrics()) {
+      return Status::InvalidArgument("classifier column out of range");
+    }
+  }
+  if (spec.blocking.key_attribute >= spec.left->schema().num_attributes()) {
+    return Status::InvalidArgument("blocking key attribute out of range");
+  }
+  if (HasNamespace(ns)) {
+    // Checked again at the emplace below (the build is lock-free and could
+    // race another registration); this early exit just avoids copying the
+    // tables and building the blocking index for a name that's taken.
+    return Status::FailedPrecondition("namespace '" + ns +
+                                      "' already registered");
+  }
+
+  auto state = std::make_shared<NamespaceState>();
+  state->dedup = dedup;
+  // The gateway owns mutable copies so AddRecord can grow the namespace
+  // online without touching the caller's tables.
+  state->left = *spec.left;
+  if (!dedup) state->right = *spec.right;
+  Result<BlockingIndex> index = BlockingIndex::Build(
+      state->left, dedup ? state->left : state->right, spec.blocking);
+  if (!index.ok()) return index.status();
+  state->index = index.MoveValueOrDie();
+  state->pipeline =
+      FeaturePipeline(std::move(spec.suite), std::move(spec.classifier),
+                      std::move(spec.classifier_columns));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!namespaces_.emplace(ns, std::move(state)).second) {
+    return Status::FailedPrecondition("namespace '" + ns +
+                                      "' already registered");
+  }
+  return Status::OK();
+}
+
+bool Gateway::HasNamespace(const std::string& ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return namespaces_.count(ns) > 0;
+}
+
+std::vector<std::string> Gateway::Namespaces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(namespaces_.size());
+  for (const auto& [ns, state] : namespaces_) names.push_back(ns);
+  return names;
+}
+
+Result<uint64_t> Gateway::Publish(const std::string& ns, RiskModel model) {
+  if (!HasNamespace(ns)) {
+    return Status::NotFound("unknown namespace '" + ns + "'");
+  }
+  return registry_.Publish(ns, std::move(model));
+}
+
+Result<std::shared_ptr<Gateway::NamespaceState>> Gateway::State(
+    const std::string& ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) {
+    return Status::NotFound("unknown namespace '" + ns + "'");
+  }
+  return it->second;
+}
+
+Status Gateway::ScoreBatch(const std::string& ns,
+                           const FeaturizedBatch& batch, size_t explain_top_k,
+                           ScoreResponse* scores, StageTiming* timing) {
+  Result<std::shared_ptr<ServingEngine>> engine = registry_.Engine(ns);
+  if (!engine.ok()) {
+    // A registered namespace is only unknown to the registry before its
+    // first publish; surface that as a precondition, not a lookup miss.
+    if (engine.status().IsNotFound()) {
+      return Status::FailedPrecondition("no model published for namespace '" +
+                                        ns + "'");
+    }
+    return engine.status();
+  }
+  ScoreRequest request;
+  request.metric_features = &batch.features;
+  request.classifier_probs = batch.probs;
+  request.explain_top_k = explain_top_k;
+  Timer timer;
+  Result<ScoreResponse> response = (*engine)->Score(request);
+  timing->score_ms = timer.ElapsedMillis();
+  if (!response.ok()) return response.status();
+  *scores = response.MoveValueOrDie();
+  return Status::OK();
+}
+
+Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
+                                         const ResolveRequest& request) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  if (request.block_all && !request.pairs.empty()) {
+    return Status::InvalidArgument(
+        "ResolveRequest has both explicit pairs and block_all");
+  }
+  if (!request.block_all && request.pairs.empty()) {
+    return Status::InvalidArgument(
+        "empty ResolveRequest: provide pairs or set block_all");
+  }
+
+  NamespaceState& s = **state;
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  ResolveResponse response;
+  Timer timer;
+  response.pairs =
+      request.block_all ? s.index.AllCandidates() : request.pairs;
+  response.timing.blocking_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  Result<FeaturizedBatch> batch =
+      s.pipeline.Run(s.left, s.right_table(), response.pairs);
+  if (!batch.ok()) return batch.status();
+  response.timing.featurize_ms = timer.ElapsedMillis();
+
+  LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, request.explain_top_k,
+                                     &response.scores, &response.timing));
+  return response;
+}
+
+Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
+                                             const Record& probe,
+                                             size_t explain_top_k) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  if (probe.values.size() != s.left.schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "probe record width does not match the namespace schema");
+  }
+
+  ProbeResponse response;
+  Timer timer;
+  response.candidates = s.index.Candidates(
+      probe, s.dedup ? BlockingSide::kLeft : BlockingSide::kRight);
+  response.timing.blocking_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  Result<FeaturizedBatch> batch =
+      s.pipeline.RunProbe(probe, s.right_table(), response.candidates);
+  if (!batch.ok()) return batch.status();
+  response.timing.featurize_ms = timer.ElapsedMillis();
+
+  LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, explain_top_k,
+                                     &response.scores, &response.timing));
+  return response;
+}
+
+Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
+                          Record record, int64_t entity_id) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  Table& target =
+      s.dedup || side == BlockingSide::kLeft ? s.left : s.right;
+  if (record.values.size() != target.schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "record width does not match the namespace schema");
+  }
+  // Index first (it validates the key attribute against the record), then
+  // append; the width check above makes the append infallible, so the two
+  // structures cannot diverge.
+  LEARNRISK_RETURN_NOT_OK(s.index.AddRecord(side, record, entity_id));
+  return target.Append(std::move(record), entity_id);
+}
+
+Result<size_t> Gateway::NumRecords(const std::string& ns,
+                                   BlockingSide side) const {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  return s.index.num_records(side);
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,163 @@
+// Copyright 2026 The LearnRisk Authors
+// Raw-record request gateway: the first end-to-end entry point of the
+// serving stack. A namespace bundles a workload's tables, an incremental
+// BlockingIndex, and a FeaturePipeline (fitted metric suite + frozen
+// classifier); the embedded ModelRegistry maps the same namespace to its
+// ServingEngine. Resolve then runs blocking -> metrics -> classifier -> risk
+// in one call, turning two raw tables into risk-ranked candidate pairs —
+// with per-stage wall-clock timing for observability — and every stage is
+// bit-identical to running the offline TokenBlocking + MetricSuite +
+// ServingEngine path by hand.
+
+#ifndef LEARNRISK_GATEWAY_GATEWAY_H_
+#define LEARNRISK_GATEWAY_GATEWAY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "common/status.h"
+#include "data/blocking.h"
+#include "data/table.h"
+#include "data/workload.h"
+#include "gateway/blocking_index.h"
+#include "gateway/feature_pipeline.h"
+#include "gateway/model_registry.h"
+#include "metrics/metric_suite.h"
+
+namespace learnrisk {
+
+/// \brief Everything a namespace needs to serve raw pairs: its tables, the
+/// fitted metric suite, the frozen classifier, and the blocking parameters.
+struct NamespaceSpec {
+  std::shared_ptr<const Table> left;
+  /// Null or equal to `left` selects dedup (single-table) semantics.
+  std::shared_ptr<const Table> right;
+  /// Must already be fitted (Fit on the namespace's workload).
+  MetricSuite suite;
+  std::shared_ptr<const BinaryClassifier> classifier;
+  /// Metric columns the classifier was trained on (empty = all).
+  std::vector<size_t> classifier_columns;
+  BlockingConfig blocking;
+};
+
+/// \brief One Resolve call: explicit candidate pairs, or — with `block_all`
+/// — every candidate the namespace's blocking index currently implies.
+struct ResolveRequest {
+  std::vector<RecordPair> pairs;
+  bool block_all = false;
+  /// When > 0, responses carry top-k explanations per pair.
+  size_t explain_top_k = 0;
+};
+
+/// \brief Wall-clock breakdown of one gateway request.
+struct StageTiming {
+  double blocking_ms = 0.0;
+  double featurize_ms = 0.0;
+  double score_ms = 0.0;
+  double total_ms() const { return blocking_ms + featurize_ms + score_ms; }
+};
+
+/// \brief Scored candidate pairs plus the serving metadata.
+struct ResolveResponse {
+  /// The pairs that were scored (request order, or the blocker's
+  /// deterministic order under block_all); scores.risk[i] belongs to
+  /// pairs[i].
+  std::vector<RecordPair> pairs;
+  ScoreResponse scores;
+  StageTiming timing;
+};
+
+/// \brief Result of probing one raw record: the blocking candidates on the
+/// opposite side and their scores against the probe.
+struct ProbeResponse {
+  std::vector<size_t> candidates;
+  ScoreResponse scores;
+  StageTiming timing;
+};
+
+/// \brief Gateway configuration (the embedded registry's options).
+struct GatewayOptions {
+  ModelRegistryOptions registry;
+};
+
+/// \brief Multi-tenant raw-record scoring front end.
+///
+/// Thread safety: namespaces are independently locked (shared for scoring,
+/// exclusive for AddRecord), and model publishes go through the registry's
+/// hot-swap path, so Resolve traffic keeps flowing on the snapshot it
+/// started with while models and records change underneath.
+class Gateway {
+ public:
+  explicit Gateway(GatewayOptions options = {});
+
+  /// \brief Installs a namespace's tables, blocking index (built here from
+  /// the tables) and feature pipeline. Fails on invalid specs or duplicate
+  /// names. Publishing a model is a separate step (Publish / registry()).
+  Status RegisterNamespace(const std::string& ns, NamespaceSpec spec);
+
+  bool HasNamespace(const std::string& ns) const;
+  std::vector<std::string> Namespaces() const;
+
+  /// \brief Publishes a risk model for the namespace (hot-swap; returns the
+  /// namespace's new version). The namespace must be registered.
+  Result<uint64_t> Publish(const std::string& ns, RiskModel model);
+
+  /// \brief The embedded registry (save/load of all models, LRU stats).
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  /// \brief Scores raw record pairs end-to-end: candidate generation (or
+  /// the request's explicit pairs), inline featurization, risk scoring.
+  /// NotFound for unknown namespaces, InvalidArgument for empty or
+  /// ambiguous requests, FailedPrecondition before the first Publish.
+  Result<ResolveResponse> Resolve(const std::string& ns,
+                                  const ResolveRequest& request);
+
+  /// \brief Online single-record path: blocks a raw probe record against
+  /// the namespace's opposite side and scores the resulting candidates.
+  Result<ProbeResponse> ResolveRecord(const std::string& ns,
+                                      const Record& probe,
+                                      size_t explain_top_k = 0);
+
+  /// \brief Appends a record to one side of the namespace (table + blocking
+  /// index), making it visible to subsequent Resolve / ResolveRecord calls.
+  /// `entity_id` is optional ground truth (-1 = unknown).
+  Status AddRecord(const std::string& ns, BlockingSide side, Record record,
+                   int64_t entity_id = -1);
+
+  /// \brief Current record count of one side of a namespace.
+  Result<size_t> NumRecords(const std::string& ns, BlockingSide side) const;
+
+ private:
+  struct NamespaceState {
+    mutable std::shared_mutex mu;  ///< tables + index; pipeline is immutable
+    bool dedup = false;
+    Table left;
+    Table right;  ///< unused when dedup
+    BlockingIndex index;
+    FeaturePipeline pipeline;
+
+    const Table& right_table() const { return dedup ? left : right; }
+  };
+
+  Result<std::shared_ptr<NamespaceState>> State(const std::string& ns) const;
+  /// \brief Featurized batch -> engine score, shared by Resolve and
+  /// ResolveRecord. Fills scores + the featurize/score timings.
+  Status ScoreBatch(const std::string& ns, const FeaturizedBatch& batch,
+                    size_t explain_top_k, ScoreResponse* scores,
+                    StageTiming* timing);
+
+  GatewayOptions options_;
+  ModelRegistry registry_;
+  mutable std::mutex mu_;  ///< guards namespaces_ map shape only
+  std::map<std::string, std::shared_ptr<NamespaceState>> namespaces_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_GATEWAY_GATEWAY_H_

@@ -1,0 +1,251 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "gateway/model_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "risk/model_io.h"
+
+namespace learnrisk {
+namespace {
+
+constexpr char kManifestName[] = "registry.manifest";
+constexpr char kManifestHeader[] = "learnrisk-registry v1";
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + dir +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(ModelRegistryOptions options)
+    : options_(std::move(options)) {}
+
+bool ModelRegistry::ValidNamespace(const std::string& ns) {
+  if (ns.empty() || ns.size() > 128) return false;
+  if (!std::isalnum(static_cast<unsigned char>(ns.front()))) return false;
+  for (char c : ns) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ModelRegistry::SpillPath(const std::string& ns) const {
+  return options_.spill_dir + "/" + ns + ".model";
+}
+
+Result<uint64_t> ModelRegistry::Publish(const std::string& ns,
+                                        RiskModel model) {
+  if (!ValidNamespace(ns)) {
+    return Status::InvalidArgument("invalid namespace '" + ns + "'");
+  }
+  if (options_.max_resident > 0 && options_.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "ModelRegistryOptions.max_resident requires a spill_dir");
+  }
+
+  std::shared_ptr<ServingEngine> engine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[ns];
+    entry.touched = ++clock_;
+    if (entry.engine == nullptr) {
+      entry.engine = std::make_shared<ServingEngine>(entry.last_version + 1);
+    }
+    engine = entry.engine;
+    // Pin the engine against eviction for the duration of the publish: all
+    // concurrent publishers must funnel into this one engine so its counter
+    // keeps versions unique, and a spill mid-flight would orphan the model.
+    ++entry.publishing;
+    Status evicted = EvictOverCapLocked();
+    if (!evicted.ok()) {
+      --entry.publishing;
+      return evicted;
+    }
+  }
+
+  // The snapshot build (the expensive part of Publish) runs outside the
+  // registry lock; concurrent publishes to the same namespace serialize
+  // inside the engine's forward-only swap.
+  const uint64_t version = engine->Publish(std::move(model));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[ns];
+  --entry.publishing;
+  entry.last_version = std::max(entry.last_version, version);
+  // The pin kept entry.engine == engine, so a later eviction spills (and a
+  // reload re-serves) the snapshot that includes this publish.
+  LEARNRISK_RETURN_NOT_OK(EvictOverCapLocked());
+  return version;
+}
+
+Result<std::shared_ptr<ServingEngine>> ModelRegistry::ResidentEngineLocked(
+    const std::string& ns, Entry* entry) {
+  if (entry->engine == nullptr) {
+    auto engine = std::make_shared<ServingEngine>(entry->last_version + 1);
+    Result<uint64_t> version = engine->LoadAndPublish(SpillPath(ns));
+    if (!version.ok()) return version.status();
+    entry->last_version = std::max(entry->last_version, *version);
+    entry->engine = std::move(engine);
+  }
+  return entry->engine;
+}
+
+Result<std::shared_ptr<ServingEngine>> ModelRegistry::Engine(
+    const std::string& ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ns);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown namespace '" + ns + "'");
+  }
+  it->second.touched = ++clock_;
+  Result<std::shared_ptr<ServingEngine>> engine =
+      ResidentEngineLocked(ns, &it->second);
+  if (!engine.ok()) return engine.status();
+  LEARNRISK_RETURN_NOT_OK(EvictOverCapLocked());
+  return engine;
+}
+
+bool ModelRegistry::Contains(const std::string& ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(ns) > 0;
+}
+
+std::vector<std::string> ModelRegistry::Namespaces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [ns, entry] : entries_) names.push_back(ns);
+  return names;
+}
+
+size_t ModelRegistry::resident_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& [ns, entry] : entries_) {
+    if (entry.engine != nullptr) ++count;
+  }
+  return count;
+}
+
+Status ModelRegistry::EvictOverCapLocked() {
+  if (options_.max_resident == 0) return Status::OK();
+  auto resident = [this]() {
+    size_t count = 0;
+    for (const auto& [ns, entry] : entries_) {
+      if (entry.engine != nullptr) ++count;
+    }
+    return count;
+  };
+  while (resident() > options_.max_resident) {
+    // Least-recently-touched entry whose snapshot can be spilled. Engines
+    // still waiting for their first publish have nothing to save and stay
+    // resident (they hold no snapshot memory anyway).
+    std::map<std::string, Entry>::iterator victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.engine == nullptr) continue;
+      if (!it->second.engine->has_model()) continue;
+      if (it->second.publishing > 0) continue;  // pinned by in-flight publish
+      if (victim == entries_.end() ||
+          it->second.touched < victim->second.touched) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return Status::OK();
+    LEARNRISK_RETURN_NOT_OK(EnsureDirectory(options_.spill_dir));
+    LEARNRISK_RETURN_NOT_OK(
+        victim->second.engine->SaveCurrent(SpillPath(victim->first)));
+    victim->second.engine = nullptr;
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::SaveAll(const std::string& dir) const {
+  LEARNRISK_RETURN_NOT_OK(EnsureDirectory(dir));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream manifest;
+  manifest << kManifestHeader << "\n";
+  for (const auto& [ns, entry] : entries_) {
+    const std::string path = dir + "/" + ns + ".model";
+    if (entry.engine != nullptr && entry.engine->has_model()) {
+      LEARNRISK_RETURN_NOT_OK(entry.engine->SaveCurrent(path));
+    } else if (entry.engine == nullptr) {
+      // Spilled: the spill file is the current snapshot; copy it over.
+      std::error_code ec;
+      std::filesystem::copy_file(
+          SpillPath(ns), path, std::filesystem::copy_options::overwrite_existing,
+          ec);
+      if (ec) {
+        return Status::IOError("cannot copy spilled model for namespace '" +
+                               ns + "': " + ec.message());
+      }
+    } else {
+      continue;  // registered but never published; nothing to persist
+    }
+    manifest << "namespace " << ns << " " << entry.last_version << "\n";
+  }
+  std::ofstream out(dir + "/" + kManifestName);
+  if (!out) return Status::IOError("cannot write manifest in '" + dir + "'");
+  out << manifest.str();
+  out.close();
+  if (!out) return Status::IOError("error writing manifest in '" + dir + "'");
+  return Status::OK();
+}
+
+Result<size_t> ModelRegistry::LoadAll(const std::string& dir) {
+  std::ifstream in(dir + "/" + kManifestName);
+  if (!in) {
+    return Status::IOError("cannot open registry manifest in '" + dir + "'");
+  }
+  std::string header;
+  std::getline(in, header);
+  if (header != kManifestHeader) {
+    return Status::InvalidArgument("unrecognized registry manifest header '" +
+                                   header + "'");
+  }
+  size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    std::string ns;
+    uint64_t version = 0;
+    if (!(fields >> tag >> ns >> version) || tag != "namespace") {
+      return Status::InvalidArgument("malformed manifest line '" + line + "'");
+    }
+    if (!ValidNamespace(ns)) {
+      return Status::InvalidArgument("invalid namespace '" + ns +
+                                     "' in manifest");
+    }
+    Result<RiskModel> model = LoadRiskModel(dir + "/" + ns + ".model");
+    if (!model.ok()) return model.status();
+    {
+      // Seed the version floor first so the publish below continues the
+      // saved registry's numbering instead of restarting at 1.
+      std::lock_guard<std::mutex> lock(mu_);
+      Entry& entry = entries_[ns];
+      entry.last_version = std::max(entry.last_version, version);
+    }
+    Result<uint64_t> published = Publish(ns, model.MoveValueOrDie());
+    if (!published.ok()) return published.status();
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,106 @@
+// Copyright 2026 The LearnRisk Authors
+// Multi-tenant model registry — the top layer of the request gateway's
+// serving side. Maps namespace strings (one per dataset / workload) to
+// independent ServingEngines, so each tenant hot-swaps its model without
+// touching the others. Supports an LRU-style cap on resident snapshots
+// (least-recently-used engines spill their model to disk via model_io and
+// reload lazily on next access, with version numbers staying monotonic
+// across the round trip) and save/load of the whole registry as a manifest
+// plus one model file per namespace.
+
+#ifndef LEARNRISK_GATEWAY_MODEL_REGISTRY_H_
+#define LEARNRISK_GATEWAY_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/serving_engine.h"
+
+namespace learnrisk {
+
+/// \brief Registry configuration.
+struct ModelRegistryOptions {
+  /// Maximum number of namespaces with a resident (in-memory) snapshot;
+  /// 0 = unlimited. Requires `spill_dir` when > 0.
+  size_t max_resident = 0;
+  /// Directory where evicted snapshots are persisted (created on demand).
+  std::string spill_dir;
+};
+
+/// \brief Thread-safe namespace -> ServingEngine map with LRU spill.
+///
+/// All methods are safe to call concurrently. The registry lock only guards
+/// the map and LRU bookkeeping; the expensive snapshot build inside
+/// ServingEngine::Publish runs outside it, so scoring traffic on other
+/// namespaces (and on the same namespace, against the previous snapshot) is
+/// never blocked by a publish.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ModelRegistryOptions options = {});
+
+  /// \brief True for names the registry accepts: 1-128 chars drawn from
+  /// [A-Za-z0-9_.-], starting with an alphanumeric (names double as spill
+  /// file names, so path separators and dot-prefixes are rejected).
+  static bool ValidNamespace(const std::string& ns);
+
+  /// \brief Publishes a model under the namespace (creating it on first
+  /// use) and returns the namespace's new version. Versions are
+  /// per-namespace, unique and increasing — including across spill/reload.
+  Result<uint64_t> Publish(const std::string& ns, RiskModel model);
+
+  /// \brief The namespace's engine, reloading a spilled snapshot if needed.
+  /// NotFound for namespaces never published. The returned pointer stays
+  /// valid (and scoreable) even if the registry later evicts the namespace.
+  Result<std::shared_ptr<ServingEngine>> Engine(const std::string& ns);
+
+  bool Contains(const std::string& ns) const;
+
+  /// \brief All namespaces, sorted.
+  std::vector<std::string> Namespaces() const;
+
+  /// \brief Namespaces whose snapshot is currently in memory.
+  size_t resident_count() const;
+
+  /// \brief Writes a manifest plus one model file per namespace into `dir`
+  /// (created on demand). Namespaces without a published model are skipped.
+  Status SaveAll(const std::string& dir) const;
+
+  /// \brief Publishes every model of a SaveAll directory into this registry
+  /// and returns how many namespaces were loaded. Versions resume from the
+  /// manifest, so a reloaded registry never re-serves an old version number.
+  Result<size_t> LoadAll(const std::string& dir);
+
+ private:
+  struct Entry {
+    std::shared_ptr<ServingEngine> engine;  ///< null while spilled
+    uint64_t last_version = 0;  ///< highest version ever published
+    uint64_t touched = 0;       ///< LRU clock value of the last access
+    /// Publishes currently in flight against `engine`. Eviction skips such
+    /// entries: spilling mid-publish would fork a second engine for the
+    /// namespace, orphaning the in-flight model and duplicating versions.
+    size_t publishing = 0;
+  };
+
+  std::string SpillPath(const std::string& ns) const;
+  /// \brief Ensures the entry's engine exists (spilled namespaces reload
+  /// from disk); returns it. Caller holds mu_.
+  Result<std::shared_ptr<ServingEngine>> ResidentEngineLocked(
+      const std::string& ns, Entry* entry);
+  /// \brief Spills least-recently-used resident engines until the cap
+  /// holds. Caller holds mu_.
+  Status EvictOverCapLocked();
+
+  ModelRegistryOptions options_;
+  mutable std::mutex mu_;
+  uint64_t clock_ = 0;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_GATEWAY_MODEL_REGISTRY_H_

@@ -80,6 +80,13 @@ class LearnRiskPipeline {
   std::vector<std::string> RuleDescriptions() const;
 
   bool fitted() const { return fitted_; }
+  /// \brief The fitted metric suite (for wiring a serving gateway namespace).
+  const MetricSuite& suite() const { return suite_; }
+  /// \brief Metric columns the classifier was trained on (similarity-only by
+  /// default; see PipelineOptions::classifier_uses_difference_metrics).
+  const std::vector<size_t>& classifier_columns() const {
+    return classifier_columns_;
+  }
   const MlpClassifier& classifier() const { return classifier_; }
   const RiskModel& risk_model() const { return *model_; }
   const std::vector<double>& classifier_probs() const { return probs_; }

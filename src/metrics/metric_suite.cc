@@ -235,10 +235,15 @@ double MetricSuite::Evaluate(const Record& left, const Record& right,
 std::vector<double> MetricSuite::EvaluatePair(const Record& left,
                                               const Record& right) const {
   std::vector<double> out(specs_.size());
+  EvaluatePairInto(left, right, out.data());
+  return out;
+}
+
+void MetricSuite::EvaluatePairInto(const Record& left, const Record& right,
+                                   double* out) const {
   for (size_t m = 0; m < specs_.size(); ++m) {
     out[m] = Evaluate(left, right, m);
   }
-  return out;
 }
 
 FeatureMatrix ComputeFeatures(const Workload& workload,

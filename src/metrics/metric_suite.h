@@ -91,6 +91,12 @@ class MetricSuite {
   std::vector<double> EvaluatePair(const Record& left,
                                    const Record& right) const;
 
+  /// \brief Writes the full metric vector into `out` (capacity >=
+  /// num_metrics()); the allocation-free form the request gateway's inline
+  /// featurization pass uses.
+  void EvaluatePairInto(const Record& left, const Record& right,
+                        double* out) const;
+
  private:
   Schema schema_;
   std::vector<MetricSpec> specs_;
@@ -114,6 +120,10 @@ class FeatureMatrix {
 
   /// \brief Pointer to the start of row r.
   const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// \brief Writable pointer to the start of row r (for passes that fill
+  /// rows in place instead of calling set() per cell).
+  double* mutable_row(size_t r) { return data_.data() + r * cols_; }
 
   /// \brief Copies row r into a vector.
   std::vector<double> RowVector(size_t r) const {

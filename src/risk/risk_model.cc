@@ -153,14 +153,18 @@ void RiskModel::RiskScoreBatch(const RiskActivation& activation,
   out->dbeta.resize(n);
   out->dbucket.resize(n);
   out->bucket.resize(n);
-  // CSR offsets over each pair's active-rule list (serial prefix sum; the
-  // per-pair fill below is what parallelizes).
+  // CSR offsets over each pair's active-rule list: count/prefix/fill — a
+  // parallel count pass, a serial prefix sum, and the parallel per-pair fill
+  // below writing every jacobian row into its final slice in place.
   out->offset.resize(n + 1);
   out->offset[0] = 0;
-  for (size_t k = 0; k < n; ++k) {
-    out->offset[k + 1] =
-        out->offset[k] + activation.active[indices[k]].size();
-  }
+  ParallelFor(
+      n,
+      [&](size_t k) {
+        out->offset[k + 1] = activation.active[indices[k]].size();
+      },
+      num_threads);
+  for (size_t k = 0; k < n; ++k) out->offset[k + 1] += out->offset[k];
   const size_t nnz = out->offset[n];
   out->rule.resize(nnz);
   out->dtheta.resize(nnz);

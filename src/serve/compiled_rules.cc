@@ -4,7 +4,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
 #include "common/parallel.h"
 
@@ -20,6 +19,19 @@ inline int CountTrailingZeros(uint64_t x) {
   int n = 0;
   while ((x & 1) == 0) {
     x >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+inline int PopCount(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  int n = 0;
+  while (x != 0) {
+    x &= x - 1;
     ++n;
   }
   return n;
@@ -111,19 +123,34 @@ void CompiledRuleSet::FailedBits(const double* metric_row,
   }
 }
 
-size_t CompiledRuleSet::ActiveRulesInto(const double* metric_row,
-                                        uint64_t* scratch,
-                                        uint32_t* out) const {
-  FailedBits(metric_row, scratch);
+size_t CompiledRuleSet::ExtractActive(const uint64_t* failed,
+                                      uint32_t* out) const {
   size_t count = 0;
   for (size_t w = 0; w < words_; ++w) {
-    uint64_t bits = ~scratch[w] & live_mask_[w];
+    uint64_t bits = ~failed[w] & live_mask_[w];
     while (bits != 0) {
       out[count++] =
           static_cast<uint32_t>(w * kWordBits) +
           static_cast<uint32_t>(CountTrailingZeros(bits));
       bits &= bits - 1;
     }
+  }
+  return count;
+}
+
+size_t CompiledRuleSet::ActiveRulesInto(const double* metric_row,
+                                        uint64_t* scratch,
+                                        uint32_t* out) const {
+  FailedBits(metric_row, scratch);
+  return ExtractActive(scratch, out);
+}
+
+size_t CompiledRuleSet::ActiveCount(const double* metric_row,
+                                    uint64_t* scratch) const {
+  FailedBits(metric_row, scratch);
+  size_t count = 0;
+  for (size_t w = 0; w < words_; ++w) {
+    count += static_cast<size_t>(PopCount(~scratch[w] & live_mask_[w]));
   }
   return count;
 }
@@ -144,49 +171,28 @@ CsrActivation CompiledRuleSet::EvaluateCsr(
   csr.offset[0] = 0;
   if (n == 0) return csr;
 
-  // One pass: each chunk evaluates its rows into local buffers; the chunks
-  // are then stitched back in row order (chunk boundaries are whatever
-  // ParallelForRange chose, so they are collected and sorted by start row).
-  struct ChunkOut {
-    size_t begin = 0;
-    std::vector<uint32_t> counts;  ///< per-row active count
-    std::vector<uint32_t> ids;     ///< concatenated active rules
-  };
-  std::vector<ChunkOut> chunks;
-  std::mutex mu;
+  // Two-pass count/prefix/fill layout: pass 1 evaluates each row's
+  // failed-rule bitset once, keeps it (words_ words per row — the same
+  // order of memory as the CSR output), and popcounts the active set into
+  // offset[i + 1]; the serial prefix sum turns counts into final offsets;
+  // pass 2 extracts the stored bits straight into each row's final slice.
+  // No per-chunk buffers, no stitching copy, no re-evaluation.
+  std::vector<uint64_t> failed(n * words_);
   ParallelForRange(n, [&](size_t begin, size_t end) {
-    ChunkOut chunk;
-    chunk.begin = begin;
-    chunk.counts.reserve(end - begin);
-    std::vector<uint64_t> scratch(words_);
-    std::vector<uint32_t> row(num_rules_);
     for (size_t i = begin; i < end; ++i) {
-      const size_t count =
-          ActiveRulesInto(features.row(i), scratch.data(), row.data());
-      chunk.counts.push_back(static_cast<uint32_t>(count));
-      chunk.ids.insert(chunk.ids.end(), row.data(), row.data() + count);
+      csr.offset[i + 1] =
+          ActiveCount(features.row(i), failed.data() + i * words_);
     }
-    std::lock_guard<std::mutex> lock(mu);
-    chunks.push_back(std::move(chunk));
   });
-  std::sort(chunks.begin(), chunks.end(),
-            [](const ChunkOut& a, const ChunkOut& b) {
-              return a.begin < b.begin;
-            });
+  for (size_t i = 0; i < n; ++i) csr.offset[i + 1] += csr.offset[i];
 
-  size_t nnz = 0;
-  for (const ChunkOut& chunk : chunks) nnz += chunk.ids.size();
-  csr.rule.resize(nnz);
-  size_t row_index = 0;
-  size_t write = 0;
-  for (const ChunkOut& chunk : chunks) {
-    for (uint32_t count : chunk.counts) {
-      csr.offset[row_index + 1] = csr.offset[row_index] + count;
-      ++row_index;
+  csr.rule.resize(csr.offset[n]);
+  ParallelForRange(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ExtractActive(failed.data() + i * words_,
+                    csr.rule.data() + csr.offset[i]);
     }
-    std::copy(chunk.ids.begin(), chunk.ids.end(), csr.rule.begin() + write);
-    write += chunk.ids.size();
-  }
+  });
   return csr;
 }
 

@@ -60,11 +60,22 @@ class CompiledRuleSet {
   size_t ActiveRulesInto(const double* metric_row, uint64_t* scratch,
                          uint32_t* out) const;
 
+  /// \brief Number of active rules for one metric row without extracting
+  /// them (one popcount per bitset word). `scratch` as in ActiveRulesInto;
+  /// on return it holds the row's failed-rule bits, which ExtractActive-
+  /// style consumers (EvaluateCsr's fill pass) can decode later.
+  size_t ActiveCount(const double* metric_row, uint64_t* scratch) const;
+
   /// \brief Allocating convenience wrapper around ActiveRulesInto.
   std::vector<uint32_t> ActiveRules(const double* metric_row) const;
 
   /// \brief Evaluates every row of the feature matrix into a CSR activation
-  /// in one chunk-parallel pass (per-chunk buffers, stitched in row order).
+  /// with a two-pass count/prefix/fill layout: a chunk-parallel pass
+  /// evaluates and keeps each row's failed-rule bitset and popcounts its
+  /// active set, a serial prefix sum fixes the offsets, and a second
+  /// chunk-parallel pass extracts the stored bits into each row's final
+  /// slice in place (no per-chunk buffers, no stitching copy, each row's
+  /// plan evaluated exactly once).
   CsrActivation EvaluateCsr(const FeatureMatrix& features) const;
 
   /// \brief Fills active->at(i) with row i's active rules, chunk-parallel,
@@ -93,6 +104,9 @@ class CompiledRuleSet {
 
   /// \brief ORs the failed-rule bitsets of every metric plan into scratch.
   void FailedBits(const double* metric_row, uint64_t* scratch) const;
+  /// \brief Writes the ascending indices of the bits NOT set in `failed`
+  /// (among live rules) into `out`; returns the count.
+  size_t ExtractActive(const uint64_t* failed, uint32_t* out) const;
   /// \brief True iff any rule survives FailedBits (coverage fast path).
   bool AnyActive(const double* metric_row, uint64_t* scratch) const;
 

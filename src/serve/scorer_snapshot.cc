@@ -2,7 +2,9 @@
 
 #include "serve/scorer_snapshot.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/math_util.h"
 #include "common/parallel.h"
@@ -13,13 +15,17 @@ ScorerSnapshot::ScorerSnapshot(RiskModel model) : model_(std::move(model)) {
   const size_t n_rules = model_.num_rules();
   weight_.resize(n_rules);
   expectation_.resize(n_rules);
+  rsd_.resize(n_rules);
   sigma_.resize(n_rules);
+  rule_description_.resize(n_rules);
   for (size_t j = 0; j < n_rules; ++j) {
     // Same call chain as RiskModel::Distribution's per-rule terms, evaluated
     // once here instead of once per (pair, rule).
     weight_[j] = model_.RuleWeight(j);
     expectation_[j] = model_.features().expectation(j);
-    sigma_[j] = model_.RuleRsd(j) * expectation_[j];
+    rsd_[j] = model_.RuleRsd(j);
+    sigma_[j] = rsd_[j] * expectation_[j];
+    rule_description_[j] = model_.features().rule(j).ToString();
   }
   const RiskModelOptions& opts = model_.options();
   alpha_ = Softplus(model_.alpha_raw());
@@ -106,9 +112,42 @@ void ScorerSnapshot::ScoreBatch(const CsrActivation& activation,
 std::vector<RiskContribution> ScorerSnapshot::Explain(
     const uint32_t* active_rules, size_t num_active, double classifier_output,
     size_t top_k) const {
-  return model_.Explain(
-      std::vector<uint32_t>(active_rules, active_rules + num_active),
-      classifier_output, top_k);
+  // RiskModel::Explain's exact arithmetic over the baked arrays: the output
+  // feature always contributes here (matching the model, which lists it even
+  // when scoring drops it), and rule text comes from rule_description_
+  // instead of re-running Rule::ToString per call.
+  const double z = (classifier_output - 0.5) / alpha_;
+  const double w_out = -std::exp(-0.5 * z * z) + beta_ + 1.0;
+  double weight_sum = w_out;
+  for (size_t k = 0; k < num_active; ++k) {
+    weight_sum += weight_[active_rules[k]];
+  }
+
+  std::vector<RiskContribution> contributions;
+  contributions.reserve(num_active + 1);
+  RiskContribution out;
+  out.description =
+      "classifier output p=" + std::to_string(classifier_output);
+  out.weight = w_out / weight_sum;
+  out.expectation = classifier_output;
+  out.rsd = out_rsd_[model_.OutputBucket(classifier_output)];
+  contributions.push_back(std::move(out));
+
+  for (size_t k = 0; k < num_active; ++k) {
+    const uint32_t j = active_rules[k];
+    RiskContribution c;
+    c.description = rule_description_[j];
+    c.weight = weight_[j] / weight_sum;
+    c.expectation = expectation_[j];
+    c.rsd = rsd_[j];
+    contributions.push_back(std::move(c));
+  }
+  std::stable_sort(contributions.begin(), contributions.end(),
+                   [](const RiskContribution& a, const RiskContribution& b) {
+                     return a.weight > b.weight;
+                   });
+  if (contributions.size() > top_k) contributions.resize(top_k);
+  return contributions;
 }
 
 }  // namespace learnrisk

@@ -11,6 +11,7 @@
 #define LEARNRISK_SERVE_SCORER_SNAPSHOT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "risk/risk_model.h"
@@ -48,8 +49,16 @@ class ScorerSnapshot {
                   double* risk_out, uint8_t* label_out,
                   size_t num_threads = 0) const;
 
-  /// \brief Top-k feature contributions for one pair (delegates to
-  /// RiskModel::Explain).
+  /// \brief Precomputed description string of rule j (Rule::ToString baked
+  /// at construction so explanation-heavy traffic never re-formats rules).
+  const std::string& rule_description(size_t j) const {
+    return rule_description_[j];
+  }
+
+  /// \brief Top-k feature contributions for one pair. Output-identical to
+  /// RiskModel::Explain on the same inputs, but reads the baked weights,
+  /// RSDs and precomputed rule description strings instead of re-deriving
+  /// transforms and re-formatting rule text per pair.
   std::vector<RiskContribution> Explain(const uint32_t* active_rules,
                                         size_t num_active,
                                         double classifier_output,
@@ -65,8 +74,10 @@ class ScorerSnapshot {
   bool use_classifier_feature_ = true;
   std::vector<double> weight_;       ///< RuleWeight(j)
   std::vector<double> expectation_;  ///< mu_j prior
+  std::vector<double> rsd_;          ///< RuleRsd(j)
   std::vector<double> sigma_;        ///< RuleRsd(j) * mu_j
   std::vector<double> out_rsd_;      ///< rsd_max * sigmoid(phi_out_b)
+  std::vector<std::string> rule_description_;  ///< Rule::ToString(j)
 };
 
 }  // namespace learnrisk

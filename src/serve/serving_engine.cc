@@ -50,6 +50,16 @@ Result<ScoreResponse> ServingEngine::Score(const ScoreRequest& request) const {
     return Status::InvalidArgument(
         "classifier_probs size does not match metric_features rows");
   }
+  for (size_t i = 0; i < n; ++i) {
+    // The negated comparison also rejects NaN, which would otherwise flow
+    // through the scoring kernel and come back as NaN risk scores.
+    const double p = request.classifier_probs[i];
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument(
+          "classifier_probs[" + std::to_string(i) +
+          "] is not a finite probability in [0, 1]");
+    }
+  }
 
   const ScorerSnapshot& snap = published->snapshot;
   if (request.metric_features->cols() <

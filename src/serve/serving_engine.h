@@ -59,6 +59,13 @@ class ServingEngine {
  public:
   ServingEngine() = default;
 
+  /// \brief Engine whose first published snapshot gets version
+  /// `first_version` (>= 1; 0 is treated as 1). Lets a registry that
+  /// recreates an engine — e.g. after spilling its snapshot to disk — keep
+  /// the namespace's served version monotonic across the reload.
+  explicit ServingEngine(uint64_t first_version)
+      : next_version_(first_version == 0 ? 1 : first_version) {}
+
   /// \brief Freezes the model into a snapshot and swaps it in as the current
   /// scorer. Returns the new snapshot's version. Never blocks readers: the
   /// (comparatively expensive) snapshot build happens before the swap.

@@ -1,0 +1,464 @@
+// Copyright 2026 The LearnRisk Authors
+// Gateway tests: Resolve's end-to-end path (blocking -> metrics ->
+// classifier -> risk) is bit-identical to the offline TokenBlocking +
+// MetricSuite + ServingEngine stages run by hand, for two concurrently
+// served namespaces; multi-threaded publish/score shows no torn state;
+// unknown-namespace / empty-request error paths; online AddRecord +
+// ResolveRecord; and the model registry's LRU spill and save/load.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "classifier/logistic.h"
+#include "common/random.h"
+#include "data/blocking.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "gateway/gateway.h"
+#include "risk/risk_feature.h"
+
+namespace learnrisk {
+namespace {
+
+// A trained-enough logistic classifier over the workload's own features.
+std::shared_ptr<const BinaryClassifier> MakeClassifier(
+    const FeatureMatrix& features, const std::vector<uint8_t>& labels,
+    uint64_t seed) {
+  LogisticOptions options;
+  options.epochs = 40;
+  options.seed = seed;
+  auto classifier = std::make_shared<LogisticClassifier>(options);
+  EXPECT_TRUE(classifier->Train(features, labels).ok());
+  return classifier;
+}
+
+// Synthetic rules over the suite's metric columns with perturbed parameters
+// (same recipe as the serving tests) so every transform matters.
+RiskModel MakeModel(uint64_t seed, size_t n_rules, size_t num_metrics) {
+  Rng rng(seed);
+  std::vector<Rule> rules(n_rules);
+  std::vector<double> expectations(n_rules);
+  std::vector<size_t> support(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    const size_t n_preds = 1 + rng.Index(3);
+    for (size_t k = 0; k < n_preds; ++k) {
+      Predicate p;
+      p.metric = rng.Index(num_metrics);
+      p.metric_name = "m" + std::to_string(p.metric);
+      p.greater = rng.Bernoulli(0.5);
+      p.threshold = rng.Uniform();
+      rules[j].predicates.push_back(std::move(p));
+    }
+    expectations[j] = rng.Uniform(0.1, 0.9);
+    support[j] = 10 + rng.Index(100);
+  }
+  RiskModel model(RiskFeatureSet::FromParts(std::move(rules),
+                                            std::move(expectations),
+                                            std::move(support)));
+  std::vector<double> theta(n_rules);
+  std::vector<double> phi(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    theta[j] = rng.Normal(0.0, 1.0);
+    phi[j] = rng.Normal(0.0, 1.0);
+  }
+  std::vector<double> phi_out(model.phi_out().size());
+  for (double& v : phi_out) v = rng.Normal(0.0, 1.0);
+  model.ApplyUpdate(theta, phi, rng.Normal(0.0, 0.5), rng.Normal(0.5, 0.5),
+                    phi_out);
+  return model;
+}
+
+// One prepared namespace: generated workload, fitted suite, trained
+// classifier, and the hand-computed offline stages for parity checks.
+struct TestNamespace {
+  Workload workload;
+  MetricSuite suite;
+  std::shared_ptr<const BinaryClassifier> classifier;
+  std::vector<size_t> classifier_columns;
+  BlockingConfig blocking;
+  std::vector<RecordPair> blocked_pairs;   ///< offline TokenBlocking output
+  FeatureMatrix blocked_features;          ///< offline ComputeFeatures output
+  std::vector<double> blocked_probs;       ///< offline classifier probs
+
+  NamespaceSpec Spec() const {
+    NamespaceSpec spec;
+    spec.left = workload.left_ptr();
+    spec.right = workload.right_ptr();
+    spec.suite = suite;
+    spec.classifier = classifier;
+    spec.classifier_columns = classifier_columns;
+    spec.blocking = blocking;
+    return spec;
+  }
+};
+
+TestNamespace MakeNamespace(const std::string& dataset, uint64_t seed,
+                            bool subset_classifier_columns) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = seed;
+  Result<Workload> generated = GenerateDataset(dataset, options);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+
+  TestNamespace ns;
+  ns.workload = generated.MoveValueOrDie();
+  ns.suite = MetricSuite::ForSchema(ns.workload.left().schema());
+  ns.suite.Fit(ns.workload);
+  if (subset_classifier_columns) {
+    // Similarity columns only — exercises the gather path the pipeline's
+    // default configuration uses.
+    for (size_t c = 0; c < ns.suite.specs().size(); ++c) {
+      if (!IsDifferenceMetric(ns.suite.specs()[c].kind)) {
+        ns.classifier_columns.push_back(c);
+      }
+    }
+  }
+
+  const FeatureMatrix train_features = ComputeFeatures(ns.workload, ns.suite);
+  const FeatureMatrix classifier_features =
+      ns.classifier_columns.empty()
+          ? train_features
+          : GatherColumns(train_features, ns.classifier_columns);
+  ns.classifier =
+      MakeClassifier(classifier_features, ns.workload.Labels(), seed + 1);
+
+  // Offline stages, by hand: blocking, featurization, classifier probs.
+  auto blocked =
+      TokenBlocking(ns.workload.left(), ns.workload.right(), ns.blocking);
+  EXPECT_TRUE(blocked.ok());
+  ns.blocked_pairs = blocked.MoveValueOrDie();
+  const Workload blocked_workload("blocked", ns.workload.left_ptr(),
+                                  ns.workload.right_ptr(), ns.blocked_pairs);
+  ns.blocked_features = ComputeFeatures(blocked_workload, ns.suite);
+  ns.blocked_probs = ns.classifier->PredictProbaAll(
+      ns.classifier_columns.empty()
+          ? ns.blocked_features
+          : GatherColumns(ns.blocked_features, ns.classifier_columns));
+  return ns;
+}
+
+std::vector<double> OfflineScores(const TestNamespace& ns,
+                                  const RiskModel& model) {
+  ServingEngine engine;
+  engine.Publish(model);
+  ScoreRequest request;
+  request.metric_features = &ns.blocked_features;
+  request.classifier_probs = ns.blocked_probs;
+  const auto response = engine.Score(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return response->risk;
+}
+
+TEST(GatewayTest, ResolveBitIdenticalToOfflineStagesAcrossNamespaces) {
+  const TestNamespace ds = MakeNamespace("DS", 5, false);
+  const TestNamespace sg = MakeNamespace("SG", 6, true);
+  ASSERT_FALSE(ds.blocked_pairs.empty());
+  ASSERT_FALSE(sg.blocked_pairs.empty());
+
+  Gateway gateway;
+  ASSERT_TRUE(gateway.RegisterNamespace("ds", ds.Spec()).ok());
+  ASSERT_TRUE(gateway.RegisterNamespace("sg", sg.Spec()).ok());
+  EXPECT_EQ(gateway.Namespaces().size(), 2u);
+
+  const RiskModel ds_model = MakeModel(7, 48, ds.suite.num_metrics());
+  const RiskModel sg_model = MakeModel(8, 32, sg.suite.num_metrics());
+  ASSERT_TRUE(gateway.Publish("ds", ds_model).ok());
+  ASSERT_TRUE(gateway.Publish("sg", sg_model).ok());
+
+  struct Case {
+    const char* ns;
+    const TestNamespace* prepared;
+    const RiskModel* model;
+  };
+  for (const Case& c : {Case{"ds", &ds, &ds_model}, Case{"sg", &sg,
+                                                         &sg_model}}) {
+    const std::vector<double> expected = OfflineScores(*c.prepared, *c.model);
+    ResolveRequest request;
+    request.block_all = true;
+    request.explain_top_k = 3;
+    const auto response = gateway.Resolve(c.ns, request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->pairs.size(), c.prepared->blocked_pairs.size());
+    ASSERT_EQ(response->scores.risk.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(response->pairs[i].left, c.prepared->blocked_pairs[i].left);
+      EXPECT_EQ(response->pairs[i].right, c.prepared->blocked_pairs[i].right);
+      ASSERT_EQ(response->scores.risk[i], expected[i])  // exact, not NEAR
+          << c.ns << " pair " << i;
+      ASSERT_EQ(response->scores.machine_label[i],
+                c.prepared->blocked_probs[i] >= 0.5 ? 1 : 0);
+    }
+    ASSERT_EQ(response->scores.explanations.size(), expected.size());
+    EXPECT_GT(response->timing.total_ms(), 0.0);
+  }
+}
+
+TEST(GatewayTest, ErrorPaths) {
+  const TestNamespace ds = MakeNamespace("DS", 15, false);
+  Gateway gateway;
+
+  ResolveRequest block_all;
+  block_all.block_all = true;
+  EXPECT_TRUE(gateway.Resolve("nope", block_all).status().IsNotFound());
+  EXPECT_TRUE(
+      gateway.Publish("nope", MakeModel(1, 8, ds.suite.num_metrics()))
+          .status()
+          .IsNotFound());
+
+  ASSERT_TRUE(gateway.RegisterNamespace("ds", ds.Spec()).ok());
+  EXPECT_TRUE(
+      gateway.RegisterNamespace("ds", ds.Spec()).IsFailedPrecondition());
+  EXPECT_TRUE(gateway.RegisterNamespace("bad name!", ds.Spec())
+                  .IsInvalidArgument());
+
+  // Empty and ambiguous requests.
+  EXPECT_TRUE(gateway.Resolve("ds", ResolveRequest{}).status()
+                  .IsInvalidArgument());
+  ResolveRequest ambiguous;
+  ambiguous.block_all = true;
+  ambiguous.pairs.push_back(RecordPair{0, 0, false});
+  EXPECT_TRUE(gateway.Resolve("ds", ambiguous).status().IsInvalidArgument());
+
+  // Registered but nothing published yet.
+  EXPECT_TRUE(
+      gateway.Resolve("ds", block_all).status().IsFailedPrecondition());
+
+  ASSERT_TRUE(
+      gateway.Publish("ds", MakeModel(2, 16, ds.suite.num_metrics())).ok());
+  ResolveRequest out_of_range;
+  out_of_range.pairs.push_back(
+      RecordPair{ds.workload.left().num_records(), 0, false});
+  EXPECT_TRUE(gateway.Resolve("ds", out_of_range).status().IsOutOfRange());
+
+  Record narrow;
+  narrow.values = {"x"};
+  EXPECT_TRUE(
+      gateway.ResolveRecord("ds", narrow).status().IsInvalidArgument());
+  EXPECT_TRUE(gateway
+                  .AddRecord("ds", BlockingSide::kLeft, narrow, 1)
+                  .IsInvalidArgument());
+}
+
+TEST(GatewayTest, AddRecordMakesProbeFindNewCandidates) {
+  const TestNamespace ds = MakeNamespace("DS", 25, false);
+  Gateway gateway;
+  ASSERT_TRUE(gateway.RegisterNamespace("ds", ds.Spec()).ok());
+  ASSERT_TRUE(
+      gateway.Publish("ds", MakeModel(3, 24, ds.suite.num_metrics())).ok());
+
+  // Probe with a copy of a left record whose title tokens exist on the
+  // right side after we add a matching record there.
+  const Record probe = ds.workload.left().record(0);
+  const size_t before = *gateway.NumRecords("ds", BlockingSide::kRight);
+  ASSERT_TRUE(
+      gateway.AddRecord("ds", BlockingSide::kRight, probe, -1).ok());
+  EXPECT_EQ(*gateway.NumRecords("ds", BlockingSide::kRight), before + 1);
+
+  const auto response = gateway.ResolveRecord("ds", probe, 2);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // The just-added identical record shares every token, so it must block.
+  EXPECT_TRUE(std::find(response->candidates.begin(),
+                        response->candidates.end(),
+                        before) != response->candidates.end());
+  ASSERT_EQ(response->scores.risk.size(), response->candidates.size());
+  ASSERT_EQ(response->scores.explanations.size(),
+            response->candidates.size());
+  for (double risk : response->scores.risk) {
+    EXPECT_TRUE(std::isfinite(risk));
+  }
+}
+
+// Readers resolve fixed pair batches on two namespaces while the main
+// thread keeps publishing alternating models to both; every response must
+// match one published model's hand-computed scores exactly and entirely.
+TEST(GatewayTest, ConcurrentPublishAndResolveSeesNoTornState) {
+  constexpr size_t kModels = 3;
+  constexpr size_t kPublishes = 30;
+
+  const TestNamespace ds = MakeNamespace("DS", 35, false);
+  const TestNamespace sg = MakeNamespace("SG", 36, false);
+
+  struct NsCase {
+    const char* name;
+    const TestNamespace* prepared;
+    std::vector<RiskModel> models;
+    std::vector<std::vector<double>> expected;
+  };
+  NsCase cases[2] = {{"ds", &ds, {}, {}}, {"sg", &sg, {}, {}}};
+  Gateway gateway;
+  for (NsCase& c : cases) {
+    ASSERT_TRUE(gateway.RegisterNamespace(c.name, c.prepared->Spec()).ok());
+    for (size_t k = 0; k < kModels; ++k) {
+      c.models.push_back(
+          MakeModel(100 + k, 40, c.prepared->suite.num_metrics()));
+      c.expected.push_back(OfflineScores(*c.prepared, c.models.back()));
+    }
+    ASSERT_TRUE(gateway.Publish(c.name, c.models[0]).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<size_t> total_reads{0};
+  std::vector<std::thread> readers;
+  for (const NsCase& c : cases) {
+    readers.emplace_back([&gateway, &c, &stop, &failed, &total_reads]() {
+      ResolveRequest request;
+      request.pairs = c.prepared->blocked_pairs;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto response = gateway.Resolve(c.name, request);
+        if (!response.ok() || response->scores.model_version == 0) {
+          failed.store(true);
+          return;
+        }
+        const size_t index =
+            static_cast<size_t>((response->scores.model_version - 1) %
+                                kModels);
+        if (response->scores.risk != c.expected[index]) {
+          failed.store(true);
+          return;
+        }
+        total_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (size_t p = 1; p <= kPublishes; ++p) {
+    for (NsCase& c : cases) {
+      const auto version = gateway.Publish(c.name, c.models[p % kModels]);
+      ASSERT_TRUE(version.ok());
+      EXPECT_EQ(*version, p + 1);  // per-namespace versions, publish order
+    }
+    std::this_thread::yield();
+  }
+  // Publishing can be much faster than one featurize+score round trip; give
+  // the readers a moment to complete at least one read against the final
+  // state before stopping them.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (total_reads.load() == 0 && !failed.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(total_reads.load(), 0u);
+}
+
+TEST(ModelRegistryTest, LruSpillReloadsWithIdenticalScoresAndNewerVersion) {
+  const std::string spill_dir =
+      ::testing::TempDir() + "/learnrisk_registry_spill";
+  std::filesystem::remove_all(spill_dir);
+
+  constexpr size_t kMetrics = 8;
+  ModelRegistryOptions options;
+  options.max_resident = 2;
+  options.spill_dir = spill_dir;
+  ModelRegistry registry(options);
+
+  // A shared scoring probe to fingerprint each namespace's model.
+  Rng rng(3);
+  FeatureMatrix features(50, kMetrics);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    for (size_t m = 0; m < kMetrics; ++m) features.set(i, m, rng.Uniform());
+  }
+  std::vector<double> probs(features.rows());
+  for (double& p : probs) p = rng.Uniform();
+  ScoreRequest request;
+  request.metric_features = &features;
+  request.classifier_probs = probs;
+
+  const char* names[3] = {"alpha", "beta", "gamma"};
+  std::vector<std::vector<double>> expected;
+  for (size_t k = 0; k < 3; ++k) {
+    RiskModel model = MakeModel(40 + k, 16, kMetrics);
+    {
+      ServingEngine offline;
+      offline.Publish(model);
+      expected.push_back(offline.Score(request)->risk);
+    }
+    const auto version = registry.Publish(names[k], std::move(model));
+    ASSERT_TRUE(version.ok());
+    EXPECT_EQ(*version, 1u);
+  }
+  // Cap of 2: one namespace (the least recently touched) must be spilled.
+  EXPECT_EQ(registry.Namespaces().size(), 3u);
+  EXPECT_EQ(registry.resident_count(), 2u);
+
+  // Every namespace still scores, spilled ones reload transparently, and
+  // reloaded versions move forward (never regress).
+  for (size_t k = 0; k < 3; ++k) {
+    const auto engine = registry.Engine(names[k]);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const auto response = (*engine)->Score(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_GE(response->model_version, 1u);
+    ASSERT_EQ(response->risk, expected[k]) << names[k];
+    EXPECT_LE(registry.resident_count(), 2u);
+  }
+  EXPECT_TRUE(registry.Engine("unknown").status().IsNotFound());
+
+  // A cap without a spill directory is rejected up front.
+  ModelRegistry capped(ModelRegistryOptions{1, ""});
+  EXPECT_TRUE(capped.Publish("alpha", MakeModel(1, 4, kMetrics))
+                  .status()
+                  .IsInvalidArgument());
+  std::filesystem::remove_all(spill_dir);
+}
+
+TEST(ModelRegistryTest, SaveAllLoadAllRoundtripPreservesScoresAndVersions) {
+  const std::string dir = ::testing::TempDir() + "/learnrisk_registry_save";
+  std::filesystem::remove_all(dir);
+
+  constexpr size_t kMetrics = 6;
+  Rng rng(9);
+  FeatureMatrix features(30, kMetrics);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    for (size_t m = 0; m < kMetrics; ++m) features.set(i, m, rng.Uniform());
+  }
+  std::vector<double> probs(features.rows());
+  for (double& p : probs) p = rng.Uniform();
+  ScoreRequest request;
+  request.metric_features = &features;
+  request.classifier_probs = probs;
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("ds", MakeModel(50, 12, kMetrics)).ok());
+  ASSERT_TRUE(registry.Publish("ab", MakeModel(51, 12, kMetrics)).ok());
+  ASSERT_TRUE(registry.Publish("ds", MakeModel(52, 12, kMetrics)).ok());
+  std::vector<std::vector<double>> expected;
+  for (const char* ns : {"ds", "ab"}) {
+    expected.push_back((*registry.Engine(ns))->Score(request)->risk);
+  }
+  ASSERT_TRUE(registry.SaveAll(dir).ok());
+
+  ModelRegistry restored;
+  const auto loaded = restored.LoadAll(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  size_t k = 0;
+  for (const char* ns : {"ds", "ab"}) {
+    const auto engine = restored.Engine(ns);
+    ASSERT_TRUE(engine.ok());
+    const auto response = (*engine)->Score(request);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->risk, expected[k++]) << ns;
+  }
+  // "ds" was at version 2 when saved; the reloaded publish continues past
+  // it instead of restarting at 1.
+  EXPECT_EQ((*restored.Engine("ds"))->version(), 3u);
+
+  EXPECT_TRUE(restored.LoadAll(dir + "/missing").status().IsIOError());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace learnrisk

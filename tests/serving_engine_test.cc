@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <thread>
 
 #include "common/random.h"
@@ -153,6 +155,50 @@ TEST(ServingEngineTest, RejectsBeforePublishAndValidatesRequests) {
   EXPECT_EQ(response->model_version, 1u);
   EXPECT_EQ(response->risk.size(), 10u);
   EXPECT_TRUE(response->explanations.empty());
+}
+
+TEST(ScorerSnapshotTest, ExplainMatchesModelExplain) {
+  const RiskModel model = MakeModel(31, 40);
+  const ScorerSnapshot snapshot(model);
+  const FeatureMatrix features = MakeFeatures(32, 100);
+  const std::vector<double> probs = MakeProbs(33, 100);
+  const RiskActivation activation =
+      ComputeActivation(model.features(), features, probs);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const auto expected = model.Explain(activation.active[i], probs[i], 4);
+    const auto actual =
+        snapshot.Explain(activation.active[i].data(),
+                         activation.active[i].size(), probs[i], 4);
+    ASSERT_EQ(actual.size(), expected.size()) << "pair " << i;
+    for (size_t k = 0; k < expected.size(); ++k) {
+      // The snapshot precomputes rule descriptions and bakes the weight
+      // transforms; the output must stay exactly the model's.
+      EXPECT_EQ(actual[k].description, expected[k].description);
+      ASSERT_EQ(actual[k].weight, expected[k].weight);
+      ASSERT_EQ(actual[k].expectation, expected[k].expectation);
+      ASSERT_EQ(actual[k].rsd, expected[k].rsd);
+    }
+  }
+}
+
+TEST(ServingEngineTest, RejectsNonFiniteOrOutOfRangeClassifierProbs) {
+  ServingEngine engine;
+  engine.Publish(MakeModel(41, 16));
+  const FeatureMatrix features = MakeFeatures(42, 4);
+  ScoreRequest request;
+  request.metric_features = &features;
+
+  for (double bad : {std::nan(""), -0.1, 1.5,
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    request.classifier_probs = MakeProbs(43, 4);
+    request.classifier_probs[2] = bad;
+    const auto response = engine.Score(request);
+    EXPECT_TRUE(response.status().IsInvalidArgument()) << "prob " << bad;
+  }
+  // Boundary values are legal.
+  request.classifier_probs = {0.0, 1.0, 0.5, 0.25};
+  EXPECT_TRUE(engine.Score(request).ok());
 }
 
 TEST(ServingEngineTest, ExplanationsCarryTopKContributions) {
