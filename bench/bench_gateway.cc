@@ -3,9 +3,12 @@
 // Request-gateway bench: end-to-end throughput of Gateway::Resolve on a
 // generated DS workload — raw tables in, risk scores out — with the
 // per-stage breakdown (blocking / featurization / scoring) the gateway's
-// StageTiming reports, plus p50/p99 per-request latency over fixed-size
-// explicit-pair batches. Prints a table and writes BENCH_gateway.json so
-// later PRs have an end-to-end serving perf trajectory.
+// StageTiming reports, p50/p99 per-request latency over fixed-size
+// explicit-pair batches, and a side-by-side raw vs prepared featurization
+// comparison (FeaturePipeline::Run vs RunPrepared on the same candidate
+// pairs, plus the one-time PreparedTable build cost). Prints a table and
+// writes BENCH_gateway.json so later PRs have an end-to-end serving perf
+// trajectory.
 //
 // Env knobs:
 //   LEARNRISK_BENCH_SCALE   dataset scale                (default 0.05)
@@ -138,6 +141,48 @@ int main() {
   std::printf("  %-12s %16.0f %9.1f%%\n", "score", score_rate,
               100.0 * stage_sum.score_ms / stage_total_ms);
 
+  // --- Featurization, raw vs prepared, on the same candidate pairs. -------
+  double featurize_raw_rate = 0.0;
+  double featurize_prepared_rate = 0.0;
+  double prepare_tables_ms = 0.0;
+  {
+    const auto full = gateway.Resolve("ds", block_all);
+    if (!full.ok()) return 1;
+    const std::vector<RecordPair>& pairs = full->pairs;
+    const FeaturePipeline pipeline(suite, classifier);
+
+    Timer prepare_timer;
+    const PreparedTable left_prepared =
+        PreparedTable::Build(workload->left(), suite);
+    const PreparedTable right_prepared =
+        PreparedTable::Build(workload->right(), suite);
+    prepare_tables_ms = prepare_timer.ElapsedMillis();
+
+    auto measure = [&](auto&& run) {
+      size_t pairs_done = 0;
+      Timer timer;
+      do {
+        if (!run().ok()) std::exit(1);
+        pairs_done += pairs.size();
+      } while (timer.ElapsedSeconds() < kMinRunSeconds);
+      return PairsPerSec(pairs_done, timer.ElapsedMillis());
+    };
+    featurize_raw_rate = measure([&] {
+      return pipeline.Run(workload->left(), workload->right(), pairs);
+    });
+    featurize_prepared_rate = measure([&] {
+      return pipeline.RunPrepared(left_prepared, right_prepared, pairs);
+    });
+    std::printf("\nfeaturize only (%zu pairs):\n", pairs.size());
+    std::printf("  %-12s %16.0f pairs/s\n", "raw", featurize_raw_rate);
+    std::printf("  %-12s %16.0f pairs/s (%.2fx; one-time prepare %.2f ms)\n",
+                "prepared", featurize_prepared_rate,
+                featurize_raw_rate > 0.0
+                    ? featurize_prepared_rate / featurize_raw_rate
+                    : 0.0,
+                prepare_tables_ms);
+  }
+
   // --- Batched requests: per-request latency distribution. ----------------
   std::vector<ResolveRequest> batches;
   {
@@ -195,6 +240,18 @@ int main() {
                  "    \"score_pairs_per_sec\": %.1f\n"
                  "  },\n",
                  end_to_end, blocking_rate, featurize_rate, score_rate);
+    std::fprintf(json,
+                 "  \"featurize\": {\n"
+                 "    \"raw_pairs_per_sec\": %.1f,\n"
+                 "    \"prepared_pairs_per_sec\": %.1f,\n"
+                 "    \"prepared_speedup\": %.2f,\n"
+                 "    \"prepare_tables_ms\": %.3f\n"
+                 "  },\n",
+                 featurize_raw_rate, featurize_prepared_rate,
+                 featurize_raw_rate > 0.0
+                     ? featurize_prepared_rate / featurize_raw_rate
+                     : 0.0,
+                 prepare_tables_ms);
     std::fprintf(json,
                  "  \"batched\": {\n"
                  "    \"batch\": %zu,\n"

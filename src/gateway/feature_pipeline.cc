@@ -15,9 +15,9 @@ FeaturePipeline::FeaturePipeline(
       classifier_(std::move(classifier)),
       classifier_columns_(std::move(classifier_columns)) {}
 
-template <typename PairAt>
-Result<FeaturizedBatch> FeaturePipeline::RunImpl(size_t n,
-                                                 const PairAt& pair_at) const {
+template <typename EvalRow>
+Result<FeaturizedBatch> FeaturePipeline::RunImpl(
+    size_t n, const EvalRow& eval_row) const {
   if (classifier_ == nullptr) {
     return Status::FailedPrecondition("feature pipeline has no classifier");
   }
@@ -39,13 +39,14 @@ Result<FeaturizedBatch> FeaturePipeline::RunImpl(size_t n,
   const size_t classifier_width =
       gather ? classifier_columns_.size() : num_metrics;
   ParallelForRange(n, [&](size_t begin, size_t end) {
-    // Per-thread scratch for the classifier's gathered input columns; metric
-    // values land directly in the output matrix.
+    // Per-thread scratch: kernel buffers for the prepared metric path plus
+    // the classifier's gathered input columns; metric values land directly
+    // in the output matrix.
+    MetricScratch scratch;
     std::vector<double> gathered(gather ? classifier_width : 0);
     for (size_t i = begin; i < end; ++i) {
-      const auto [left_record, right_record] = pair_at(i);
       double* row = batch.features.mutable_row(i);
-      suite_.EvaluatePairInto(*left_record, *right_record, row);
+      eval_row(i, row, &scratch);
       const double* classifier_input = row;
       if (gather) {
         for (size_t k = 0; k < classifier_width; ++k) {
@@ -68,10 +69,11 @@ Result<FeaturizedBatch> FeaturePipeline::Run(
       return Status::OutOfRange("record pair index out of table range");
     }
   }
-  return RunImpl(pairs.size(), [&](size_t i) {
-    return std::make_pair(&left.record(pairs[i].left),
-                          &right.record(pairs[i].right));
-  });
+  return RunImpl(pairs.size(),
+                 [&](size_t i, double* row, MetricScratch* /*scratch*/) {
+                   suite_.EvaluatePairInto(left.record(pairs[i].left),
+                                           right.record(pairs[i].right), row);
+                 });
 }
 
 Result<FeaturizedBatch> FeaturePipeline::RunProbe(
@@ -86,9 +88,46 @@ Result<FeaturizedBatch> FeaturePipeline::RunProbe(
       return Status::OutOfRange("candidate record index out of table range");
     }
   }
-  return RunImpl(candidates.size(), [&](size_t i) {
-    return std::make_pair(&probe, &table.record(candidates[i]));
-  });
+  return RunImpl(candidates.size(),
+                 [&](size_t i, double* row, MetricScratch* /*scratch*/) {
+                   suite_.EvaluatePairInto(probe, table.record(candidates[i]),
+                                           row);
+                 });
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunPrepared(
+    const PreparedTable& left, const PreparedTable& right,
+    const std::vector<RecordPair>& pairs) const {
+  for (const RecordPair& pair : pairs) {
+    if (pair.left >= left.size() || pair.right >= right.size()) {
+      return Status::OutOfRange("record pair index out of table range");
+    }
+  }
+  return RunImpl(pairs.size(),
+                 [&](size_t i, double* row, MetricScratch* scratch) {
+                   suite_.EvaluatePairPreparedInto(left.record(pairs[i].left),
+                                                   right.record(pairs[i].right),
+                                                   scratch, row);
+                 });
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunProbePrepared(
+    const PreparedRecord& probe, const PreparedTable& table,
+    const std::vector<size_t>& candidates) const {
+  if (probe.values.size() != suite_.schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "probe record width does not match the pipeline schema");
+  }
+  for (size_t c : candidates) {
+    if (c >= table.size()) {
+      return Status::OutOfRange("candidate record index out of table range");
+    }
+  }
+  return RunImpl(candidates.size(),
+                 [&](size_t i, double* row, MetricScratch* scratch) {
+                   suite_.EvaluatePairPreparedInto(
+                       probe, table.record(candidates[i]), scratch, row);
+                 });
 }
 
 }  // namespace learnrisk

@@ -1,11 +1,19 @@
 // Copyright 2026 The LearnRisk Authors
 // Inline featurization — the middle layer of the request gateway. Evaluates
-// the fitted MetricSuite and the frozen classifier on raw record pairs in
-// one chunk-parallel pass: each thread writes metric rows straight into the
+// the fitted MetricSuite and the frozen classifier on record pairs in one
+// chunk-parallel pass: each thread writes metric rows straight into the
 // output FeatureMatrix and gathers the classifier's input columns into a
 // reused per-thread scratch buffer, so the hot loop allocates no per-pair
-// vectors. Values are bit-identical to the offline ComputeFeatures +
-// PredictProbaAll stages over the same pairs.
+// vectors.
+//
+// Two equivalent paths exist. Run/RunProbe evaluate raw records (the
+// reference path: every record-level artifact re-derived per pair).
+// RunPrepared/RunProbePrepared evaluate PreparedRecords — per-record caches
+// built once via PrepareRecord/PreparedTable — through the suite's prepared
+// kernels with per-thread MetricScratch. Both paths are bit-identical to the
+// offline ComputeFeatures + PredictProbaAll stages over the same pairs
+// (enforced by tests/prepared_parity_test.cc); the prepared path is what the
+// gateway serves from, since blocking emits each record in many pairs.
 
 #ifndef LEARNRISK_GATEWAY_FEATURE_PIPELINE_H_
 #define LEARNRISK_GATEWAY_FEATURE_PIPELINE_H_
@@ -18,22 +26,23 @@
 #include "data/table.h"
 #include "data/workload.h"
 #include "metrics/metric_suite.h"
+#include "metrics/prepared_record.h"
 
 namespace learnrisk {
 
-/// \brief Featurization output for one batch of raw pairs: the metric rows
-/// (the rule-evaluation input) plus the classifier's equivalence
-/// probabilities — exactly what a ScoreRequest consumes.
+/// \brief Featurization output for one batch of pairs: the metric rows (the
+/// rule-evaluation input) plus the classifier's equivalence probabilities —
+/// exactly what a ScoreRequest consumes.
 struct FeaturizedBatch {
   FeatureMatrix features;
   std::vector<double> probs;
 };
 
-/// \brief A frozen (suite, classifier) pair evaluating raw record pairs.
+/// \brief A frozen (suite, classifier) pair evaluating record pairs.
 ///
 /// The pipeline owns a copy of the fitted metric suite and shares ownership
-/// of the classifier; both are immutable here, so Run is safe to call
-/// concurrently from many request threads.
+/// of the classifier; both are immutable here, so every Run* method is safe
+/// to call concurrently from many request threads.
 class FeaturePipeline {
  public:
   FeaturePipeline() = default;
@@ -50,7 +59,8 @@ class FeaturePipeline {
   }
 
   /// \brief Metric rows + classifier probabilities for record pairs indexing
-  /// into the two tables (chunk-parallel, per-thread scratch).
+  /// into the two tables — the raw reference path (chunk-parallel, per-pair
+  /// re-derivation of record-level artifacts).
   Result<FeaturizedBatch> Run(const Table& left, const Table& right,
                               const std::vector<RecordPair>& pairs) const;
 
@@ -61,11 +71,31 @@ class FeaturePipeline {
                                    const std::vector<size_t>& candidates)
       const;
 
+  /// \brief Prepares one record under the pipeline's suite (for probes and
+  /// incremental cache maintenance).
+  PreparedRecord Prepare(const Record& record) const {
+    return suite_.PrepareRecord(record);
+  }
+
+  /// \brief Prepared fast path of Run: pairs index into two PreparedTables
+  /// built (and kept index-aligned) from the same tables under this
+  /// pipeline's suite. Bit-identical output to Run on the source tables.
+  Result<FeaturizedBatch> RunPrepared(const PreparedTable& left,
+                                      const PreparedTable& right,
+                                      const std::vector<RecordPair>& pairs)
+      const;
+
+  /// \brief Prepared fast path of RunProbe: one prepared probe against
+  /// prepared candidates. Bit-identical output to RunProbe.
+  Result<FeaturizedBatch> RunProbePrepared(
+      const PreparedRecord& probe, const PreparedTable& table,
+      const std::vector<size_t>& candidates) const;
+
  private:
-  /// \brief Shared core: featurize pair i via `record_at(i)` = (left record,
-  /// right record).
-  template <typename PairAt>
-  Result<FeaturizedBatch> RunImpl(size_t n, const PairAt& pair_at) const;
+  /// \brief Shared core: featurize row i via `eval_row(i, out_row, scratch)`,
+  /// then gather classifier columns and predict.
+  template <typename EvalRow>
+  Result<FeaturizedBatch> RunImpl(size_t n, const EvalRow& eval_row) const;
 
   MetricSuite suite_;
   std::shared_ptr<const BinaryClassifier> classifier_;

@@ -58,6 +58,12 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
   state->pipeline =
       FeaturePipeline(std::move(spec.suite), std::move(spec.classifier),
                       std::move(spec.classifier_columns));
+  state->left_prepared =
+      PreparedTable::Build(state->left, state->pipeline.suite());
+  if (!dedup) {
+    state->right_prepared =
+        PreparedTable::Build(state->right, state->pipeline.suite());
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (!namespaces_.emplace(ns, std::move(state)).second) {
@@ -144,11 +150,15 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
   response.timing.blocking_ms = timer.ElapsedMillis();
 
   timer.Reset();
-  Result<FeaturizedBatch> batch =
-      s.pipeline.Run(s.left, s.right_table(), response.pairs);
+  Result<FeaturizedBatch> batch = s.pipeline.RunPrepared(
+      s.left_prepared, s.right_prepared_table(), response.pairs);
   if (!batch.ok()) return batch.status();
   response.timing.featurize_ms = timer.ElapsedMillis();
 
+  // The batch is self-contained and scoring only touches the registry, so
+  // release the namespace lock before the score stage: a slow model never
+  // delays AddRecord writers.
+  lock.unlock();
   LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, request.explain_top_k,
                                      &response.scores, &response.timing));
   return response;
@@ -173,11 +183,13 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
   response.timing.blocking_ms = timer.ElapsedMillis();
 
   timer.Reset();
-  Result<FeaturizedBatch> batch =
-      s.pipeline.RunProbe(probe, s.right_table(), response.candidates);
+  const PreparedRecord prepared_probe = s.pipeline.Prepare(probe);
+  Result<FeaturizedBatch> batch = s.pipeline.RunProbePrepared(
+      prepared_probe, s.right_prepared_table(), response.candidates);
   if (!batch.ok()) return batch.status();
   response.timing.featurize_ms = timer.ElapsedMillis();
 
+  lock.unlock();  // scoring only touches the registry (see Resolve)
   LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, explain_top_k,
                                      &response.scores, &response.timing));
   return response;
@@ -196,9 +208,13 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
         "record width does not match the namespace schema");
   }
   // Index first (it validates the key attribute against the record), then
-  // append; the width check above makes the append infallible, so the two
-  // structures cannot diverge.
+  // prepared cache, then append; the width check above makes the append
+  // infallible, so the three structures cannot diverge.
   LEARNRISK_RETURN_NOT_OK(s.index.AddRecord(side, record, entity_id));
+  PreparedTable& target_prepared = s.dedup || side == BlockingSide::kLeft
+                                       ? s.left_prepared
+                                       : s.right_prepared;
+  target_prepared.Append(record, s.pipeline.suite());
   return target.Append(std::move(record), entity_id);
 }
 

@@ -87,45 +87,68 @@ struct GatewayOptions {
 
 /// \brief Multi-tenant raw-record scoring front end.
 ///
-/// Thread safety: namespaces are independently locked (shared for scoring,
-/// exclusive for AddRecord), and model publishes go through the registry's
-/// hot-swap path, so Resolve traffic keeps flowing on the snapshot it
-/// started with while models and records change underneath.
+/// Thread safety / locking contract:
+///  - The gateway-level mutex `mu_` guards only the shape of the namespace
+///    map (registration and lookup); it is never held while a request runs.
+///  - Each namespace has its own shared_mutex over the mutable per-namespace
+///    state: the tables, the blocking index, and the prepared-record caches.
+///    Resolve / ResolveRecord / NumRecords take it shared (many concurrent
+///    readers); AddRecord takes it exclusive. The FeaturePipeline itself is
+///    immutable after registration and needs no locking.
+///  - Model publishes bypass namespace locks entirely: they go through the
+///    registry's hot-swap path, so Resolve traffic keeps flowing on the
+///    snapshot it started with while models and records change underneath.
+///
+/// Featurization serves from per-record PreparedRecord caches (built at
+/// registration, extended by AddRecord under the exclusive lock), so the
+/// per-pair hot loop never re-tokenizes or re-normalizes a record; outputs
+/// stay bit-identical to the raw offline path.
 class Gateway {
  public:
   explicit Gateway(GatewayOptions options = {});
 
-  /// \brief Installs a namespace's tables, blocking index (built here from
-  /// the tables) and feature pipeline. Fails on invalid specs or duplicate
-  /// names. Publishing a model is a separate step (Publish / registry()).
+  /// \brief Installs a namespace's tables, blocking index and
+  /// prepared-record caches (both built here from the tables) and its
+  /// feature pipeline. Fails on invalid specs or duplicate names.
+  /// Publishing a model is a separate step (Publish / registry()).
   Status RegisterNamespace(const std::string& ns, NamespaceSpec spec);
 
   bool HasNamespace(const std::string& ns) const;
   std::vector<std::string> Namespaces() const;
 
   /// \brief Publishes a risk model for the namespace (hot-swap; returns the
-  /// namespace's new version). The namespace must be registered.
+  /// namespace's new version). The namespace must be registered. Never
+  /// blocks in-flight Resolve calls: they finish on the snapshot they
+  /// loaded at score time.
   Result<uint64_t> Publish(const std::string& ns, RiskModel model);
 
   /// \brief The embedded registry (save/load of all models, LRU stats).
   ModelRegistry& registry() { return registry_; }
   const ModelRegistry& registry() const { return registry_; }
 
-  /// \brief Scores raw record pairs end-to-end: candidate generation (or
-  /// the request's explicit pairs), inline featurization, risk scoring.
+  /// \brief Scores record pairs end-to-end: candidate generation (or the
+  /// request's explicit pairs), prepared-cache featurization, risk scoring.
   /// NotFound for unknown namespaces, InvalidArgument for empty or
   /// ambiguous requests, FailedPrecondition before the first Publish.
+  /// Holds the namespace lock shared for the blocking + featurize stages,
+  /// so it runs concurrently with other Resolve calls and with publishes,
+  /// but mutually excludes AddRecord.
   Result<ResolveResponse> Resolve(const std::string& ns,
                                   const ResolveRequest& request);
 
   /// \brief Online single-record path: blocks a raw probe record against
   /// the namespace's opposite side and scores the resulting candidates.
+  /// The probe is prepared once per call; candidates come from the
+  /// namespace's prepared cache. Same locking as Resolve (shared).
   Result<ProbeResponse> ResolveRecord(const std::string& ns,
                                       const Record& probe,
                                       size_t explain_top_k = 0);
 
-  /// \brief Appends a record to one side of the namespace (table + blocking
-  /// index), making it visible to subsequent Resolve / ResolveRecord calls.
+  /// \brief Appends a record to one side of the namespace — table, blocking
+  /// index, and prepared-record cache stay index-aligned — making it visible
+  /// to subsequent Resolve / ResolveRecord calls. Takes the namespace lock
+  /// exclusively: concurrent Resolve calls either see the namespace fully
+  /// without the record or fully with it, never a partial update.
   /// `entity_id` is optional ground truth (-1 = unknown).
   Status AddRecord(const std::string& ns, BlockingSide side, Record record,
                    int64_t entity_id = -1);
@@ -135,14 +158,23 @@ class Gateway {
 
  private:
   struct NamespaceState {
-    mutable std::shared_mutex mu;  ///< tables + index; pipeline is immutable
+    /// Guards tables, index, and prepared caches; the pipeline is immutable
+    /// after registration and read lock-free.
+    mutable std::shared_mutex mu;
     bool dedup = false;
     Table left;
     Table right;  ///< unused when dedup
     BlockingIndex index;
     FeaturePipeline pipeline;
+    /// Prepared-record caches, index-aligned with the tables: built at
+    /// registration, appended by AddRecord under the exclusive lock.
+    PreparedTable left_prepared;
+    PreparedTable right_prepared;  ///< unused when dedup
 
     const Table& right_table() const { return dedup ? left : right; }
+    const PreparedTable& right_prepared_table() const {
+      return dedup ? left_prepared : right_prepared;
+    }
   };
 
   Result<std::shared_ptr<NamespaceState>> State(const std::string& ns) const;

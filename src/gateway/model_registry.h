@@ -39,6 +39,23 @@ struct ModelRegistryOptions {
 /// ServingEngine::Publish runs outside it, so scoring traffic on other
 /// namespaces (and on the same namespace, against the previous snapshot) is
 /// never blocked by a publish.
+///
+/// Eviction / pinning semantics (with `max_resident` > 0):
+///  - Eviction is LRU over a monotone touch clock: every Publish / Engine
+///    access stamps the entry, and exceeding the cap spills the
+///    least-recently-used *other* entries' models to `spill_dir` via
+///    model_io, dropping their engines.
+///  - In-flight publishes pin their engine: an entry whose `publishing`
+///    count is nonzero is skipped by eviction, because spilling mid-publish
+///    would fork a second engine for the namespace, orphaning the in-flight
+///    model and duplicating version numbers.
+///  - Callers holding a shared_ptr<ServingEngine> from Engine() are
+///    implicitly pinned too: eviction only drops the registry's reference,
+///    so a handed-out engine stays alive and scoreable; the registry simply
+///    reloads a fresh engine (with a resumed version counter) on the
+///    namespace's next access.
+///  - Spill IO currently runs under the registry lock (ROADMAP item (k):
+///    move SaveCurrent off the hot path if eviction-heavy workloads appear).
 class ModelRegistry {
  public:
   explicit ModelRegistry(ModelRegistryOptions options = {});
@@ -51,6 +68,8 @@ class ModelRegistry {
   /// \brief Publishes a model under the namespace (creating it on first
   /// use) and returns the namespace's new version. Versions are
   /// per-namespace, unique and increasing — including across spill/reload.
+  /// The snapshot build runs outside the registry lock with the target
+  /// engine pinned against eviction for the duration.
   Result<uint64_t> Publish(const std::string& ns, RiskModel model);
 
   /// \brief The namespace's engine, reloading a spilled snapshot if needed.

@@ -14,7 +14,9 @@
 #include "common/status.h"
 #include "data/table.h"
 #include "data/workload.h"
+#include "metrics/prepared_record.h"
 #include "metrics/similarity.h"
+#include "metrics/string_kernels.h"
 
 namespace learnrisk {
 
@@ -80,11 +82,14 @@ class MetricSuite {
 
   size_t num_metrics() const { return specs_.size(); }
   const std::vector<MetricSpec>& specs() const { return specs_; }
+  const Schema& schema() const { return schema_; }
 
   /// \brief Names of all metrics, in column order.
   std::vector<std::string> MetricNames() const;
 
-  /// \brief Value of metric `m` on a record pair.
+  /// \brief Value of metric `m` on a record pair. This is the reference
+  /// implementation: it re-derives every record-level artifact (tokens,
+  /// normalized strings, tf-idf weights) from the raw strings per call.
   double Evaluate(const Record& left, const Record& right, size_t m) const;
 
   /// \brief Full metric vector for a record pair.
@@ -92,18 +97,47 @@ class MetricSuite {
                                    const Record& right) const;
 
   /// \brief Writes the full metric vector into `out` (capacity >=
-  /// num_metrics()); the allocation-free form the request gateway's inline
-  /// featurization pass uses.
+  /// num_metrics()); the allocation-free reference form.
   void EvaluatePairInto(const Record& left, const Record& right,
                         double* out) const;
 
+  // --- Prepared fast path ---------------------------------------------------
+  // The prepared kernels produce bit-identical values to Evaluate* while
+  // reusing per-record caches and per-thread scratch; the parity is enforced
+  // by tests/prepared_parity_test.cc across all MetricKinds.
+
+  /// \brief Caches every record-level derivation this suite's metrics need
+  /// (see PreparedValue). Prepare after Fit(): the cached tf-idf weights and
+  /// key-token subsets are derived from the fitted IDF tables, so records
+  /// prepared earlier (or under a different suite) must be re-prepared —
+  /// evaluating them against this suite is unsupported.
+  PreparedRecord PrepareRecord(const Record& record) const;
+
+  /// \brief Value of metric `m` from two prepared sides; bit-identical to
+  /// Evaluate on the records they were prepared from. `scratch` is the
+  /// calling thread's reusable kernel buffer.
+  double EvaluatePrepared(const PreparedRecord& left,
+                          const PreparedRecord& right, size_t m,
+                          MetricScratch* scratch) const;
+
+  /// \brief Full metric vector from two prepared sides into `out` (capacity
+  /// >= num_metrics()); the hot loop of the prepared featurization path.
+  void EvaluatePairPreparedInto(const PreparedRecord& left,
+                                const PreparedRecord& right,
+                                MetricScratch* scratch, double* out) const;
+
  private:
+  /// \brief PreparedValue fields a metric kind reads (bitmask).
+  static uint32_t PrepareNeedsFor(MetricKind kind);
+  void RecomputeNeeds();
+
   Schema schema_;
   std::vector<MetricSpec> specs_;
   // Per-attribute IDF tables (shared_ptr so suites are copyable); only
   // populated for attributes referenced by IDF-based metrics.
   std::vector<std::shared_ptr<IdfTable>> idf_;
   std::vector<double> min_key_idf_;
+  std::vector<uint32_t> needs_;  ///< per-attribute PrepareNeeds mask
 };
 
 /// \brief Dense row-major pair-by-metric matrix.
@@ -139,6 +173,9 @@ class FeatureMatrix {
 };
 
 /// \brief Evaluates the suite on every pair of the workload (parallelized).
+/// Runs the prepared fast path: each record referenced by the pairs is
+/// prepared once, then pairs evaluate via EvaluatePairPreparedInto —
+/// bit-identical to evaluating each pair from the raw strings.
 FeatureMatrix ComputeFeatures(const Workload& workload,
                               const MetricSuite& suite);
 

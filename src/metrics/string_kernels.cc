@@ -1,0 +1,214 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "metrics/string_kernels.h"
+
+#include <algorithm>
+
+namespace learnrisk {
+namespace {
+
+/// Strips the common prefix and (non-overlapping) common suffix of two
+/// string views in place; returns {prefix_len, suffix_len}. Both edit
+/// distance and LCS decompose over this split: equal border characters never
+/// change the distance and always extend some LCS.
+std::pair<size_t, size_t> StripCommonEnds(std::string_view* a,
+                                          std::string_view* b) {
+  size_t prefix = 0;
+  const size_t min_len = std::min(a->size(), b->size());
+  while (prefix < min_len && (*a)[prefix] == (*b)[prefix]) ++prefix;
+  a->remove_prefix(prefix);
+  b->remove_prefix(prefix);
+  size_t suffix = 0;
+  const size_t min_rest = std::min(a->size(), b->size());
+  while (suffix < min_rest &&
+         (*a)[a->size() - 1 - suffix] == (*b)[b->size() - 1 - suffix]) {
+    ++suffix;
+  }
+  a->remove_suffix(suffix);
+  b->remove_suffix(suffix);
+  return {prefix, suffix};
+}
+
+/// Builds the per-character match masks for pattern `a` (|a| <= 64) in
+/// scratch->char_masks. Caller must ClearMasks(a) afterwards.
+void BuildMasks(std::string_view a, MetricScratch* scratch) {
+  for (char c : a) scratch->char_masks[static_cast<unsigned char>(c)] = 0;
+  uint64_t bit = 1;
+  for (char c : a) {
+    scratch->char_masks[static_cast<unsigned char>(c)] |= bit;
+    bit <<= 1;
+  }
+}
+
+void ClearMasks(std::string_view a, MetricScratch* scratch) {
+  for (char c : a) scratch->char_masks[static_cast<unsigned char>(c)] = 0;
+}
+
+/// Myers' bit-parallel Levenshtein distance for |a| <= 64 (Hyyrö's
+/// formulation). Exact: maintains the vertical delta encoding of the DP
+/// column and tracks the score at the last row.
+size_t MyersEditDistance(std::string_view a, std::string_view b,
+                         MetricScratch* scratch) {
+  BuildMasks(a, scratch);
+  const uint64_t last = uint64_t{1} << (a.size() - 1);
+  uint64_t pv = ~uint64_t{0};
+  uint64_t mv = 0;
+  size_t score = a.size();
+  for (char c : b) {
+    const uint64_t eq = scratch->char_masks[static_cast<unsigned char>(c)];
+    const uint64_t xv = eq | mv;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+    if (ph & last) ++score;
+    if (mh & last) --score;
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  ClearMasks(a, scratch);
+  return score;
+}
+
+/// Two-row int32 DP fallback for remainders longer than 64 chars; identical
+/// recurrence to EditDistance() (lengths fit int32 comfortably).
+size_t DpEditDistance(std::string_view a, std::string_view b,
+                      MetricScratch* scratch) {
+  const size_t n = a.size();
+  std::vector<int32_t>& prev = scratch->dp_prev;
+  std::vector<int32_t>& cur = scratch->dp_cur;
+  prev.resize(n + 1);
+  cur.resize(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = static_cast<int32_t>(i);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = static_cast<int32_t>(j);
+    const char bc = b[j - 1];
+    for (size_t i = 1; i <= n; ++i) {
+      const int32_t sub = prev[i - 1] + (a[i - 1] == bc ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<size_t>(prev[n]);
+}
+
+/// Allison-Dix bit-parallel LLCS for |a| <= 64: V starts all-ones; each text
+/// character clears one bit per LCS extension. LLCS = zero bits of V among
+/// the low |a| positions.
+size_t BitParallelLcs(std::string_view a, std::string_view b,
+                      MetricScratch* scratch) {
+  BuildMasks(a, scratch);
+  uint64_t v = ~uint64_t{0};
+  for (char c : b) {
+    const uint64_t m = scratch->char_masks[static_cast<unsigned char>(c)];
+    const uint64_t u = v & m;
+    // u's bits are a subset of v's, so v - u == v & ~u (no borrows).
+    v = (v + u) | (v - u);
+  }
+  ClearMasks(a, scratch);
+  const uint64_t low = a.size() == 64 ? ~uint64_t{0}
+                                      : (uint64_t{1} << a.size()) - 1;
+  return a.size() - static_cast<size_t>(__builtin_popcountll(v & low));
+}
+
+/// Two-row int32 LCS DP fallback; identical recurrence to LcsRatio()'s.
+size_t DpLcs(std::string_view a, std::string_view b, MetricScratch* scratch) {
+  const size_t n = a.size();
+  std::vector<int32_t>& prev = scratch->dp_prev;
+  std::vector<int32_t>& cur = scratch->dp_cur;
+  prev.assign(n + 1, 0);
+  cur.assign(n + 1, 0);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    const char bc = b[j - 1];
+    for (size_t i = 1; i <= n; ++i) {
+      cur[i] = a[i - 1] == bc ? prev[i - 1] + 1 : std::max(prev[i], cur[i - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<size_t>(prev[n]);
+}
+
+}  // namespace
+
+size_t EditDistanceFast(std::string_view a, std::string_view b,
+                        MetricScratch* scratch) {
+  StripCommonEnds(&a, &b);
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return b.size();
+  if (a.size() <= 64) return MyersEditDistance(a, b, scratch);
+  return DpEditDistance(a, b, scratch);
+}
+
+double NormalizedEditSimilarityFast(std::string_view a, std::string_view b,
+                                    MetricScratch* scratch) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistanceFast(a, b, scratch)) /
+                   static_cast<double>(max_len);
+}
+
+size_t LcsLengthFast(std::string_view a, std::string_view b,
+                     MetricScratch* scratch) {
+  const auto [prefix, suffix] = StripCommonEnds(&a, &b);
+  const size_t border = prefix + suffix;
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return border;
+  if (a.size() <= 64) return border + BitParallelLcs(a, b, scratch);
+  return border + DpLcs(a, b, scratch);
+}
+
+double LcsRatioFast(std::string_view a, std::string_view b,
+                    MetricScratch* scratch) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  return static_cast<double>(LcsLengthFast(a, b, scratch)) /
+         static_cast<double>(max_len);
+}
+
+double JaroSimilarityFast(std::string_view a, std::string_view b,
+                          MetricScratch* scratch) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t window =
+      a.size() > 1 || b.size() > 1 ? std::max(a.size(), b.size()) / 2 - 1 : 0;
+  scratch->a_flags.assign(a.size(), 0);
+  scratch->b_flags.assign(b.size(), 0);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (scratch->b_flags[j] || a[i] != b[j]) continue;
+      scratch->a_flags[i] = scratch->b_flags[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!scratch->a_flags[i]) continue;
+    while (!scratch->b_flags[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarityFast(std::string_view a, std::string_view b,
+                                 MetricScratch* scratch) {
+  const double jaro = JaroSimilarityFast(a, b, scratch);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+}  // namespace learnrisk

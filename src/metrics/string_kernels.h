@@ -1,0 +1,77 @@
+// Copyright 2026 The LearnRisk Authors
+// Allocation-free exact string kernels for the prepared featurization path.
+//
+// Each kernel computes *exactly* the same value as its reference counterpart
+// in similarity.h (same integers, hence bit-identical derived doubles) but
+// reuses caller-owned scratch buffers instead of allocating per call, and
+// uses asymptotically faster exact algorithms where they exist:
+//
+//  - EditDistanceFast: common prefix/suffix stripping (distance-preserving),
+//    then Myers' bit-parallel algorithm (O(n) words for patterns <= 64
+//    chars), falling back to a two-row int32 DP for longer remainders.
+//  - LcsLengthFast: prefix/suffix stripping (each stripped char is part of
+//    some LCS), then the Allison-Dix bit-parallel LLCS recurrence for
+//    patterns <= 64 chars, int32 DP otherwise.
+//  - JaroSimilarityFast / JaroWinklerSimilarityFast: the reference
+//    arithmetic verbatim, with the match flags in reusable byte buffers
+//    instead of fresh vector<bool>s.
+//
+// Exactness is enforced by tests/prepared_parity_test.cc, which compares
+// every kernel against the reference implementation on randomized inputs
+// including lengths around the 64-char bit-parallel boundary.
+
+#ifndef LEARNRISK_METRICS_STRING_KERNELS_H_
+#define LEARNRISK_METRICS_STRING_KERNELS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace learnrisk {
+
+/// \brief Per-thread scratch for the prepared metric kernels. One instance
+/// per worker thread; the kernels resize the buffers as needed and leave
+/// `char_masks` zeroed between calls, so a scratch can be reused across any
+/// sequence of kernel invocations.
+struct MetricScratch {
+  std::vector<int32_t> dp_prev;   ///< DP row (edit distance / LCS fallback)
+  std::vector<int32_t> dp_cur;    ///< DP row
+  std::vector<uint8_t> a_flags;   ///< Jaro match flags, left side
+  std::vector<uint8_t> b_flags;   ///< Jaro match flags, right side
+  std::vector<uint8_t> used;      ///< entity-matching "already paired" flags
+  std::vector<double> row_best;   ///< Monge-Elkan per-left-token maxima
+  std::vector<double> col_best;   ///< Monge-Elkan per-right-token maxima
+  /// Per-character match bitmasks for the bit-parallel kernels. Kernels
+  /// zero only the entries they touched, so the array stays clean without a
+  /// 2KB memset per call.
+  uint64_t char_masks[256] = {};
+};
+
+/// \brief Levenshtein distance; same integer as EditDistance().
+size_t EditDistanceFast(std::string_view a, std::string_view b,
+                        MetricScratch* scratch);
+
+/// \brief Bit-identical to NormalizedEditSimilarity().
+double NormalizedEditSimilarityFast(std::string_view a, std::string_view b,
+                                    MetricScratch* scratch);
+
+/// \brief Longest-common-subsequence length; same integer as the LcsRatio
+/// DP computes internally.
+size_t LcsLengthFast(std::string_view a, std::string_view b,
+                     MetricScratch* scratch);
+
+/// \brief Bit-identical to LcsRatio().
+double LcsRatioFast(std::string_view a, std::string_view b,
+                    MetricScratch* scratch);
+
+/// \brief Bit-identical to JaroSimilarity().
+double JaroSimilarityFast(std::string_view a, std::string_view b,
+                          MetricScratch* scratch);
+
+/// \brief Bit-identical to JaroWinklerSimilarity().
+double JaroWinklerSimilarityFast(std::string_view a, std::string_view b,
+                                 MetricScratch* scratch);
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_METRICS_STRING_KERNELS_H_

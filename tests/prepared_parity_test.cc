@@ -1,0 +1,441 @@
+// Copyright 2026 The LearnRisk Authors
+// Parity suite for the prepared featurization path: the record-level cache
+// (PrepareRecord / PreparedTable) plus the scratch string kernels must be
+// *bit-identical* to the raw reference path across every MetricKind,
+// including empty / whitespace / punctuation-only / high-bit ("unicode-ish")
+// / NaN-parsing numeric values and string lengths straddling the 64-char
+// bit-parallel kernel boundary. Also covers the FeaturePipeline prepared
+// entry points and the gateway's cache invalidation after AddRecord.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifier/logistic.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "gateway/gateway.h"
+#include "metrics/metric_suite.h"
+#include "metrics/prepared_record.h"
+#include "metrics/similarity.h"
+#include "metrics/string_kernels.h"
+#include "risk/risk_feature.h"
+
+namespace learnrisk {
+namespace {
+
+// Bitwise double equality (distinguishes -0.0/0.0, treats identical NaNs as
+// equal) so "bit-identical" means exactly that.
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "doubles differ: " << a << " vs " << b;
+}
+
+std::string RandomAsciiString(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] = "abcdeABC 01.,-";
+  const size_t len = rng->Index(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Index(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+// Attribute values drawn from edge cases and random fragments: empty,
+// whitespace-only, punctuation-only, numbers (including "nan"/"inf", which
+// strtod parses), high-bit bytes, shared prefixes/suffixes, and strings
+// around the 64-char bit-parallel boundary.
+std::string RandomValue(Rng* rng) {
+  switch (rng->Index(14)) {
+    case 0: return "";
+    case 1: return "   ";
+    case 2: return "--- ,,, !!";
+    case 3: return "nan";
+    case 4: return "inf";
+    case 5: return "1998";
+    case 6: return "19.98e2";
+    case 7: return "caf\xc3\xa9 r\xc3\xa9sum\xc3\xa9";
+    case 8: return "very large data bases";
+    case 9: return "vldb";
+    case 10: return std::string(rng->Index(70) + 1, 'a') + "tail";
+    case 11: {
+      std::string s = RandomAsciiString(rng, 80);
+      return "shared prefix " + s;
+    }
+    case 12: {
+      std::string s = RandomAsciiString(rng, 80);
+      return s + " shared suffix";
+    }
+    default: return RandomAsciiString(rng, 90);
+  }
+}
+
+Record RandomRecord(Rng* rng, size_t width) {
+  Record record;
+  record.values.reserve(width);
+  for (size_t a = 0; a < width; ++a) {
+    std::string v = RandomValue(rng);
+    if (rng->Bernoulli(0.25)) {
+      // Comma-separated entity lists exercise the entity-set metrics.
+      v += ", m franklin, michael j franklin";
+    }
+    record.values.push_back(std::move(v));
+  }
+  return record;
+}
+
+// Synthetic rules over the suite's metric columns with perturbed parameters
+// (same recipe as the gateway tests) so every transform matters.
+RiskModel MakeModel(uint64_t seed, size_t n_rules, size_t num_metrics) {
+  Rng rng(seed);
+  std::vector<Rule> rules(n_rules);
+  std::vector<double> expectations(n_rules);
+  std::vector<size_t> support(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    const size_t n_preds = 1 + rng.Index(3);
+    for (size_t k = 0; k < n_preds; ++k) {
+      Predicate p;
+      p.metric = rng.Index(num_metrics);
+      p.metric_name = "m" + std::to_string(p.metric);
+      p.greater = rng.Bernoulli(0.5);
+      p.threshold = rng.Uniform();
+      rules[j].predicates.push_back(std::move(p));
+    }
+    expectations[j] = rng.Uniform(0.1, 0.9);
+    support[j] = 10 + rng.Index(100);
+  }
+  RiskModel model(RiskFeatureSet::FromParts(std::move(rules),
+                                            std::move(expectations),
+                                            std::move(support)));
+  std::vector<double> theta(n_rules);
+  std::vector<double> phi(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    theta[j] = rng.Normal(0.0, 1.0);
+    phi[j] = rng.Normal(0.0, 1.0);
+  }
+  std::vector<double> phi_out(model.phi_out().size());
+  for (double& v : phi_out) v = rng.Normal(0.0, 1.0);
+  model.ApplyUpdate(theta, phi, rng.Normal(0.0, 0.5), rng.Normal(0.5, 0.5),
+                    phi_out);
+  return model;
+}
+
+// A suite applying every MetricKind to every attribute (metrics do not care
+// about the attribute's semantic type).
+MetricSuite AllKindsSuite(size_t width) {
+  std::vector<Attribute> attrs;
+  for (size_t a = 0; a < width; ++a) {
+    attrs.push_back({"attr" + std::to_string(a), AttributeType::kText});
+  }
+  const Schema schema(std::move(attrs));
+  static const MetricKind kAllKinds[] = {
+      MetricKind::kEditSim,        MetricKind::kJaroWinkler,
+      MetricKind::kTokenJaccard,   MetricKind::kNgramJaccard,
+      MetricKind::kLcs,            MetricKind::kCosineTfIdf,
+      MetricKind::kMongeElkan,     MetricKind::kOverlap,
+      MetricKind::kContainment,    MetricKind::kNumericSim,
+      MetricKind::kExact,          MetricKind::kNonSubstring,
+      MetricKind::kNonPrefix,      MetricKind::kNonSuffix,
+      MetricKind::kAbbrNonSubstring, MetricKind::kAbbrNonPrefix,
+      MetricKind::kAbbrNonSuffix,  MetricKind::kDiffCardinality,
+      MetricKind::kDistinctEntity, MetricKind::kDiffKeyToken,
+      MetricKind::kNumericUnequal, MetricKind::kNotEqual,
+  };
+  std::vector<MetricSpec> specs;
+  for (size_t a = 0; a < width; ++a) {
+    for (MetricKind kind : kAllKinds) {
+      specs.push_back(MetricSpec{
+          a, kind,
+          schema.attribute(a).name + "." + MetricKindToString(kind)});
+    }
+  }
+  return MetricSuite::FromSpecs(schema, std::move(specs));
+}
+
+TEST(StringKernelsTest, EditDistanceMatchesReference) {
+  Rng rng(11);
+  MetricScratch scratch;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::string a = RandomValue(&rng);
+    const std::string b = rng.Bernoulli(0.2) ? a : RandomValue(&rng);
+    ASSERT_EQ(EditDistanceFast(a, b, &scratch), EditDistance(a, b))
+        << "a='" << a << "' b='" << b << "'";
+  }
+  // Lengths straddling the 64-char bit-parallel boundary.
+  for (size_t la : {0u, 1u, 63u, 64u, 65u, 128u}) {
+    for (size_t lb : {0u, 1u, 63u, 64u, 65u, 128u}) {
+      std::string a;
+      std::string b;
+      for (size_t i = 0; i < la; ++i) a += static_cast<char>('a' + i % 3);
+      for (size_t i = 0; i < lb; ++i) b += static_cast<char>('b' + i % 4);
+      ASSERT_EQ(EditDistanceFast(a, b, &scratch), EditDistance(a, b))
+          << la << "x" << lb;
+    }
+  }
+}
+
+TEST(StringKernelsTest, LcsMatchesReference) {
+  Rng rng(13);
+  MetricScratch scratch;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::string a = RandomValue(&rng);
+    const std::string b = rng.Bernoulli(0.2) ? a : RandomValue(&rng);
+    ASSERT_TRUE(BitEqual(LcsRatioFast(a, b, &scratch), LcsRatio(a, b)))
+        << "a='" << a << "' b='" << b << "'";
+  }
+  for (size_t la : {1u, 63u, 64u, 65u, 128u}) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < la; ++i) a += static_cast<char>('a' + i % 5);
+    for (size_t i = 0; i < la + 7; ++i) b += static_cast<char>('a' + i % 4);
+    ASSERT_TRUE(BitEqual(LcsRatioFast(a, b, &scratch), LcsRatio(a, b))) << la;
+  }
+}
+
+TEST(StringKernelsTest, JaroWinklerMatchesReference) {
+  Rng rng(17);
+  MetricScratch scratch;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::string a = RandomValue(&rng);
+    const std::string b = rng.Bernoulli(0.2) ? a : RandomValue(&rng);
+    ASSERT_TRUE(BitEqual(JaroWinklerSimilarityFast(a, b, &scratch),
+                         JaroWinklerSimilarity(a, b)))
+        << "a='" << a << "' b='" << b << "'";
+  }
+}
+
+// The prepared Monge-Elkan kernel fills the token-pair Jaro-Winkler matrix
+// once and reuses it for both directions, which is only bit-identical
+// because greedy-window Jaro-Winkler is exactly symmetric. Lock that
+// assumption in (it also holds exhaustively over short alphabets).
+TEST(StringKernelsTest, JaroWinklerIsBitwiseSymmetric) {
+  Rng rng(19);
+  MetricScratch scratch;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::string a = RandomValue(&rng);
+    const std::string b = RandomValue(&rng);
+    ASSERT_TRUE(BitEqual(JaroWinklerSimilarityFast(a, b, &scratch),
+                         JaroWinklerSimilarityFast(b, a, &scratch)))
+        << "a='" << a << "' b='" << b << "'";
+  }
+}
+
+// Scratch reuse across interleaved kernels must not leak state between
+// calls (char_masks hygiene).
+TEST(StringKernelsTest, ScratchReuseIsClean) {
+  MetricScratch scratch;
+  const std::string a = "abcabcabc";
+  const std::string b = "xbcabcaby";
+  const size_t edit = EditDistanceFast(a, b, &scratch);
+  const size_t lcs = LcsLengthFast(a, b, &scratch);
+  for (int i = 0; i < 10; ++i) {
+    EditDistanceFast("zzzz", "qqqq", &scratch);
+    LcsLengthFast("qzqz", "zqzq", &scratch);
+    ASSERT_EQ(EditDistanceFast(a, b, &scratch), edit);
+    ASSERT_EQ(LcsLengthFast(a, b, &scratch), lcs);
+  }
+}
+
+TEST(PreparedParityTest, AllKindsBitIdenticalFittedAndUnfitted) {
+  constexpr size_t kWidth = 3;
+  for (const bool fitted : {true, false}) {
+    MetricSuite suite = AllKindsSuite(kWidth);
+    Rng rng(fitted ? 101 : 202);
+    if (fitted) {
+      // Fit IDF tables on a random two-table corpus.
+      auto left = std::make_shared<Table>(suite.schema());
+      auto right = std::make_shared<Table>(suite.schema());
+      for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(left->Append(RandomRecord(&rng, kWidth), i).ok());
+        ASSERT_TRUE(right->Append(RandomRecord(&rng, kWidth), i).ok());
+      }
+      const Workload corpus("corpus", left, right, {});
+      suite.Fit(corpus);
+    }
+    MetricScratch scratch;
+    for (int iter = 0; iter < 300; ++iter) {
+      const Record left = RandomRecord(&rng, kWidth);
+      const Record right =
+          rng.Bernoulli(0.15) ? left : RandomRecord(&rng, kWidth);
+      const PreparedRecord prepared_left = suite.PrepareRecord(left);
+      const PreparedRecord prepared_right = suite.PrepareRecord(right);
+      std::vector<double> raw(suite.num_metrics());
+      std::vector<double> prepared(suite.num_metrics());
+      suite.EvaluatePairInto(left, right, raw.data());
+      suite.EvaluatePairPreparedInto(prepared_left, prepared_right, &scratch,
+                                     prepared.data());
+      for (size_t m = 0; m < suite.num_metrics(); ++m) {
+        ASSERT_TRUE(BitEqual(raw[m], prepared[m]))
+            << suite.specs()[m].name << " on '" << left.values[0] << "'... ("
+            << (fitted ? "fitted" : "unfitted") << ")";
+      }
+    }
+  }
+}
+
+TEST(PreparedParityTest, ComputeFeaturesMatchesRawEvaluation) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = 5;
+  Workload ds = GenerateDataset("DS", options).MoveValueOrDie();
+  MetricSuite suite = MetricSuite::ForSchema(ds.left().schema());
+  suite.Fit(ds);
+  const FeatureMatrix features = ComputeFeatures(ds, suite);
+  ASSERT_EQ(features.rows(), ds.size());
+  for (size_t i = 0; i < ds.size(); i += 7) {
+    const std::vector<double> raw =
+        suite.EvaluatePair(ds.LeftRecord(i), ds.RightRecord(i));
+    for (size_t m = 0; m < suite.num_metrics(); ++m) {
+      ASSERT_TRUE(BitEqual(features.at(i, m), raw[m]))
+          << "pair " << i << " metric " << suite.specs()[m].name;
+    }
+  }
+}
+
+TEST(PreparedParityTest, FeaturePipelinePreparedMatchesRaw) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = 9;
+  Workload ds = GenerateDataset("DS", options).MoveValueOrDie();
+  MetricSuite suite = MetricSuite::ForSchema(ds.left().schema());
+  suite.Fit(ds);
+  const FeatureMatrix features = ComputeFeatures(ds, suite);
+  LogisticOptions logistic;
+  logistic.epochs = 10;
+  logistic.seed = 3;
+  auto classifier = std::make_shared<LogisticClassifier>(logistic);
+  ASSERT_TRUE(classifier->Train(features, ds.Labels()).ok());
+
+  // Subset classifier columns exercise the gather path.
+  std::vector<size_t> columns;
+  for (size_t c = 0; c < suite.num_metrics(); c += 2) columns.push_back(c);
+  const FeaturePipeline pipeline(suite, classifier, columns);
+  const PreparedTable left = PreparedTable::Build(ds.left(), suite);
+  const PreparedTable right = PreparedTable::Build(ds.right(), suite);
+
+  auto raw = pipeline.Run(ds.left(), ds.right(), ds.pairs());
+  auto prepared = pipeline.RunPrepared(left, right, ds.pairs());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_EQ(raw->probs.size(), prepared->probs.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(BitEqual(raw->probs[i], prepared->probs[i])) << i;
+    for (size_t m = 0; m < suite.num_metrics(); ++m) {
+      ASSERT_TRUE(BitEqual(raw->features.at(i, m), prepared->features.at(i, m)))
+          << i << "," << m;
+    }
+  }
+
+  // Probe path: an arbitrary left record against right-side candidates.
+  const Record& probe = ds.left().record(0);
+  std::vector<size_t> candidates;
+  for (size_t c = 0; c < std::min<size_t>(ds.right().num_records(), 25); ++c) {
+    candidates.push_back(c);
+  }
+  auto raw_probe = pipeline.RunProbe(probe, ds.right(), candidates);
+  auto prepared_probe = pipeline.RunProbePrepared(pipeline.Prepare(probe),
+                                                  right, candidates);
+  ASSERT_TRUE(raw_probe.ok());
+  ASSERT_TRUE(prepared_probe.ok());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ASSERT_TRUE(BitEqual(raw_probe->probs[i], prepared_probe->probs[i])) << i;
+  }
+
+  // Out-of-range pairs are rejected against the prepared tables too.
+  auto bad = pipeline.RunPrepared(left, right,
+                                  {{ds.left().num_records(), 0, false}});
+  EXPECT_TRUE(bad.status().IsOutOfRange());
+}
+
+// After AddRecord, the namespace's prepared cache must include the new
+// record: a gateway that grew online scores bit-identically to a gateway
+// registered with the extended tables from scratch.
+TEST(PreparedParityTest, GatewayCacheExtendedByAddRecord) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = 21;
+  Workload ds = GenerateDataset("DS", options).MoveValueOrDie();
+  MetricSuite suite = MetricSuite::ForSchema(ds.left().schema());
+  suite.Fit(ds);
+  const FeatureMatrix features = ComputeFeatures(ds, suite);
+  LogisticOptions logistic;
+  logistic.epochs = 10;
+  logistic.seed = 4;
+  auto classifier = std::make_shared<LogisticClassifier>(logistic);
+  ASSERT_TRUE(classifier->Train(features, ds.Labels()).ok());
+
+  // Split off the last right-side record: gateway A learns it via AddRecord,
+  // gateway B is registered with it already present.
+  const size_t full_right = ds.right().num_records();
+  ASSERT_GT(full_right, 1u);
+  auto trimmed_right = std::make_shared<Table>(ds.right().schema());
+  for (size_t i = 0; i + 1 < full_right; ++i) {
+    ASSERT_TRUE(trimmed_right
+                    ->Append(ds.right().record(i), ds.right().entity_id(i))
+                    .ok());
+  }
+  const Record extra = ds.right().record(full_right - 1);
+  const int64_t extra_entity = ds.right().entity_id(full_right - 1);
+
+  auto make_spec = [&](std::shared_ptr<const Table> right) {
+    NamespaceSpec spec;
+    spec.left = ds.left_ptr();
+    spec.right = std::move(right);
+    spec.suite = suite;
+    spec.classifier = classifier;
+    return spec;
+  };
+  Gateway grown;
+  ASSERT_TRUE(grown.RegisterNamespace("ds", make_spec(trimmed_right)).ok());
+  Gateway reference;
+  ASSERT_TRUE(reference.RegisterNamespace("ds", make_spec(ds.right_ptr())).ok());
+  const RiskModel model = MakeModel(77, 16, suite.num_metrics());
+  ASSERT_TRUE(grown.Publish("ds", model).ok());
+  ASSERT_TRUE(reference.Publish("ds", model).ok());
+
+  ASSERT_TRUE(
+      grown.AddRecord("ds", BlockingSide::kRight, extra, extra_entity).ok());
+  ASSERT_EQ(grown.NumRecords("ds", BlockingSide::kRight).ValueOrDie(),
+            full_right);
+
+  // Explicit pairs that all touch the appended record.
+  ResolveRequest request;
+  for (size_t l = 0; l < std::min<size_t>(ds.left().num_records(), 20); ++l) {
+    request.pairs.push_back({l, full_right - 1, false});
+  }
+  auto grown_response = grown.Resolve("ds", request);
+  auto reference_response = reference.Resolve("ds", request);
+  ASSERT_TRUE(grown_response.ok()) << grown_response.status().ToString();
+  ASSERT_TRUE(reference_response.ok());
+  ASSERT_EQ(grown_response->scores.risk.size(), request.pairs.size());
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    ASSERT_TRUE(BitEqual(grown_response->scores.risk[i],
+                         reference_response->scores.risk[i]))
+        << i;
+  }
+
+  // And the full candidate set agrees end to end after the add.
+  ResolveRequest block_all;
+  block_all.block_all = true;
+  auto grown_all = grown.Resolve("ds", block_all);
+  auto reference_all = reference.Resolve("ds", block_all);
+  ASSERT_TRUE(grown_all.ok());
+  ASSERT_TRUE(reference_all.ok());
+  ASSERT_EQ(grown_all->pairs.size(), reference_all->pairs.size());
+  for (size_t i = 0; i < grown_all->pairs.size(); ++i) {
+    ASSERT_TRUE(
+        BitEqual(grown_all->scores.risk[i], reference_all->scores.risk[i]))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace learnrisk

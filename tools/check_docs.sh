@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Docs hygiene checks, run by CI and by the `docs_check` ctest:
+#  1. every relative markdown link in README.md / ROADMAP.md / docs/*.md
+#     resolves to an existing file (http(s)/mailto/anchor links are skipped);
+#  2. drift guard: every bench/bench_*.cc target is documented in
+#     docs/BENCHMARKS.md.
+#
+# Usage: tools/check_docs.sh [repo-root]  (default: cwd)
+set -u
+
+root="${1:-.}"
+fail=0
+
+for path in "$root"/README.md "$root"/ROADMAP.md "$root"/docs/*.md; do
+  [ -f "$path" ] || continue
+  f="${path#"$root"/}"
+  dir=$(dirname "$path")
+  # Markdown inline links: the (...) following ](
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$root/$target" ]; then
+      echo "broken link in $f: ($link)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$path" | sed -e 's/^](//' -e 's/)$//')
+done
+
+benchmarks_doc="$root/docs/BENCHMARKS.md"
+if [ ! -f "$benchmarks_doc" ]; then
+  echo "docs/BENCHMARKS.md is missing"
+  fail=1
+else
+  for b in "$root"/bench/bench_*.cc; do
+    name=$(basename "$b" .cc)
+    if ! grep -q "$name" "$benchmarks_doc"; then
+      echo "bench target $name is not documented in docs/BENCHMARKS.md"
+      fail=1
+    fi
+  done
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs checks passed"
+fi
+exit $fail
