@@ -4,10 +4,14 @@
 // generated DS workload — raw tables in, risk scores out — with the
 // per-stage breakdown (blocking / featurization / scoring) the gateway's
 // StageTiming reports, p50/p99 per-request latency over fixed-size
-// explicit-pair batches, and a side-by-side raw vs prepared featurization
+// explicit-pair batches, a side-by-side raw vs prepared featurization
 // comparison (FeaturePipeline::Run vs RunPrepared on the same candidate
-// pairs, plus the one-time PreparedTable build cost). Prints a table and
-// writes BENCH_gateway.json so later PRs have an end-to-end serving perf
+// pairs, plus the one-time PreparedTable build cost), and a mixed
+// read/write scenario: a concurrent AddRecord writer at ~5% of operation
+// volume while the reader re-runs the batched requests — under the
+// snapshot storage model, reader p99 must stay in the read-only ballpark
+// instead of spiking behind writer locks. Prints a table and writes
+// BENCH_gateway.json so later PRs have an end-to-end serving perf
 // trajectory.
 //
 // Env knobs:
@@ -17,8 +21,10 @@
 //   LEARNRISK_SEED          master seed                  (default 7)
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -219,6 +225,65 @@ int main() {
               "p99 %.3f ms\n",
               batch_size, batched_rate, p50, p99);
 
+  // --- Mixed read/write: a concurrent AddRecord writer at ~5% of ops. -----
+  // The reader replays the same explicit-pair batches while a writer thread
+  // appends copies of right-side records (entity unknown, like production
+  // traffic). Readers run on atomically-loaded namespace snapshots, so
+  // their latency must not spike behind the writer; compare read p99 here
+  // against the read-only p99 above. (Run after the read-only sections:
+  // the appended records grow the namespace.)
+  std::vector<double> mixed_latencies_ms;
+  std::atomic<size_t> mixed_requests{0};
+  std::atomic<size_t> mixed_writes{0};
+  std::atomic<bool> mixed_stop{false};
+  {
+    std::thread writer([&]() {
+      size_t next = 0;
+      const Table& source = workload->right();
+      while (!mixed_stop.load(std::memory_order_relaxed)) {
+        // Pace writes to one per 19 reader requests (~5% of operations).
+        if (mixed_writes.load(std::memory_order_relaxed) * 19 <
+            mixed_requests.load(std::memory_order_relaxed)) {
+          const auto added = gateway.AddRecord(
+              "ds", BlockingSide::kRight,
+              source.record(next++ % source.num_records()), -1);
+          if (!added.ok()) std::exit(1);
+          mixed_writes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+    bool mixed_failed = false;
+    Timer run_timer;
+    do {
+      for (const ResolveRequest& request : batches) {
+        Timer request_timer;
+        const auto response = gateway.Resolve("ds", request);
+        mixed_latencies_ms.push_back(request_timer.ElapsedMillis());
+        if (!response.ok()) {
+          mixed_failed = true;
+          break;
+        }
+        mixed_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    } while (!mixed_failed && run_timer.ElapsedSeconds() < kMinRunSeconds);
+    // Always stop and join the writer before leaving the block: returning
+    // with a joinable std::thread would terminate the process.
+    mixed_stop.store(true);
+    writer.join();
+    if (mixed_failed) return 1;
+  }
+  const double mixed_p50 = bench::Percentile(mixed_latencies_ms, 0.5);
+  const double mixed_p99 = bench::Percentile(mixed_latencies_ms, 0.99);
+  const double write_share =
+      static_cast<double>(mixed_writes.load()) /
+      static_cast<double>(mixed_writes.load() + mixed_requests.load());
+  std::printf("mixed 95/5 read/write (batch=%zu, %zu writes, %.1f%% of "
+              "ops): read p50 %.3f ms, p99 %.3f ms (%.2fx read-only p99)\n",
+              batch_size, mixed_writes.load(), 100.0 * write_share, mixed_p50,
+              mixed_p99, p99 > 0.0 ? mixed_p99 / p99 : 0.0);
+
   FILE* json = std::fopen("BENCH_gateway.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -258,8 +323,19 @@ int main() {
                  "    \"pairs_per_sec\": %.1f,\n"
                  "    \"request_p50_ms\": %.4f,\n"
                  "    \"request_p99_ms\": %.4f\n"
-                 "  }\n}\n",
+                 "  },\n",
                  batch_size, batched_rate, p50, p99);
+    std::fprintf(json,
+                 "  \"mixed_read_write\": {\n"
+                 "    \"write_ops_share\": %.4f,\n"
+                 "    \"writes\": %zu,\n"
+                 "    \"read_p50_ms\": %.4f,\n"
+                 "    \"read_p99_ms\": %.4f,\n"
+                 "    \"readonly_p99_ms\": %.4f,\n"
+                 "    \"p99_vs_readonly\": %.3f\n"
+                 "  }\n}\n",
+                 write_share, mixed_writes.load(), mixed_p50, mixed_p99, p99,
+                 p99 > 0.0 ? mixed_p99 / p99 : 0.0);
     std::fclose(json);
     std::printf("\n  wrote BENCH_gateway.json\n");
   }

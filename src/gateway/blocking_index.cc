@@ -16,18 +16,23 @@ Result<BlockingIndex> BlockingIndex::Build(const Table& left,
     return Status::InvalidArgument("blocking key attribute out of range");
   }
   BlockingIndex index(config, &left == &right);
-  for (size_t i = 0; i < left.num_records(); ++i) {
-    LEARNRISK_RETURN_NOT_OK(
-        index.AddRecord(BlockingSide::kLeft, left.record(i),
-                        left.entity_id(i)));
-  }
-  if (!index.dedup_) {
-    for (size_t i = 0; i < right.num_records(); ++i) {
-      LEARNRISK_RETURN_NOT_OK(
-          index.AddRecord(BlockingSide::kRight, right.record(i),
-                          right.entity_id(i)));
+  auto bulk_load = [&config](Side* side, const Table& table) {
+    auto segment = std::make_shared<Segment>();
+    segment->base = 0;
+    segment->entities.reserve(table.num_records());
+    for (size_t i = 0; i < table.num_records(); ++i) {
+      for (std::string& tok :
+           BlockingKeyTokens(table.record(i), config.key_attribute,
+                             config.min_token_length)) {
+        segment->postings[std::move(tok)].push_back(i);
+      }
+      segment->entities.push_back(table.entity_id(i));
     }
-  }
+    side->num_records = table.num_records();
+    if (table.num_records() > 0) side->segments.push_back(std::move(segment));
+  };
+  bulk_load(&index.left_, left);
+  if (!index.dedup_) bulk_load(&index.right_, right);
   return index;
 }
 
@@ -36,22 +41,78 @@ Status BlockingIndex::AddRecord(BlockingSide side, const Record& record,
   if (config_.key_attribute >= record.values.size()) {
     return Status::InvalidArgument("blocking key attribute out of range");
   }
-  const bool to_left = dedup_ || side == BlockingSide::kLeft;
-  Postings& postings = to_left ? left_postings_ : right_postings_;
-  std::vector<int64_t>& entities = to_left ? left_entities_ : right_entities_;
-  const size_t index = entities.size();
+  Side& s = side_of(side);
+  const size_t index = s.num_records;
+  auto tail = std::make_shared<Segment>();
+  tail->base = index;
   for (std::string& tok :
        BlockingKeyTokens(record, config_.key_attribute,
                          config_.min_token_length)) {
-    postings[std::move(tok)].push_back(index);
+    tail->postings[std::move(tok)].push_back(index);
   }
-  entities.push_back(entity_id);
+  tail->entities.push_back(entity_id);
+  s.segments.push_back(std::move(tail));
+  s.num_records = index + 1;
+
+  // Binary-counter compaction: merge while the tail has grown at least as
+  // large as its predecessor. Sizes stay strictly decreasing, so a side
+  // holds O(log n) segments and each record is merged O(log n) times.
+  // Merges build fresh segments — shared (published) segments are immutable.
+  while (s.segments.size() >= 2) {
+    const Segment& a = *s.segments[s.segments.size() - 2];
+    const Segment& b = *s.segments.back();
+    if (b.num_records() < a.num_records()) break;
+    auto merged = std::make_shared<Segment>();
+    merged->base = a.base;
+    merged->postings = a.postings;
+    for (const auto& [tok, ids] : b.postings) {
+      // b's ids all exceed a's (higher base), so appending keeps each
+      // posting list ascending.
+      std::vector<size_t>& list = merged->postings[tok];
+      list.insert(list.end(), ids.begin(), ids.end());
+    }
+    merged->entities = a.entities;
+    merged->entities.insert(merged->entities.end(), b.entities.begin(),
+                            b.entities.end());
+    s.segments.pop_back();
+    s.segments.pop_back();
+    s.segments.push_back(std::move(merged));
+  }
   return Status::OK();
 }
 
-size_t BlockingIndex::DfCap(BlockingSide side) const {
-  const auto cap = static_cast<size_t>(
-      config_.max_token_df * static_cast<double>(entities(side).size()));
+size_t BlockingIndex::CountToken(const Side& side, const std::string& token) {
+  size_t count = 0;
+  for (const auto& segment : side.segments) {
+    auto it = segment->postings.find(token);
+    if (it != segment->postings.end()) count += it->second.size();
+  }
+  return count;
+}
+
+void BlockingIndex::GatherIds(const Side& side, const std::string& token,
+                              size_t first, std::vector<size_t>* out) {
+  for (size_t s = first; s < side.segments.size(); ++s) {
+    auto it = side.segments[s]->postings.find(token);
+    if (it == side.segments[s]->postings.end()) continue;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+int64_t BlockingIndex::EntityOf(const Side& side, size_t id) {
+  // Last segment whose base is <= id; segments are base-ordered.
+  auto it = std::upper_bound(
+      side.segments.begin(), side.segments.end(), id,
+      [](size_t v, const std::shared_ptr<const Segment>& segment) {
+        return v < segment->base;
+      });
+  const Segment& segment = **(it - 1);
+  return segment.entities[id - segment.base];
+}
+
+size_t BlockingIndex::DfCapAt(size_t records) const {
+  const auto cap = static_cast<size_t>(config_.max_token_df *
+                                       static_cast<double>(records));
   return std::max<size_t>(cap, 1);
 }
 
@@ -59,18 +120,47 @@ std::vector<size_t> BlockingIndex::Candidates(const Record& probe,
                                               BlockingSide target) const {
   std::vector<size_t> out;
   if (config_.key_attribute >= probe.values.size()) return out;
-  const Postings& target_postings = postings(target);
-  const size_t df_cap = DfCap(target);
+  const Side& target_side = side_of(target);
+  // The probe is scored as if it were the next record appended to the
+  // opposite (probe) side — dedup folds both sides onto the single table —
+  // so every df / block-size cap below is exactly what TokenBlocking would
+  // evaluate over the hypothetical (probe-appended) tables.
+  const Side& probe_side = dedup_ ? target_side : side_of(OppositeSide(target));
+  const size_t probe_df_cap = DfCapAt(probe_side.num_records + 1);
+  const size_t target_df_cap =
+      dedup_ ? probe_df_cap : DfCapAt(target_side.num_records);
+
   std::set<size_t> found;
+  std::vector<const std::vector<size_t>*> lists;  // per-segment posting refs
   for (const std::string& tok :
        BlockingKeyTokens(probe, config_.key_attribute,
                          config_.min_token_length)) {
-    auto it = target_postings.find(tok);
-    if (it == target_postings.end()) continue;
-    const std::vector<size_t>& ids = it->second;
-    if (ids.size() > df_cap) continue;          // token too common
-    if (ids.size() > config_.max_block_size) continue;  // block purging
-    found.insert(ids.begin(), ids.end());
+    // One pass over the target segments: count and remember the matching
+    // posting lists, so passing the caps below doesn't re-find them.
+    lists.clear();
+    size_t target_count = 0;
+    for (const auto& segment : target_side.segments) {
+      auto it = segment->postings.find(tok);
+      if (it == segment->postings.end()) continue;
+      lists.push_back(&it->second);
+      target_count += it->second.size();
+    }
+    if (target_count == 0) continue;
+    // Block sizes with the probe appended: the probe joins its own side's
+    // posting list (dedup: the single shared list).
+    const size_t probe_count =
+        (dedup_ ? target_count : CountToken(probe_side, tok)) + 1;
+    const size_t target_block = dedup_ ? target_count + 1 : target_count;
+    if (target_block > target_df_cap ||
+        target_block > config_.max_block_size) {
+      continue;  // token too common on the target side
+    }
+    if (probe_count > probe_df_cap || probe_count > config_.max_block_size) {
+      continue;  // token too common on the probe's side
+    }
+    for (const std::vector<size_t>* ids : lists) {
+      found.insert(ids->begin(), ids->end());
+    }
   }
   out.assign(found.begin(), found.end());
   return out;
@@ -79,28 +169,45 @@ std::vector<size_t> BlockingIndex::Candidates(const Record& probe,
 std::vector<RecordPair> BlockingIndex::AllCandidates() const {
   // Mirrors TokenBlocking's batch loop over the live postings: same caps
   // (evaluated at the current record counts), same dedup semantics, same
-  // set-ordered deterministic output.
-  const Postings& right_postings = postings(BlockingSide::kRight);
-  const std::vector<int64_t>& right_entities = entities(BlockingSide::kRight);
-  const size_t left_df_cap = DfCap(BlockingSide::kLeft);
-  const size_t right_df_cap = DfCap(BlockingSide::kRight);
+  // set-ordered deterministic output. A token is processed once, at the
+  // first left segment that contains it, with its full per-side lists
+  // gathered across segments.
+  const Side& left = left_;
+  const Side& right = side_of(BlockingSide::kRight);
+  const size_t left_df_cap = DfCapAt(left.num_records);
+  const size_t right_df_cap = DfCapAt(right.num_records);
 
   std::set<std::pair<size_t, size_t>> pair_set;
-  for (const auto& [token, left_ids] : left_postings_) {
-    auto it = right_postings.find(token);
-    if (it == right_postings.end()) continue;
-    const std::vector<size_t>& right_ids = it->second;
-    if (left_ids.size() > left_df_cap || right_ids.size() > right_df_cap) {
-      continue;  // token too common to be discriminating
-    }
-    if (left_ids.size() > config_.max_block_size ||
-        right_ids.size() > config_.max_block_size) {
-      continue;  // block purging
-    }
-    for (size_t li : left_ids) {
-      for (size_t ri : right_ids) {
-        if (dedup_ && li >= ri) continue;
-        pair_set.emplace(li, ri);
+  std::vector<size_t> left_ids;
+  std::vector<size_t> right_ids;
+  for (size_t s = 0; s < left.segments.size(); ++s) {
+    for (const auto& [token, seg_ids] : left.segments[s]->postings) {
+      (void)seg_ids;
+      bool seen_earlier = false;
+      for (size_t e = 0; e < s && !seen_earlier; ++e) {
+        seen_earlier = left.segments[e]->postings.count(token) > 0;
+      }
+      if (seen_earlier) continue;
+      left_ids.clear();
+      GatherIds(left, token, s, &left_ids);
+      if (!dedup_) {
+        right_ids.clear();
+        GatherIds(right, token, 0, &right_ids);
+      }
+      const std::vector<size_t>& rids = dedup_ ? left_ids : right_ids;
+      if (rids.empty()) continue;
+      if (left_ids.size() > left_df_cap || rids.size() > right_df_cap) {
+        continue;  // token too common to be discriminating
+      }
+      if (left_ids.size() > config_.max_block_size ||
+          rids.size() > config_.max_block_size) {
+        continue;  // block purging
+      }
+      for (size_t li : left_ids) {
+        for (size_t ri : rids) {
+          if (dedup_ && li >= ri) continue;
+          pair_set.emplace(li, ri);
+        }
       }
     }
   }
@@ -109,8 +216,9 @@ std::vector<RecordPair> BlockingIndex::AllCandidates() const {
   pairs.reserve(pair_set.size());
   for (const auto& [li, ri] : pair_set) {
     // Unknown entities (-1) never count as equivalent.
+    const int64_t left_entity = EntityOf(left, li);
     const bool equivalent =
-        left_entities_[li] >= 0 && left_entities_[li] == right_entities[ri];
+        left_entity >= 0 && left_entity == EntityOf(right, ri);
     pairs.push_back(RecordPair{li, ri, equivalent});
   }
   return pairs;

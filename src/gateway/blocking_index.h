@@ -1,16 +1,19 @@
 // Copyright 2026 The LearnRisk Authors
 // Incremental, queryable token blocking — the candidate-generation layer of
-// the request gateway. Holds per-side token postings in memory so records can
-// be added online one at a time and probed for blocking candidates without
-// rebuilding anything; materializing every candidate pair from the postings
-// reproduces the offline TokenBlocking batch blocker exactly (same tokens via
-// BlockingKeyTokens, same document-frequency and block-purging caps, same
-// deterministic pair order).
+// the request gateway. Holds per-side token postings in append-only immutable
+// segments so records can be added online one at a time and probed for
+// blocking candidates without rebuilding anything; materializing every
+// candidate pair from the postings reproduces the offline TokenBlocking
+// batch blocker exactly (same tokens via BlockingKeyTokens, same
+// document-frequency and block-purging caps, same deterministic pair order),
+// and probing a record reproduces exactly the batch pairs that record would
+// participate in if it were appended.
 
 #ifndef LEARNRISK_GATEWAY_BLOCKING_INDEX_H_
 #define LEARNRISK_GATEWAY_BLOCKING_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,16 +29,34 @@ namespace learnrisk {
 /// (single-table) indexes fold both sides onto kLeft.
 enum class BlockingSide { kLeft, kRight };
 
+/// \brief The opposite side (kLeft <-> kRight).
+inline BlockingSide OppositeSide(BlockingSide side) {
+  return side == BlockingSide::kLeft ? BlockingSide::kRight
+                                     : BlockingSide::kLeft;
+}
+
 /// \brief An in-memory inverted index over blocking tokens, maintained
-/// incrementally.
+/// incrementally as a list of append-only immutable posting segments.
 ///
 /// The index is the online counterpart of TokenBlocking: AddRecord appends a
 /// record's postings, Candidates probes a raw (possibly unseen) record for
 /// blocking partners, and AllCandidates materializes the full candidate set.
 /// The df / block-size caps are evaluated lazily against the *current*
 /// posting sizes, so AllCandidates after N AddRecord calls is identical to
-/// batch-blocking the same N records. Not internally synchronized — the
-/// gateway guards each namespace's index with its table lock.
+/// batch-blocking the same N records.
+///
+/// Storage is segment-structured for snapshot concurrency (see
+/// docs/CONCURRENCY.md): each side is a vector of shared, immutable
+/// `Segment`s (token -> ascending global record ids, plus the covered
+/// records' entity ids). AddRecord appends a single-record tail segment and
+/// then merges tail segments binary-counter style (merge while the tail is
+/// at least as large as its predecessor), which keeps the per-side segment
+/// count logarithmic and the amortized append cost O(tokens * log n). A
+/// merge always builds a *new* segment — published segments are never
+/// mutated — so copying a BlockingIndex is cheap (shared_ptr vector copies)
+/// and a copy taken by an RCU writer never invalidates concurrent readers
+/// of the original. The BlockingIndex object itself is not internally
+/// synchronized: one writer mutates its own copy while readers use theirs.
 class BlockingIndex {
  public:
   BlockingIndex() = default;
@@ -46,8 +67,8 @@ class BlockingIndex {
       : config_(config), dedup_(dedup) {}
 
   /// \brief Index over all records of two tables (pass the same table object
-  /// twice for dedup). AllCandidates() of the result equals
-  /// TokenBlocking(left, right, config) exactly.
+  /// twice for dedup), built as one base segment per side. AllCandidates()
+  /// of the result equals TokenBlocking(left, right, config) exactly.
   static Result<BlockingIndex> Build(const Table& left, const Table& right,
                                      const BlockingConfig& config);
 
@@ -57,24 +78,32 @@ class BlockingIndex {
   /// \brief Records indexed on one side (dedup: both sides report the single
   /// table's count).
   size_t num_records(BlockingSide side) const {
-    return entities(side).size();
+    return side_of(side).num_records;
   }
 
-  /// \brief Appends one record's postings. `entity_id` is the generator
-  /// ground truth used to flag AllCandidates pairs as equivalent; pass -1
-  /// when unknown (production traffic), which marks every pair non-match.
-  /// In dedup mode the side is ignored (single table). Fails if the key
-  /// attribute is out of range for the record.
+  /// \brief Posting segments currently backing one side (observability; 1
+  /// after Build, grows and shrinks with AddRecord's tail merges).
+  size_t segment_count(BlockingSide side) const {
+    return side_of(side).segments.size();
+  }
+
+  /// \brief Appends one record's postings as a new tail segment (merging
+  /// tails as needed). `entity_id` is the generator ground truth used to
+  /// flag AllCandidates pairs as equivalent; pass -1 when unknown
+  /// (production traffic), which marks every pair non-match. In dedup mode
+  /// the side is ignored (single table). Fails if the key attribute is out
+  /// of range for the record.
   Status AddRecord(BlockingSide side, const Record& record,
                    int64_t entity_id = -1);
 
-  /// \brief Blocking candidates of a raw probe record on the target side:
-  /// indices of target-side records sharing at least one sufficiently
-  /// discriminating token, ascending. The df / block-size caps are applied
-  /// to the target side's postings; the probe side's df cap cannot be
-  /// evaluated for an unseen record and is skipped, so the result is a
-  /// superset of the batch pairs involving the probe. Dedup indexes probe
-  /// the single table regardless of `target`.
+  /// \brief Blocking candidates of a raw probe record on the target side,
+  /// ascending — *exactly* the partners the probe would get from batch
+  /// TokenBlocking if it were appended as the next record of the opposite
+  /// (probe) side: per-token document-frequency caps are evaluated on both
+  /// sides, with the probe side's counts and cap taken at its hypothetical
+  /// new size (current records + the probe itself). Dedup indexes probe the
+  /// single table regardless of `target`. Parity with the batch blocker is
+  /// enforced by tests/blocking_index_test.cc.
   std::vector<size_t> Candidates(const Record& probe,
                                  BlockingSide target) const;
 
@@ -86,24 +115,48 @@ class BlockingIndex {
  private:
   using Postings = std::unordered_map<std::string, std::vector<size_t>>;
 
-  const Postings& postings(BlockingSide side) const {
-    return !dedup_ && side == BlockingSide::kRight ? right_postings_
-                                                   : left_postings_;
+  /// \brief One immutable run of indexed records: their token postings
+  /// (global record ids, ascending) and entity ids, covering global indices
+  /// [base, base + entities.size()).
+  struct Segment {
+    size_t base = 0;
+    Postings postings;
+    std::vector<int64_t> entities;
+    size_t num_records() const { return entities.size(); }
+  };
+
+  /// \brief One side's segment list. Segments are immutable and shared
+  /// across index copies; only the vector itself is per-copy.
+  struct Side {
+    std::vector<std::shared_ptr<const Segment>> segments;
+    size_t num_records = 0;
+  };
+
+  const Side& side_of(BlockingSide side) const {
+    return !dedup_ && side == BlockingSide::kRight ? right_ : left_;
   }
-  const std::vector<int64_t>& entities(BlockingSide side) const {
-    return !dedup_ && side == BlockingSide::kRight ? right_entities_
-                                                   : left_entities_;
+  Side& side_of(BlockingSide side) {
+    return !dedup_ && side == BlockingSide::kRight ? right_ : left_;
   }
-  /// \brief df cap of one side at its current size (TokenBlocking's
+
+  /// \brief Total posting-list size of `token` across a side's segments.
+  static size_t CountToken(const Side& side, const std::string& token);
+  /// \brief Appends all of a side's posting ids for `token` (ascending,
+  /// segments are base-ordered) starting from segment `first`.
+  static void GatherIds(const Side& side, const std::string& token,
+                        size_t first, std::vector<size_t>* out);
+  /// \brief Entity id of one global record index (binary search over the
+  /// side's base-ordered segments).
+  static int64_t EntityOf(const Side& side, size_t id);
+
+  /// \brief df cap at a record count (TokenBlocking's
   /// max(max_token_df * records, 1)).
-  size_t DfCap(BlockingSide side) const;
+  size_t DfCapAt(size_t records) const;
 
   BlockingConfig config_;
   bool dedup_ = false;
-  Postings left_postings_;
-  Postings right_postings_;
-  std::vector<int64_t> left_entities_;
-  std::vector<int64_t> right_entities_;
+  Side left_;
+  Side right_;
 };
 
 }  // namespace learnrisk

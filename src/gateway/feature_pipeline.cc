@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "gateway/namespace_segments.h"
 
 namespace learnrisk {
 
@@ -95,24 +96,51 @@ Result<FeaturizedBatch> FeaturePipeline::RunProbe(
                  });
 }
 
-Result<FeaturizedBatch> FeaturePipeline::RunPrepared(
-    const PreparedTable& left, const PreparedTable& right,
+namespace {
+
+// Uniform row access over the two prepared-store types. Both are always
+// read through these helpers so the templated bodies below stay one copy.
+inline const PreparedRecord& PreparedRow(const PreparedTable& t, size_t i) {
+  return t.record(i);
+}
+inline const PreparedRecord& PreparedRow(const SideStore& t, size_t i) {
+  return t.prepared(i);
+}
+
+}  // namespace
+
+template <typename LeftStore, typename RightStore>
+Result<FeaturizedBatch> FeaturePipeline::RunPreparedImpl(
+    const LeftStore& left, const RightStore& right,
     const std::vector<RecordPair>& pairs) const {
   for (const RecordPair& pair : pairs) {
     if (pair.left >= left.size() || pair.right >= right.size()) {
       return Status::OutOfRange("record pair index out of table range");
     }
   }
+  // Contiguous stores (flat PreparedTables, single-segment SideStores)
+  // evaluate through direct row pointers, skipping per-access resolution.
+  const PreparedRecord* left_rows = left.contiguous_prepared();
+  const PreparedRecord* right_rows = right.contiguous_prepared();
+  if (left_rows != nullptr && right_rows != nullptr) {
+    return RunImpl(pairs.size(),
+                   [&](size_t i, double* row, MetricScratch* scratch) {
+                     suite_.EvaluatePairPreparedInto(
+                         left_rows[pairs[i].left], right_rows[pairs[i].right],
+                         scratch, row);
+                   });
+  }
   return RunImpl(pairs.size(),
                  [&](size_t i, double* row, MetricScratch* scratch) {
-                   suite_.EvaluatePairPreparedInto(left.record(pairs[i].left),
-                                                   right.record(pairs[i].right),
-                                                   scratch, row);
+                   suite_.EvaluatePairPreparedInto(
+                       PreparedRow(left, pairs[i].left),
+                       PreparedRow(right, pairs[i].right), scratch, row);
                  });
 }
 
-Result<FeaturizedBatch> FeaturePipeline::RunProbePrepared(
-    const PreparedRecord& probe, const PreparedTable& table,
+template <typename Store>
+Result<FeaturizedBatch> FeaturePipeline::RunProbePreparedImpl(
+    const PreparedRecord& probe, const Store& table,
     const std::vector<size_t>& candidates) const {
   if (probe.values.size() != suite_.schema().num_attributes()) {
     return Status::InvalidArgument(
@@ -126,8 +154,33 @@ Result<FeaturizedBatch> FeaturePipeline::RunProbePrepared(
   return RunImpl(candidates.size(),
                  [&](size_t i, double* row, MetricScratch* scratch) {
                    suite_.EvaluatePairPreparedInto(
-                       probe, table.record(candidates[i]), scratch, row);
+                       probe, PreparedRow(table, candidates[i]), scratch,
+                       row);
                  });
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunPrepared(
+    const PreparedTable& left, const PreparedTable& right,
+    const std::vector<RecordPair>& pairs) const {
+  return RunPreparedImpl(left, right, pairs);
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunProbePrepared(
+    const PreparedRecord& probe, const PreparedTable& table,
+    const std::vector<size_t>& candidates) const {
+  return RunProbePreparedImpl(probe, table, candidates);
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunPrepared(
+    const SideStore& left, const SideStore& right,
+    const std::vector<RecordPair>& pairs) const {
+  return RunPreparedImpl(left, right, pairs);
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunProbePrepared(
+    const PreparedRecord& probe, const SideStore& table,
+    const std::vector<size_t>& candidates) const {
+  return RunProbePreparedImpl(probe, table, candidates);
 }
 
 }  // namespace learnrisk

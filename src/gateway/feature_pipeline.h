@@ -30,6 +30,8 @@
 
 namespace learnrisk {
 
+class SideStore;
+
 /// \brief Featurization output for one batch of pairs: the metric rows (the
 /// rule-evaluation input) plus the classifier's equivalence probabilities —
 /// exactly what a ScoreRequest consumes.
@@ -91,11 +93,35 @@ class FeaturePipeline {
       const PreparedRecord& probe, const PreparedTable& table,
       const std::vector<size_t>& candidates) const;
 
+  /// \brief Segment-store overloads — the gateway's snapshot path. Pairs
+  /// (or candidates) index into SideStores whose prepared entries were
+  /// built under this pipeline's suite; output is bit-identical to the
+  /// PreparedTable overloads and to the raw reference path.
+  Result<FeaturizedBatch> RunPrepared(const SideStore& left,
+                                      const SideStore& right,
+                                      const std::vector<RecordPair>& pairs)
+      const;
+  Result<FeaturizedBatch> RunProbePrepared(
+      const PreparedRecord& probe, const SideStore& table,
+      const std::vector<size_t>& candidates) const;
+
  private:
   /// \brief Shared core: featurize row i via `eval_row(i, out_row, scratch)`,
   /// then gather classifier columns and predict.
   template <typename EvalRow>
   Result<FeaturizedBatch> RunImpl(size_t n, const EvalRow& eval_row) const;
+
+  /// \brief Shared bodies of the prepared overloads, over any store
+  /// exposing size() + prepared rows (PreparedTable or SideStore); stores
+  /// whose rows are contiguous evaluate through direct pointers.
+  template <typename LeftStore, typename RightStore>
+  Result<FeaturizedBatch> RunPreparedImpl(
+      const LeftStore& left, const RightStore& right,
+      const std::vector<RecordPair>& pairs) const;
+  template <typename Store>
+  Result<FeaturizedBatch> RunProbePreparedImpl(
+      const PreparedRecord& probe, const Store& table,
+      const std::vector<size_t>& candidates) const;
 
   MetricSuite suite_;
   std::shared_ptr<const BinaryClassifier> classifier_;

@@ -2,6 +2,7 @@
 
 #include "gateway/gateway.h"
 
+#include <atomic>
 #include <utility>
 
 #include "common/timer.h"
@@ -39,31 +40,33 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
   }
   if (HasNamespace(ns)) {
     // Checked again at the emplace below (the build is lock-free and could
-    // race another registration); this early exit just avoids copying the
-    // tables and building the blocking index for a name that's taken.
+    // race another registration); this early exit just avoids building the
+    // base segments and the blocking index for a name that's taken.
     return Status::FailedPrecondition("namespace '" + ns +
                                       "' already registered");
   }
 
   auto state = std::make_shared<NamespaceState>();
   state->dedup = dedup;
-  // The gateway owns mutable copies so AddRecord can grow the namespace
-  // online without touching the caller's tables.
-  state->left = *spec.left;
-  if (!dedup) state->right = *spec.right;
+  state->schema = spec.left->schema();
   Result<BlockingIndex> index = BlockingIndex::Build(
-      state->left, dedup ? state->left : state->right, spec.blocking);
+      *spec.left, dedup ? *spec.left : *spec.right, spec.blocking);
   if (!index.ok()) return index.status();
-  state->index = index.MoveValueOrDie();
   state->pipeline =
       FeaturePipeline(std::move(spec.suite), std::move(spec.classifier),
                       std::move(spec.classifier_columns));
-  state->left_prepared =
-      PreparedTable::Build(state->left, state->pipeline.suite());
+  // The base snapshot owns segment copies of the spec's tables, so
+  // AddRecord can grow the namespace online without touching the caller's
+  // tables.
+  auto snapshot = std::make_shared<NamespaceSnapshot>();
+  snapshot->index = index.MoveValueOrDie();
+  snapshot->left = SideStore::Build(*spec.left, state->pipeline.suite());
   if (!dedup) {
-    state->right_prepared =
-        PreparedTable::Build(state->right, state->pipeline.suite());
+    snapshot->right = SideStore::Build(*spec.right, state->pipeline.suite());
   }
+  // Registration publishes the first snapshot before the state becomes
+  // visible in the map; no reader can observe a null snapshot.
+  state->snapshot = std::move(snapshot);
 
   std::lock_guard<std::mutex> lock(mu_);
   if (!namespaces_.emplace(ns, std::move(state)).second) {
@@ -101,6 +104,12 @@ Result<std::shared_ptr<Gateway::NamespaceState>> Gateway::State(
     return Status::NotFound("unknown namespace '" + ns + "'");
   }
   return it->second;
+}
+
+std::shared_ptr<const Gateway::NamespaceSnapshot> Gateway::LoadSnapshot(
+    const NamespaceState& state) {
+  return std::atomic_load_explicit(&state.snapshot,
+                                   std::memory_order_acquire);
 }
 
 Status Gateway::ScoreBatch(const std::string& ns,
@@ -141,24 +150,22 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
         "empty ResolveRequest: provide pairs or set block_all");
   }
 
-  NamespaceState& s = **state;
-  std::shared_lock<std::shared_mutex> lock(s.mu);
+  const NamespaceState& s = **state;
+  // One acquire load pins the whole request to a frozen snapshot; writers
+  // publish successors without ever touching it.
+  const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
   ResolveResponse response;
   Timer timer;
   response.pairs =
-      request.block_all ? s.index.AllCandidates() : request.pairs;
+      request.block_all ? snap->index.AllCandidates() : request.pairs;
   response.timing.blocking_ms = timer.ElapsedMillis();
 
   timer.Reset();
   Result<FeaturizedBatch> batch = s.pipeline.RunPrepared(
-      s.left_prepared, s.right_prepared_table(), response.pairs);
+      snap->left, s.right_store(*snap), response.pairs);
   if (!batch.ok()) return batch.status();
   response.timing.featurize_ms = timer.ElapsedMillis();
 
-  // The batch is self-contained and scoring only touches the registry, so
-  // release the namespace lock before the score stage: a slow model never
-  // delays AddRecord writers.
-  lock.unlock();
   LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, request.explain_top_k,
                                      &response.scores, &response.timing));
   return response;
@@ -169,27 +176,26 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
                                              size_t explain_top_k) {
   Result<std::shared_ptr<NamespaceState>> state = State(ns);
   if (!state.ok()) return state.status();
-  NamespaceState& s = **state;
-  std::shared_lock<std::shared_mutex> lock(s.mu);
-  if (probe.values.size() != s.left.schema().num_attributes()) {
+  const NamespaceState& s = **state;
+  if (probe.values.size() != s.schema.num_attributes()) {
     return Status::InvalidArgument(
         "probe record width does not match the namespace schema");
   }
+  const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
 
   ProbeResponse response;
   Timer timer;
-  response.candidates = s.index.Candidates(
+  response.candidates = snap->index.Candidates(
       probe, s.dedup ? BlockingSide::kLeft : BlockingSide::kRight);
   response.timing.blocking_ms = timer.ElapsedMillis();
 
   timer.Reset();
   const PreparedRecord prepared_probe = s.pipeline.Prepare(probe);
   Result<FeaturizedBatch> batch = s.pipeline.RunProbePrepared(
-      prepared_probe, s.right_prepared_table(), response.candidates);
+      prepared_probe, s.right_store(*snap), response.candidates);
   if (!batch.ok()) return batch.status();
   response.timing.featurize_ms = timer.ElapsedMillis();
 
-  lock.unlock();  // scoring only touches the registry (see Resolve)
   LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, explain_top_k,
                                      &response.scores, &response.timing));
   return response;
@@ -200,31 +206,41 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
   Result<std::shared_ptr<NamespaceState>> state = State(ns);
   if (!state.ok()) return state.status();
   NamespaceState& s = **state;
-  std::unique_lock<std::shared_mutex> lock(s.mu);
-  Table& target =
-      s.dedup || side == BlockingSide::kLeft ? s.left : s.right;
-  if (record.values.size() != target.schema().num_attributes()) {
+  if (record.values.size() != s.schema.num_attributes()) {
     return Status::InvalidArgument(
         "record width does not match the namespace schema");
   }
-  // Index first (it validates the key attribute against the record), then
-  // prepared cache, then append; the width check above makes the append
-  // infallible, so the three structures cannot diverge.
-  LEARNRISK_RETURN_NOT_OK(s.index.AddRecord(side, record, entity_id));
-  PreparedTable& target_prepared = s.dedup || side == BlockingSide::kLeft
-                                       ? s.left_prepared
-                                       : s.right_prepared;
-  target_prepared.Append(record, s.pipeline.suite());
-  return target.Append(std::move(record), entity_id);
+  // Writers serialize among themselves; readers keep serving the current
+  // snapshot throughout. The successor snapshot shares every existing
+  // segment — building it touches only the new tail.
+  std::lock_guard<std::mutex> writer(s.writer_mu);
+  const std::shared_ptr<const NamespaceSnapshot> cur = LoadSnapshot(s);
+  auto next = std::make_shared<NamespaceSnapshot>();
+  next->index = cur->index;  // shares posting segments
+  LEARNRISK_RETURN_NOT_OK(next->index.AddRecord(side, record, entity_id));
+  const bool to_left = s.dedup || side == BlockingSide::kLeft;
+  next->left = to_left ? cur->left.WithAppended(std::move(record), entity_id,
+                                                s.pipeline.suite())
+                       : cur->left;
+  if (!s.dedup) {
+    next->right = to_left ? cur->right
+                          : cur->right.WithAppended(std::move(record),
+                                                    entity_id,
+                                                    s.pipeline.suite());
+  }
+  // Single publication point: readers see the namespace fully without the
+  // record (old snapshot) or fully with it (this one), never in between.
+  std::atomic_store_explicit(&s.snapshot,
+                             std::shared_ptr<const NamespaceSnapshot>(next),
+                             std::memory_order_release);
+  return Status::OK();
 }
 
 Result<size_t> Gateway::NumRecords(const std::string& ns,
                                    BlockingSide side) const {
   Result<std::shared_ptr<NamespaceState>> state = State(ns);
   if (!state.ok()) return state.status();
-  NamespaceState& s = **state;
-  std::shared_lock<std::shared_mutex> lock(s.mu);
-  return s.index.num_records(side);
+  return LoadSnapshot(**state)->index.num_records(side);
 }
 
 }  // namespace learnrisk

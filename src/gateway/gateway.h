@@ -15,7 +15,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "gateway/blocking_index.h"
 #include "gateway/feature_pipeline.h"
 #include "gateway/model_registry.h"
+#include "gateway/namespace_segments.h"
 #include "metrics/metric_suite.h"
 
 namespace learnrisk {
@@ -87,30 +87,38 @@ struct GatewayOptions {
 
 /// \brief Multi-tenant raw-record scoring front end.
 ///
-/// Thread safety / locking contract:
+/// Thread safety / locking contract (full protocol: docs/CONCURRENCY.md):
 ///  - The gateway-level mutex `mu_` guards only the shape of the namespace
 ///    map (registration and lookup); it is never held while a request runs.
-///  - Each namespace has its own shared_mutex over the mutable per-namespace
-///    state: the tables, the blocking index, and the prepared-record caches.
-///    Resolve / ResolveRecord / NumRecords take it shared (many concurrent
-///    readers); AddRecord takes it exclusive. The FeaturePipeline itself is
-///    immutable after registration and needs no locking.
-///  - Model publishes bypass namespace locks entirely: they go through the
-///    registry's hot-swap path, so Resolve traffic keeps flowing on the
-///    snapshot it started with while models and records change underneath.
+///  - Each namespace's mutable state is one immutable NamespaceSnapshot
+///    (segmented record/prepared stores + blocking index) behind an
+///    atomically-swapped shared_ptr. Resolve / ResolveRecord / NumRecords
+///    load the pointer once (acquire) and serve the whole request from that
+///    frozen snapshot — readers take NO per-namespace lock and are never
+///    blocked, delayed, or torn by writers.
+///  - AddRecord is the only namespace writer: it serializes with other
+///    writers on the namespace's `writer_mu`, derives a successor snapshot
+///    that shares every existing segment plus a new single-record tail, and
+///    publishes it with one pointer swap (release). Requests in flight
+///    finish on the snapshot they loaded; superseded snapshots are freed by
+///    whichever reader or writer drops the last reference.
+///  - The FeaturePipeline is immutable after registration and read
+///    lock-free. Model publishes go through the registry's hot-swap path
+///    and never touch namespace snapshots.
 ///
-/// Featurization serves from per-record PreparedRecord caches (built at
-/// registration, extended by AddRecord under the exclusive lock), so the
-/// per-pair hot loop never re-tokenizes or re-normalizes a record; outputs
-/// stay bit-identical to the raw offline path.
+/// Featurization serves from per-record PreparedRecord caches owned by the
+/// snapshot's segments (built at registration, extended by AddRecord), so
+/// the per-pair hot loop never re-tokenizes or re-normalizes a record;
+/// outputs stay bit-identical to the raw offline path.
 class Gateway {
  public:
   explicit Gateway(GatewayOptions options = {});
 
-  /// \brief Installs a namespace's tables, blocking index and
-  /// prepared-record caches (both built here from the tables) and its
-  /// feature pipeline. Fails on invalid specs or duplicate names.
-  /// Publishing a model is a separate step (Publish / registry()).
+  /// \brief Installs a namespace: builds its base snapshot (segmented
+  /// record + prepared stores and the blocking index, all copied out of the
+  /// spec's tables) and freezes its feature pipeline. Fails on invalid
+  /// specs or duplicate names. Publishing a model is a separate step
+  /// (Publish / registry()).
   Status RegisterNamespace(const std::string& ns, NamespaceSpec spec);
 
   bool HasNamespace(const std::string& ns) const;
@@ -130,26 +138,29 @@ class Gateway {
   /// request's explicit pairs), prepared-cache featurization, risk scoring.
   /// NotFound for unknown namespaces, InvalidArgument for empty or
   /// ambiguous requests, FailedPrecondition before the first Publish.
-  /// Holds the namespace lock shared for the blocking + featurize stages,
-  /// so it runs concurrently with other Resolve calls and with publishes,
-  /// but mutually excludes AddRecord.
+  /// Lock-free with respect to the namespace: the whole request runs on one
+  /// atomically-loaded snapshot, concurrent with other Resolve calls, with
+  /// publishes, and with AddRecord writers.
   Result<ResolveResponse> Resolve(const std::string& ns,
                                   const ResolveRequest& request);
 
   /// \brief Online single-record path: blocks a raw probe record against
-  /// the namespace's opposite side and scores the resulting candidates.
-  /// The probe is prepared once per call; candidates come from the
-  /// namespace's prepared cache. Same locking as Resolve (shared).
+  /// the namespace's opposite side and scores the resulting candidates —
+  /// exactly the candidates batch blocking would emit if the probe were
+  /// appended (see BlockingIndex::Candidates). The probe is prepared once
+  /// per call; candidates come from the snapshot's prepared segments. Same
+  /// snapshot semantics as Resolve (no namespace lock).
   Result<ProbeResponse> ResolveRecord(const std::string& ns,
                                       const Record& probe,
                                       size_t explain_top_k = 0);
 
-  /// \brief Appends a record to one side of the namespace — table, blocking
-  /// index, and prepared-record cache stay index-aligned — making it visible
-  /// to subsequent Resolve / ResolveRecord calls. Takes the namespace lock
-  /// exclusively: concurrent Resolve calls either see the namespace fully
-  /// without the record or fully with it, never a partial update.
-  /// `entity_id` is optional ground truth (-1 = unknown).
+  /// \brief Appends a record to one side of the namespace — record store,
+  /// blocking index, and prepared cache stay index-aligned — making it
+  /// visible to subsequent Resolve / ResolveRecord calls. Serializes with
+  /// other AddRecord calls on the namespace's writer mutex, never blocks
+  /// readers: concurrent Resolve calls see the namespace fully without the
+  /// record or fully with it (one atomic snapshot swap), never a partial
+  /// update. `entity_id` is optional ground truth (-1 = unknown).
   Status AddRecord(const std::string& ns, BlockingSide side, Record record,
                    int64_t entity_id = -1);
 
@@ -157,27 +168,34 @@ class Gateway {
   Result<size_t> NumRecords(const std::string& ns, BlockingSide side) const;
 
  private:
-  struct NamespaceState {
-    /// Guards tables, index, and prepared caches; the pipeline is immutable
-    /// after registration and read lock-free.
-    mutable std::shared_mutex mu;
-    bool dedup = false;
-    Table left;
-    Table right;  ///< unused when dedup
+  /// \brief One immutable view of a namespace's data. All heavy members are
+  /// segment lists sharing storage with neighboring snapshots; copying a
+  /// snapshot (the writer's first step) is a few shared_ptr vector copies.
+  struct NamespaceSnapshot {
+    SideStore left;
+    SideStore right;  ///< unused when dedup
     BlockingIndex index;
-    FeaturePipeline pipeline;
-    /// Prepared-record caches, index-aligned with the tables: built at
-    /// registration, appended by AddRecord under the exclusive lock.
-    PreparedTable left_prepared;
-    PreparedTable right_prepared;  ///< unused when dedup
+  };
 
-    const Table& right_table() const { return dedup ? left : right; }
-    const PreparedTable& right_prepared_table() const {
-      return dedup ? left_prepared : right_prepared;
+  struct NamespaceState {
+    bool dedup = false;
+    Schema schema;
+    /// Immutable after registration; read lock-free.
+    FeaturePipeline pipeline;
+    /// Serializes AddRecord writers; readers never touch it.
+    std::mutex writer_mu;
+    /// Current snapshot; accessed only via std::atomic_load/atomic_store
+    /// (acquire/release). Never mutated in place.
+    std::shared_ptr<const NamespaceSnapshot> snapshot;
+
+    const SideStore& right_store(const NamespaceSnapshot& snap) const {
+      return dedup ? snap.left : snap.right;
     }
   };
 
   Result<std::shared_ptr<NamespaceState>> State(const std::string& ns) const;
+  static std::shared_ptr<const NamespaceSnapshot> LoadSnapshot(
+      const NamespaceState& state);
   /// \brief Featurized batch -> engine score, shared by Resolve and
   /// ResolveRecord. Fills scores + the featurize/score timings.
   Status ScoreBatch(const std::string& ns, const FeaturizedBatch& batch,

@@ -71,11 +71,6 @@ Result<uint64_t> ModelRegistry::Publish(const std::string& ns,
     // concurrent publishers must funnel into this one engine so its counter
     // keeps versions unique, and a spill mid-flight would orphan the model.
     ++entry.publishing;
-    Status evicted = EvictOverCapLocked();
-    if (!evicted.ok()) {
-      --entry.publishing;
-      return evicted;
-    }
   }
 
   // The snapshot build (the expensive part of Publish) runs outside the
@@ -83,13 +78,22 @@ Result<uint64_t> ModelRegistry::Publish(const std::string& ns,
   // inside the engine's forward-only swap.
   const uint64_t version = engine->Publish(std::move(model));
 
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry& entry = entries_[ns];
-  --entry.publishing;
-  entry.last_version = std::max(entry.last_version, version);
-  // The pin kept entry.engine == engine, so a later eviction spills (and a
-  // reload re-serves) the snapshot that includes this publish.
-  LEARNRISK_RETURN_NOT_OK(EvictOverCapLocked());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[ns];
+    --entry.publishing;
+    entry.last_version = std::max(entry.last_version, version);
+    // The pin kept entry.engine == engine, so a later eviction spills (and
+    // a reload re-serves) the snapshot that includes this publish.
+  }
+  // Enforce the residency cap with the lock released during the spill IO;
+  // the cap can be exceeded transiently while a spill is in flight. The
+  // publish itself has already succeeded — the engine is serving the new
+  // snapshot — so cap enforcement is best-effort here: reporting a spill
+  // IO failure as a failed publish would invite a retry that duplicates
+  // the version. The registry just stays over cap and retries the spill on
+  // the next access.
+  (void)SpillOverCap();
   return version;
 }
 
@@ -107,16 +111,20 @@ Result<std::shared_ptr<ServingEngine>> ModelRegistry::ResidentEngineLocked(
 
 Result<std::shared_ptr<ServingEngine>> ModelRegistry::Engine(
     const std::string& ns) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(ns);
-  if (it == entries_.end()) {
-    return Status::NotFound("unknown namespace '" + ns + "'");
+  Result<std::shared_ptr<ServingEngine>> engine{std::shared_ptr<ServingEngine>()};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(ns);
+    if (it == entries_.end()) {
+      return Status::NotFound("unknown namespace '" + ns + "'");
+    }
+    it->second.touched = ++clock_;
+    engine = ResidentEngineLocked(ns, &it->second);
+    if (!engine.ok()) return engine.status();
   }
-  it->second.touched = ++clock_;
-  Result<std::shared_ptr<ServingEngine>> engine =
-      ResidentEngineLocked(ns, &it->second);
-  if (!engine.ok()) return engine.status();
-  LEARNRISK_RETURN_NOT_OK(EvictOverCapLocked());
+  // Best-effort cap enforcement (see Publish): the lookup succeeded, and a
+  // failure to spill some other namespace must not fail this caller.
+  (void)SpillOverCap();
   return engine;
 }
 
@@ -142,12 +150,15 @@ size_t ModelRegistry::resident_count() const {
   return count;
 }
 
-Status ModelRegistry::EvictOverCapLocked() {
-  if (options_.max_resident == 0) return Status::OK();
+std::vector<ModelRegistry::SpillJob> ModelRegistry::PlanEvictionsLocked() {
+  std::vector<SpillJob> jobs;
+  if (options_.max_resident == 0) return jobs;
   auto resident = [this]() {
     size_t count = 0;
     for (const auto& [ns, entry] : entries_) {
-      if (entry.engine != nullptr) ++count;
+      // Entries being spilled — by this plan or a concurrent caller's — are
+      // already on their way out; counting them would over-evict.
+      if (entry.engine != nullptr && !entry.spilling) ++count;
     }
     return count;
   };
@@ -160,18 +171,53 @@ Status ModelRegistry::EvictOverCapLocked() {
       if (it->second.engine == nullptr) continue;
       if (!it->second.engine->has_model()) continue;
       if (it->second.publishing > 0) continue;  // pinned by in-flight publish
+      if (it->second.spilling) continue;        // already being spilled
       if (victim == entries_.end() ||
           it->second.touched < victim->second.touched) {
         victim = it;
       }
     }
-    if (victim == entries_.end()) return Status::OK();
-    LEARNRISK_RETURN_NOT_OK(EnsureDirectory(options_.spill_dir));
-    LEARNRISK_RETURN_NOT_OK(
-        victim->second.engine->SaveCurrent(SpillPath(victim->first)));
-    victim->second.engine = nullptr;
+    if (victim == entries_.end()) break;  // every over-cap entry is pinned
+    victim->second.spilling = true;
+    jobs.push_back(SpillJob{victim->first, victim->second.engine,
+                            victim->second.engine->version()});
   }
-  return Status::OK();
+  return jobs;
+}
+
+Status ModelRegistry::SpillOverCap() {
+  while (true) {
+    std::vector<SpillJob> jobs;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs = PlanEvictionsLocked();
+    }
+    if (jobs.empty()) return Status::OK();
+    Status failed = Status::OK();
+    for (const SpillJob& job : jobs) {
+      // The expensive part — directory creation and model IO — runs with
+      // the registry unlocked: publishes and engine lookups (on this and
+      // every other namespace) proceed while the disk is busy.
+      Status io = EnsureDirectory(options_.spill_dir);
+      if (io.ok()) {
+        if (options_.spill_io_hook) options_.spill_io_hook(job.ns);
+        io = job.engine->SaveCurrent(SpillPath(job.ns));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      Entry& entry = entries_[job.ns];
+      entry.spilling = false;
+      // Drop the engine only if the spill file really holds its current
+      // state: a publish that landed mid-IO bumps the version, in which
+      // case the namespace stays resident (the stale file is overwritten by
+      // the next successful spill).
+      if (io.ok() && entry.publishing == 0 && entry.engine == job.engine &&
+          entry.engine->version() == job.version) {
+        entry.engine = nullptr;
+      }
+      if (!io.ok() && failed.ok()) failed = io;
+    }
+    LEARNRISK_RETURN_NOT_OK(failed);
+  }
 }
 
 Status ModelRegistry::SaveAll(const std::string& dir) const {

@@ -12,6 +12,7 @@
 #define LEARNRISK_GATEWAY_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,11 @@ struct ModelRegistryOptions {
   size_t max_resident = 0;
   /// Directory where evicted snapshots are persisted (created on demand).
   std::string spill_dir;
+  /// Test hook: invoked with the namespace being spilled, after the
+  /// registry lock is released and before its model is written to disk.
+  /// Tests inject latency here to verify spill IO never blocks the
+  /// registry (see tests/registry_spill_test.cc). Null in production.
+  std::function<void(const std::string&)> spill_io_hook;
 };
 
 /// \brief Thread-safe namespace -> ServingEngine map with LRU spill.
@@ -54,8 +60,21 @@ struct ModelRegistryOptions {
 ///    so a handed-out engine stays alive and scoreable; the registry simply
 ///    reloads a fresh engine (with a resumed version counter) on the
 ///    namespace's next access.
-///  - Spill IO currently runs under the registry lock (ROADMAP item (k):
-///    move SaveCurrent off the hot path if eviction-heavy workloads appear).
+///  - Spill IO runs *outside* the registry lock, in two phases: victims are
+///    planned (and flagged `spilling`, pinning them against a second
+///    concurrent spill) under the lock, their models are written with the
+///    lock released, and each spill is finalized under the lock again — the
+///    engine is dropped only if its version still matches the one that was
+///    saved, so a publish that lands mid-spill keeps the namespace resident
+///    instead of being silently replaced by a stale file. A slow disk
+///    therefore never delays Publish / Engine / Score on other namespaces
+///    (tests/registry_spill_test.cc). Cap enforcement is also best-effort
+///    on the serving path: a Publish or Engine call whose own work
+///    succeeded never fails because some namespace could not be written to
+///    disk — the registry stays over cap and retries on the next access;
+///    explicit persistence (SaveAll) surfaces IO errors.
+///  - SaveAll / LoadAll are administrative whole-registry operations and do
+///    hold the lock across their IO; they are not on the serving path.
 class ModelRegistry {
  public:
   explicit ModelRegistry(ModelRegistryOptions options = {});
@@ -103,6 +122,18 @@ class ModelRegistry {
     /// entries: spilling mid-publish would fork a second engine for the
     /// namespace, orphaning the in-flight model and duplicating versions.
     size_t publishing = 0;
+    /// True while this entry's model is being written to disk outside the
+    /// lock; planning skips flagged entries so one victim is never spilled
+    /// twice concurrently.
+    bool spilling = false;
+  };
+
+  /// \brief One planned eviction: the engine to persist and the version
+  /// the plan observed (re-validated at finalization).
+  struct SpillJob {
+    std::string ns;
+    std::shared_ptr<ServingEngine> engine;
+    uint64_t version = 0;
   };
 
   std::string SpillPath(const std::string& ns) const;
@@ -110,9 +141,13 @@ class ModelRegistry {
   /// from disk); returns it. Caller holds mu_.
   Result<std::shared_ptr<ServingEngine>> ResidentEngineLocked(
       const std::string& ns, Entry* entry);
-  /// \brief Spills least-recently-used resident engines until the cap
-  /// holds. Caller holds mu_.
-  Status EvictOverCapLocked();
+  /// \brief Picks least-recently-used unpinned resident engines until the
+  /// cap holds, marking them `spilling`. Caller holds mu_.
+  std::vector<SpillJob> PlanEvictionsLocked();
+  /// \brief Plans evictions under the lock and runs the spill IO outside
+  /// it, looping until the cap holds or no victim is eligible. Caller must
+  /// NOT hold mu_.
+  Status SpillOverCap();
 
   ModelRegistryOptions options_;
   mutable std::mutex mu_;

@@ -110,7 +110,9 @@ class MetricSuite {
   /// (see PreparedValue). Prepare after Fit(): the cached tf-idf weights and
   /// key-token subsets are derived from the fitted IDF tables, so records
   /// prepared earlier (or under a different suite) must be re-prepared —
-  /// evaluating them against this suite is unsupported.
+  /// evaluating them against this suite is unsupported. The result borrows
+  /// `record`'s attribute strings (PreparedValue::raw is a view): the
+  /// record must stay alive and unmoved for the prepared record's lifetime.
   PreparedRecord PrepareRecord(const Record& record) const;
 
   /// \brief Value of metric `m` from two prepared sides; bit-identical to

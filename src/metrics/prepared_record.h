@@ -10,12 +10,16 @@
 // PreparedRecords are plain immutable data once built: safe to share across
 // threads without synchronization. They are only meaningful together with
 // the MetricSuite that prepared them (the suite's specs decide which fields
-// are populated and its IDF tables weight the cached tf-idf maps).
+// are populated and its IDF tables weight the cached tf-idf maps), and they
+// *borrow* the raw attribute strings of the record they were prepared from
+// (PreparedValue::raw is a view, not a copy), so the source record — or the
+// Table / segment owning it — must outlive them.
 
 #ifndef LEARNRISK_METRICS_PREPARED_RECORD_H_
 #define LEARNRISK_METRICS_PREPARED_RECORD_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -36,10 +40,11 @@ struct PreparedEntity {
 /// fields the owning suite's metrics need are populated (the rest stay
 /// empty); `missing` is always valid.
 struct PreparedValue {
-  /// Owned copy of the attribute value; populated only when a
-  /// character-level metric (edit / Jaro-Winkler / LCS) reads it, so
-  /// prepared tables do not duplicate string data they never touch.
-  std::string raw;
+  /// View of the source record's attribute value (no copy — the record's
+  /// string storage is shared with whoever owns the record: the Table, the
+  /// gateway segment, or the probe on the caller's stack). Populated only
+  /// when a character-level metric (edit / Jaro-Winkler / LCS) reads it.
+  std::string_view raw;
   bool missing = true;  ///< Trim(value).empty()
 
   std::string norm;  ///< ToLower(Trim(raw))
@@ -76,19 +81,31 @@ struct PreparedRecord {
 
 /// \brief A table's records in prepared form, index-aligned with the source
 /// Table. Built in one parallel pass; Append keeps it aligned as records
-/// arrive online (the gateway appends under its namespace's exclusive lock).
+/// arrive online. The prepared entries borrow their raw attribute strings
+/// from the source records (zero copy), so the table — and any record
+/// passed to Append — must outlive the PreparedTable. (The gateway's
+/// serving path instead uses SideStore segments, which own record and
+/// prepared storage together; see src/gateway/namespace_segments.h.)
 class PreparedTable {
  public:
   PreparedTable() = default;
 
   /// \brief Prepares every record of `table` under `suite` (parallel).
+  /// Borrows: `table` must outlive the result.
   static PreparedTable Build(const Table& table, const MetricSuite& suite);
 
   /// \brief Prepares and appends one record (same suite as Build).
+  /// Borrows: `record` must stay alive and unmoved for the lifetime of
+  /// this table — its strings are referenced, not copied.
   void Append(const Record& record, const MetricSuite& suite);
 
   size_t size() const { return records_.size(); }
   const PreparedRecord& record(size_t i) const { return records_[i]; }
+
+  /// \brief Direct pointer to the rows (always contiguous here); mirrors
+  /// SideStore::contiguous_prepared so featurization code can treat both
+  /// prepared-store types uniformly.
+  const PreparedRecord* contiguous_prepared() const { return records_.data(); }
 
  private:
   std::vector<PreparedRecord> records_;

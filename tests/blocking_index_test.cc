@@ -98,36 +98,152 @@ TEST(BlockingIndexTest, IncrementalAddsMatchBatchBlocking) {
   ExpectSamePairs(*batch, index.AllCandidates());
 }
 
-TEST(BlockingIndexTest, ProbeCandidatesCoverBatchPairs) {
+// The batch-blocking partners a probe record would have if it were appended
+// as the next record of the probe side: append it, run TokenBlocking over
+// the extended tables, and collect the opposite-side indices of every pair
+// involving the appended record. This is the exact contract
+// BlockingIndex::Candidates implements online.
+std::vector<size_t> BatchProbePartners(const Table& left, const Table& right,
+                                       const Record& probe,
+                                       BlockingSide target,
+                                       const BlockingConfig& config) {
+  const bool dedup = &left == &right;
+  const Table& probe_table =
+      dedup || target == BlockingSide::kRight ? left : right;
+  Table extended(probe_table.schema());
+  for (size_t i = 0; i < probe_table.num_records(); ++i) {
+    EXPECT_TRUE(
+        extended.Append(probe_table.record(i), probe_table.entity_id(i)).ok());
+  }
+  EXPECT_TRUE(extended.Append(probe, -1).ok());
+  const size_t probe_id = extended.num_records() - 1;
+
+  Result<std::vector<RecordPair>> pairs =
+      dedup ? TokenBlocking(extended, extended, config)
+            : (target == BlockingSide::kRight
+                   ? TokenBlocking(extended, right, config)
+                   : TokenBlocking(left, extended, config));
+  EXPECT_TRUE(pairs.ok());
+  std::vector<size_t> partners;
+  for (const RecordPair& pair : *pairs) {
+    // Dedup emits (i, j) with i < j, so the appended probe is always the
+    // right element; two-table pairs carry the probe on its own side.
+    if (dedup || target == BlockingSide::kLeft) {
+      if (pair.right == probe_id) partners.push_back(pair.left);
+    } else {
+      if (pair.left == probe_id) partners.push_back(pair.right);
+    }
+  }
+  std::sort(partners.begin(), partners.end());
+  return partners;
+}
+
+TEST(BlockingIndexTest, ProbeCandidatesMatchBatchPairsExactly) {
   const Workload workload = SmallWorkload("DS");
+  const Workload unseen = [] {
+    GeneratorOptions options;
+    options.scale = 0.02;
+    options.seed = 99;  // different seed: records the index has never seen
+    return GenerateDataset("DS", options).MoveValueOrDie();
+  }();
   BlockingConfig config;
   const auto index =
       BlockingIndex::Build(workload.left(), workload.right(), config);
   ASSERT_TRUE(index.ok());
 
-  // Per-record probes apply the target-side caps only, so each left
-  // record's candidates are a superset of its batch pairs.
-  std::set<std::pair<size_t, size_t>> batch_pairs;
-  for (const RecordPair& pair : index->AllCandidates()) {
-    batch_pairs.emplace(pair.left, pair.right);
+  // Candidates(probe, target) must equal the batch pairs the probe would
+  // get if appended to the opposite side — for both target sides, for
+  // records the index has already seen (appending a duplicate shifts the
+  // df counts, and the online path must account for that too) and for
+  // records it has never seen.
+  size_t non_empty = 0;
+  for (size_t i = 0; i < 25; ++i) {
+    for (const BlockingSide target :
+         {BlockingSide::kRight, BlockingSide::kLeft}) {
+      const Table& opposite = target == BlockingSide::kRight
+                                  ? workload.left()
+                                  : workload.right();
+      const Table& unseen_side = target == BlockingSide::kRight
+                                     ? unseen.left()
+                                     : unseen.right();
+      for (const Record* probe :
+           {&opposite.record(i % opposite.num_records()),
+            &unseen_side.record(i % unseen_side.num_records())}) {
+        const std::vector<size_t> online = index->Candidates(*probe, target);
+        const std::vector<size_t> batch = BatchProbePartners(
+            workload.left(), workload.right(), *probe, target, config);
+        ASSERT_EQ(online, batch) << "probe " << i;
+        non_empty += online.empty() ? 0 : 1;
+      }
+    }
   }
-  ASSERT_FALSE(batch_pairs.empty());
-  size_t checked = 0;
-  for (const auto& [li, ri] : batch_pairs) {
-    const std::vector<size_t> candidates =
-        index->Candidates(workload.left().record(li), BlockingSide::kRight);
-    EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), ri))
-        << "pair (" << li << ", " << ri << ")";
-    if (++checked >= 200) break;  // bound test runtime
-  }
+  EXPECT_GT(non_empty, 0u);  // the parity must be exercised by real blocks
+}
 
-  // An unseen probe sharing a record's tokens blocks with that record.
-  const Record probe = workload.right().record(0);
-  const std::vector<size_t> candidates =
-      index->Candidates(probe, BlockingSide::kRight);
-  EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
-                                 static_cast<size_t>(0)) ||
-              candidates.empty());
+TEST(BlockingIndexTest, ProbeCandidatesMatchBatchPairsOnDedupWorkload) {
+  const Workload workload = SmallWorkload("SG");
+  ASSERT_EQ(&workload.left(), &workload.right());
+  BlockingConfig config;
+  const auto index =
+      BlockingIndex::Build(workload.left(), workload.left(), config);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->dedup());
+
+  size_t non_empty = 0;
+  for (size_t i = 0; i < 25; ++i) {
+    const Record& probe = workload.left().record(
+        (i * 7) % workload.left().num_records());
+    // Dedup folds both sides; any target must give the same answer.
+    const std::vector<size_t> online =
+        index->Candidates(probe, BlockingSide::kLeft);
+    EXPECT_EQ(online, index->Candidates(probe, BlockingSide::kRight));
+    const std::vector<size_t> batch =
+        BatchProbePartners(workload.left(), workload.left(), probe,
+                           BlockingSide::kLeft, config);
+    ASSERT_EQ(online, batch) << "probe " << i;
+    non_empty += online.empty() ? 0 : 1;
+  }
+  EXPECT_GT(non_empty, 0u);
+}
+
+TEST(BlockingIndexTest, ProbeParityHoldsAcrossIncrementalSegments) {
+  // The same probe-parity contract must hold when the postings live in many
+  // merged tail segments instead of one bulk-built base segment.
+  const Workload workload = SmallWorkload("DA");
+  BlockingConfig config;
+  BlockingIndex index(config, /*dedup=*/false);
+  const Table& left = workload.left();
+  const Table& right = workload.right();
+  const size_t rounds = std::max(left.num_records(), right.num_records());
+  for (size_t i = 0; i < rounds; ++i) {
+    if (i < left.num_records()) {
+      ASSERT_TRUE(index
+                      .AddRecord(BlockingSide::kLeft, left.record(i),
+                                 left.entity_id(i))
+                      .ok());
+    }
+    if (i < right.num_records()) {
+      ASSERT_TRUE(index
+                      .AddRecord(BlockingSide::kRight, right.record(i),
+                                 right.entity_id(i))
+                      .ok());
+    }
+  }
+  // Binary-counter merging keeps the per-side segment count logarithmic.
+  EXPECT_GE(index.segment_count(BlockingSide::kLeft), 1u);
+  EXPECT_LE(index.segment_count(BlockingSide::kLeft), 20u);
+
+  size_t non_empty = 0;
+  for (size_t i = 0; i < 15; ++i) {
+    const Record& probe = right.record((i * 11) % right.num_records());
+    const std::vector<size_t> online =
+        index.Candidates(probe, BlockingSide::kRight);
+    const std::vector<size_t> batch =
+        BatchProbePartners(left, right, probe, BlockingSide::kRight, config);
+    ASSERT_EQ(online, batch) << "probe " << i;
+    non_empty += online.empty() ? 0 : 1;
+  }
+  EXPECT_GT(non_empty, 0u);
 }
 
 TEST(BlockingIndexTest, UnknownEntitiesNeverCountAsEquivalent) {

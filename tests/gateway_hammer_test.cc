@@ -1,0 +1,231 @@
+// Copyright 2026 The LearnRisk Authors
+// Write-path hammer test for the gateway's snapshot concurrency model:
+// AddRecord writers and Resolve / ResolveRecord readers run concurrently on
+// the same namespace, and
+//  1. readers must never observe a torn snapshot (every response is
+//     internally consistent and well-formed),
+//  2. a fixed batch of pre-existing pairs must score bit-identically
+//     throughout the run (existing records are immutable — writers can only
+//     append), and
+//  3. after the dust settles, the grown namespace must be bit-identical to
+//     a namespace freshly registered with the final tables — blocking,
+//     features, and risk scores.
+// Run under ThreadSanitizer in CI (the tsan job), where any data race in
+// the snapshot swap or segment sharing becomes a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "classifier/logistic.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "gateway/gateway.h"
+#include "risk/risk_feature.h"
+#include "test_models.h"
+
+namespace learnrisk {
+namespace {
+
+using testutil::MakeModel;  // synthetic perturbed-parameter risk models
+
+Workload Generate(uint64_t seed) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = seed;
+  Result<Workload> workload = GenerateDataset("DS", options);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return workload.MoveValueOrDie();
+}
+
+TEST(GatewayHammerTest, ConcurrentAddAndResolveStayConsistent) {
+  const Workload base = Generate(123);
+  const Workload extra = Generate(321);  // records the writers will append
+  MetricSuite suite = MetricSuite::ForSchema(base.left().schema());
+  suite.Fit(base);
+  const FeatureMatrix features = ComputeFeatures(base, suite);
+  LogisticOptions logistic;
+  logistic.epochs = 15;
+  logistic.seed = 5;
+  auto classifier = std::make_shared<LogisticClassifier>(logistic);
+  ASSERT_TRUE(classifier->Train(features, base.Labels()).ok());
+  const RiskModel model = MakeModel(9, 32, suite.num_metrics());
+
+  auto register_ns = [&](Gateway* gateway,
+                         std::shared_ptr<const Table> left,
+                         std::shared_ptr<const Table> right) {
+    NamespaceSpec spec;
+    spec.left = std::move(left);
+    spec.right = std::move(right);
+    spec.suite = suite;
+    spec.classifier = classifier;
+    ASSERT_TRUE(gateway->RegisterNamespace("ds", std::move(spec)).ok());
+    ASSERT_TRUE(gateway->Publish("ds", model).ok());
+  };
+
+  Gateway gateway;
+  register_ns(&gateway, base.left_ptr(), base.right_ptr());
+
+  // The fixed batch: pairs over pre-existing records only. Features of
+  // existing records are immutable, so these scores must stay bit-identical
+  // no matter how many records land concurrently.
+  ResolveRequest fixed;
+  fixed.block_all = true;
+  const auto baseline = gateway.Resolve("ds", fixed);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_FALSE(baseline->pairs.empty());
+  ResolveRequest fixed_pairs;
+  fixed_pairs.pairs = baseline->pairs;
+  const std::vector<double> expected_risk = baseline->scores.risk;
+
+  // One writer per side, each appending a known sequence (so the final
+  // tables are deterministic: writers serialize per namespace, and each
+  // side's order is its writer's order). Every third record keeps its
+  // ground-truth entity id; the rest arrive as unknown (-1), like
+  // production traffic.
+  constexpr size_t kAddsPerSide = 48;
+  auto entity_of = [&](const Table& table, size_t i) {
+    return i % 3 == 0 ? table.entity_id(i) : int64_t{-1};
+  };
+  std::atomic<bool> writers_done{false};
+  std::atomic<bool> failed{false};
+  auto writer = [&](BlockingSide side, const Table& source) {
+    for (size_t i = 0; i < kAddsPerSide; ++i) {
+      const Status added = gateway.AddRecord(
+          "ds", side, source.record(i % source.num_records()),
+          entity_of(source, i % source.num_records()));
+      if (!added.ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  std::atomic<size_t> reads{0};
+  auto reader = [&]() {
+    size_t i = 0;
+    while (!writers_done.load(std::memory_order_relaxed)) {
+      // Fixed batch: must be bit-identical to the pre-hammer baseline.
+      const auto fixed_response = gateway.Resolve("ds", fixed_pairs);
+      if (!fixed_response.ok() ||
+          fixed_response->scores.risk != expected_risk) {
+        failed.store(true);
+        return;
+      }
+      // Full block over whatever snapshot the call lands on: the response
+      // must be internally consistent — one score per pair, all finite,
+      // every index inside the snapshot's bounds (NumRecords only grows, so
+      // a later count is a valid upper bound).
+      const auto block = gateway.Resolve("ds", fixed);
+      if (!block.ok()) {
+        failed.store(true);
+        return;
+      }
+      const size_t left_n = *gateway.NumRecords("ds", BlockingSide::kLeft);
+      const size_t right_n = *gateway.NumRecords("ds", BlockingSide::kRight);
+      if (block->scores.risk.size() != block->pairs.size()) {
+        failed.store(true);
+        return;
+      }
+      for (size_t p = 0; p < block->pairs.size(); ++p) {
+        if (block->pairs[p].left >= left_n ||
+            block->pairs[p].right >= right_n ||
+            !std::isfinite(block->scores.risk[p])) {
+          failed.store(true);
+          return;
+        }
+      }
+      // Online probe against the moving target side.
+      const auto probe = gateway.ResolveRecord(
+          "ds", extra.left().record(i % extra.left().num_records()));
+      if (!probe.ok() ||
+          probe->scores.risk.size() != probe->candidates.size()) {
+        failed.store(true);
+        return;
+      }
+      reads.fetch_add(1, std::memory_order_relaxed);
+      ++i;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(reader);
+  threads.emplace_back(reader);
+  threads.emplace_back(writer, BlockingSide::kLeft, std::cref(extra.left()));
+  threads.emplace_back(writer, BlockingSide::kRight,
+                       std::cref(extra.right()));
+  threads[2].join();
+  threads[3].join();
+  // Let the readers observe the fully-written state at least once.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  const size_t reads_at_done = reads.load();
+  while (reads.load() <= reads_at_done && !failed.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  writers_done.store(true);
+  threads[0].join();
+  threads[1].join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_GT(reads.load(), 0u);
+
+  // Post-hoc parity: the grown namespace vs a namespace registered with the
+  // final tables from scratch. Everything must be bit-identical — candidate
+  // pairs (incl. equivalence flags), risk scores, machine labels.
+  auto extended = [&](const Table& start, const Table& source) {
+    auto table = std::make_shared<Table>(start.schema());
+    for (size_t i = 0; i < start.num_records(); ++i) {
+      EXPECT_TRUE(table->Append(start.record(i), start.entity_id(i)).ok());
+    }
+    for (size_t i = 0; i < kAddsPerSide; ++i) {
+      EXPECT_TRUE(table
+                      ->Append(source.record(i % source.num_records()),
+                               entity_of(source, i % source.num_records()))
+                      .ok());
+    }
+    return table;
+  };
+  Gateway reference;
+  register_ns(&reference, extended(base.left(), extra.left()),
+              extended(base.right(), extra.right()));
+  ASSERT_EQ(*gateway.NumRecords("ds", BlockingSide::kLeft),
+            *reference.NumRecords("ds", BlockingSide::kLeft));
+  ASSERT_EQ(*gateway.NumRecords("ds", BlockingSide::kRight),
+            *reference.NumRecords("ds", BlockingSide::kRight));
+
+  const auto grown_response = gateway.Resolve("ds", fixed);
+  const auto reference_response = reference.Resolve("ds", fixed);
+  ASSERT_TRUE(grown_response.ok());
+  ASSERT_TRUE(reference_response.ok());
+  ASSERT_EQ(grown_response->pairs.size(), reference_response->pairs.size());
+  for (size_t i = 0; i < grown_response->pairs.size(); ++i) {
+    ASSERT_EQ(grown_response->pairs[i].left,
+              reference_response->pairs[i].left);
+    ASSERT_EQ(grown_response->pairs[i].right,
+              reference_response->pairs[i].right);
+    ASSERT_EQ(grown_response->pairs[i].is_equivalent,
+              reference_response->pairs[i].is_equivalent);
+  }
+  ASSERT_EQ(grown_response->scores.risk, reference_response->scores.risk);
+  ASSERT_EQ(grown_response->scores.machine_label,
+            reference_response->scores.machine_label);
+
+  // And the online probe path agrees between grown and fresh registrations.
+  const Record& probe = extra.left().record(7 % extra.left().num_records());
+  const auto grown_probe = gateway.ResolveRecord("ds", probe);
+  const auto reference_probe = reference.ResolveRecord("ds", probe);
+  ASSERT_TRUE(grown_probe.ok());
+  ASSERT_TRUE(reference_probe.ok());
+  ASSERT_EQ(grown_probe->candidates, reference_probe->candidates);
+  ASSERT_EQ(grown_probe->scores.risk, reference_probe->scores.risk);
+}
+
+}  // namespace
+}  // namespace learnrisk

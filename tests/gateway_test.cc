@@ -23,6 +23,7 @@
 #include "eval/experiment.h"
 #include "gateway/gateway.h"
 #include "risk/risk_feature.h"
+#include "test_models.h"
 
 namespace learnrisk {
 namespace {
@@ -39,41 +40,7 @@ std::shared_ptr<const BinaryClassifier> MakeClassifier(
   return classifier;
 }
 
-// Synthetic rules over the suite's metric columns with perturbed parameters
-// (same recipe as the serving tests) so every transform matters.
-RiskModel MakeModel(uint64_t seed, size_t n_rules, size_t num_metrics) {
-  Rng rng(seed);
-  std::vector<Rule> rules(n_rules);
-  std::vector<double> expectations(n_rules);
-  std::vector<size_t> support(n_rules);
-  for (size_t j = 0; j < n_rules; ++j) {
-    const size_t n_preds = 1 + rng.Index(3);
-    for (size_t k = 0; k < n_preds; ++k) {
-      Predicate p;
-      p.metric = rng.Index(num_metrics);
-      p.metric_name = "m" + std::to_string(p.metric);
-      p.greater = rng.Bernoulli(0.5);
-      p.threshold = rng.Uniform();
-      rules[j].predicates.push_back(std::move(p));
-    }
-    expectations[j] = rng.Uniform(0.1, 0.9);
-    support[j] = 10 + rng.Index(100);
-  }
-  RiskModel model(RiskFeatureSet::FromParts(std::move(rules),
-                                            std::move(expectations),
-                                            std::move(support)));
-  std::vector<double> theta(n_rules);
-  std::vector<double> phi(n_rules);
-  for (size_t j = 0; j < n_rules; ++j) {
-    theta[j] = rng.Normal(0.0, 1.0);
-    phi[j] = rng.Normal(0.0, 1.0);
-  }
-  std::vector<double> phi_out(model.phi_out().size());
-  for (double& v : phi_out) v = rng.Normal(0.0, 1.0);
-  model.ApplyUpdate(theta, phi, rng.Normal(0.0, 0.5), rng.Normal(0.5, 0.5),
-                    phi_out);
-  return model;
-}
+using testutil::MakeModel;  // synthetic perturbed-parameter risk models
 
 // One prepared namespace: generated workload, fitted suite, trained
 // classifier, and the hand-computed offline stages for parity checks.

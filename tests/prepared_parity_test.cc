@@ -24,6 +24,7 @@
 #include "metrics/similarity.h"
 #include "metrics/string_kernels.h"
 #include "risk/risk_feature.h"
+#include "test_models.h"
 
 namespace learnrisk {
 namespace {
@@ -92,41 +93,7 @@ Record RandomRecord(Rng* rng, size_t width) {
   return record;
 }
 
-// Synthetic rules over the suite's metric columns with perturbed parameters
-// (same recipe as the gateway tests) so every transform matters.
-RiskModel MakeModel(uint64_t seed, size_t n_rules, size_t num_metrics) {
-  Rng rng(seed);
-  std::vector<Rule> rules(n_rules);
-  std::vector<double> expectations(n_rules);
-  std::vector<size_t> support(n_rules);
-  for (size_t j = 0; j < n_rules; ++j) {
-    const size_t n_preds = 1 + rng.Index(3);
-    for (size_t k = 0; k < n_preds; ++k) {
-      Predicate p;
-      p.metric = rng.Index(num_metrics);
-      p.metric_name = "m" + std::to_string(p.metric);
-      p.greater = rng.Bernoulli(0.5);
-      p.threshold = rng.Uniform();
-      rules[j].predicates.push_back(std::move(p));
-    }
-    expectations[j] = rng.Uniform(0.1, 0.9);
-    support[j] = 10 + rng.Index(100);
-  }
-  RiskModel model(RiskFeatureSet::FromParts(std::move(rules),
-                                            std::move(expectations),
-                                            std::move(support)));
-  std::vector<double> theta(n_rules);
-  std::vector<double> phi(n_rules);
-  for (size_t j = 0; j < n_rules; ++j) {
-    theta[j] = rng.Normal(0.0, 1.0);
-    phi[j] = rng.Normal(0.0, 1.0);
-  }
-  std::vector<double> phi_out(model.phi_out().size());
-  for (double& v : phi_out) v = rng.Normal(0.0, 1.0);
-  model.ApplyUpdate(theta, phi, rng.Normal(0.0, 0.5), rng.Normal(0.5, 0.5),
-                    phi_out);
-  return model;
-}
+using testutil::MakeModel;  // synthetic perturbed-parameter risk models
 
 // A suite applying every MetricKind to every attribute (metrics do not care
 // about the attribute's semantic type).
@@ -353,6 +320,64 @@ TEST(PreparedParityTest, FeaturePipelinePreparedMatchesRaw) {
   auto bad = pipeline.RunPrepared(left, right,
                                   {{ds.left().num_records(), 0, false}});
   EXPECT_TRUE(bad.status().IsOutOfRange());
+}
+
+// PreparedTable::Append borrows the appended record's strings instead of
+// deep-copying them (PreparedValue::raw is a view into the caller-owned
+// record), and the borrowed entry still evaluates bit-identically to the
+// raw path.
+TEST(PreparedParityTest, PreparedTableAppendBorrowsWithoutCopy) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = 13;
+  Workload ds = GenerateDataset("DS", options).MoveValueOrDie();
+  MetricSuite suite = MetricSuite::ForSchema(ds.left().schema());
+  suite.Fit(ds);
+
+  // Rebuild the right table minus its last record, then learn that record
+  // through Append. The sources (head table + extra record) stay alive and
+  // unmoved, per the borrow contract.
+  const Table& right = ds.right();
+  ASSERT_GT(right.num_records(), 1u);
+  const size_t last = right.num_records() - 1;
+  Table head(right.schema());
+  for (size_t i = 0; i < last; ++i) {
+    ASSERT_TRUE(head.Append(right.record(i), right.entity_id(i)).ok());
+  }
+  const Record extra = right.record(last);
+
+  PreparedTable grown = PreparedTable::Build(head, suite);
+  grown.Append(extra, suite);
+  ASSERT_EQ(grown.size(), right.num_records());
+
+  // Zero-copy: every populated raw view aliases the extra record's own
+  // string storage (no duplicated bytes).
+  const PreparedRecord& appended = grown.record(last);
+  size_t populated = 0;
+  for (size_t a = 0; a < appended.values.size(); ++a) {
+    const std::string_view raw = appended.values[a].raw;
+    if (raw.empty()) continue;
+    ++populated;
+    EXPECT_EQ(raw.data(), extra.values[a].data())
+        << "attribute " << a << " was copied, not borrowed";
+  }
+  EXPECT_GT(populated, 0u);  // the suite has character-level metrics
+
+  // And the borrowed entry is bit-identical to the raw reference path.
+  MetricScratch scratch;
+  std::vector<double> prepared_row(suite.num_metrics());
+  std::vector<double> raw_row(suite.num_metrics());
+  const PreparedTable left = PreparedTable::Build(ds.left(), suite);
+  for (size_t l = 0; l < std::min<size_t>(ds.left().num_records(), 25);
+       ++l) {
+    suite.EvaluatePairPreparedInto(left.record(l), appended, &scratch,
+                                   prepared_row.data());
+    suite.EvaluatePairInto(ds.left().record(l), extra, raw_row.data());
+    for (size_t m = 0; m < suite.num_metrics(); ++m) {
+      ASSERT_TRUE(BitEqual(prepared_row[m], raw_row[m]))
+          << "left " << l << " metric " << suite.specs()[m].name;
+    }
+  }
 }
 
 // After AddRecord, the namespace's prepared cache must include the new

@@ -1,0 +1,142 @@
+// Copyright 2026 The LearnRisk Authors
+// ModelRegistry spill-IO concurrency (ROADMAP item (k)): LRU eviction writes
+// models to disk *outside* the registry lock, so a slow disk never blocks
+// Publish / Engine traffic on other namespaces, and a publish that lands
+// while its namespace is being spilled is never lost to the stale spill
+// file (the eviction re-validates the version before dropping the engine).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "gateway/model_registry.h"
+#include "risk/risk_feature.h"
+#include "test_models.h"
+
+namespace learnrisk {
+namespace {
+
+constexpr size_t kMetrics = 8;
+
+using testutil::MakeModel;  // synthetic perturbed-parameter risk models
+
+// A shared scoring probe fingerprinting each namespace's served model.
+struct Probe {
+  FeatureMatrix features{40, kMetrics};
+  std::vector<double> probs;
+  Probe() {
+    Rng rng(11);
+    for (size_t i = 0; i < features.rows(); ++i) {
+      for (size_t m = 0; m < kMetrics; ++m) features.set(i, m, rng.Uniform());
+    }
+    probs.resize(features.rows());
+    for (double& p : probs) p = rng.Uniform();
+  }
+  std::vector<double> Score(const RiskModel& model) const {
+    ServingEngine offline;
+    offline.Publish(model);
+    return *Request(offline);
+  }
+  Result<std::vector<double>> Request(ServingEngine& engine) const {
+    ScoreRequest request;
+    request.metric_features = &features;
+    request.classifier_probs = probs;
+    const auto response = engine.Score(request);
+    if (!response.ok()) return response.status();
+    return response->risk;
+  }
+};
+
+TEST(RegistrySpillTest, SlowSpillBlocksNeitherOtherNamespacesNorPublishes) {
+  const std::string spill_dir =
+      ::testing::TempDir() + "/learnrisk_slow_spill";
+  std::filesystem::remove_all(spill_dir);
+
+  const Probe probe;
+  RiskModel alpha_v1 = MakeModel(60, 16, kMetrics);
+  RiskModel alpha_v2 = MakeModel(61, 16, kMetrics);
+  RiskModel beta = MakeModel(62, 16, kMetrics);
+  RiskModel gamma = MakeModel(63, 16, kMetrics);
+  const std::vector<double> alpha_v2_scores = probe.Score(alpha_v2);
+  const std::vector<double> beta_scores = probe.Score(beta);
+  const std::vector<double> gamma_scores = probe.Score(gamma);
+
+  std::atomic<bool> alpha_spill_started{false};
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  ModelRegistryOptions options;
+  options.max_resident = 1;
+  options.spill_dir = spill_dir;
+  options.spill_io_hook = [&](const std::string& ns) {
+    if (ns != "alpha") return;  // only alpha's spill is slow
+    alpha_spill_started.store(true);
+    release.wait_for(std::chrono::seconds(20));
+  };
+  ModelRegistry registry(options);
+
+  ASSERT_TRUE(registry.Publish("alpha", std::move(alpha_v1)).ok());
+  EXPECT_EQ(registry.resident_count(), 1u);
+
+  // Publishing beta exceeds the cap and evicts alpha, whose spill IO now
+  // hangs in the hook — with the registry lock released.
+  std::thread evictor([&registry, &beta]() {
+    const auto version = registry.Publish("beta", std::move(beta));
+    EXPECT_TRUE(version.ok());
+  });
+  const auto start_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!alpha_spill_started.load() &&
+         std::chrono::steady_clock::now() < start_deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(alpha_spill_started.load());
+
+  // While alpha's spill is stuck on "disk", the registry must keep moving:
+  // a publish to a third namespace and a publish to the spilling namespace
+  // itself both complete promptly. (If spill IO held the lock, both would
+  // block until the hook times out.)
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(registry.Publish("gamma", std::move(gamma)).ok());
+  const auto alpha_publish = registry.Publish("alpha", std::move(alpha_v2));
+  ASSERT_TRUE(alpha_publish.ok());
+  EXPECT_EQ(*alpha_publish, 2u);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+
+  release_promise.set_value();
+  evictor.join();
+
+  // Alpha's eviction saw the version move past the one it saved (1 -> 2)
+  // and must have kept the engine resident instead of dropping it onto the
+  // stale spill file.
+  EXPECT_EQ((*registry.Engine("alpha"))->version(), 2u);
+
+  // The mid-spill publish must not have been lost: alpha's eviction saw the
+  // version move past the one it saved and kept the engine resident, so
+  // alpha serves v2 — and beta / gamma serve their models (reloading from
+  // spill files where needed).
+  for (const auto& [ns, expected] :
+       std::vector<std::pair<std::string, const std::vector<double>*>>{
+           {"alpha", &alpha_v2_scores},
+           {"beta", &beta_scores},
+           {"gamma", &gamma_scores}}) {
+    const auto engine = registry.Engine(ns);
+    ASSERT_TRUE(engine.ok()) << ns << ": " << engine.status().ToString();
+    const auto scores = probe.Request(**engine);
+    ASSERT_TRUE(scores.ok()) << ns;
+    ASSERT_EQ(*scores, *expected) << ns;
+  }
+  // The lookups above churn the LRU (each reload may re-spill another
+  // namespace), but versions only ever move forward.
+  EXPECT_GE((*registry.Engine("alpha"))->version(), 2u);
+  std::filesystem::remove_all(spill_dir);
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -1,0 +1,62 @@
+// Copyright 2026 The LearnRisk Authors
+// Shared test-model factory. Builds a synthetic RiskModel over
+// `num_metrics` feature columns: 1-3 random threshold predicates per rule,
+// randomized expectations/support, and raw parameters perturbed away from
+// their init values so every transform (softplus weights, bounded RSDs,
+// influence function, output RSDs) actually matters when scores are
+// compared bit-for-bit. Deterministic in `seed` — the same arguments
+// always produce the same model, so expected scores can be precomputed.
+
+#ifndef LEARNRISK_TESTS_TEST_MODELS_H_
+#define LEARNRISK_TESTS_TEST_MODELS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "risk/risk_feature.h"
+#include "risk/risk_model.h"
+
+namespace learnrisk {
+namespace testutil {
+
+inline RiskModel MakeModel(uint64_t seed, size_t n_rules,
+                           size_t num_metrics) {
+  Rng rng(seed);
+  std::vector<Rule> rules(n_rules);
+  std::vector<double> expectations(n_rules);
+  std::vector<size_t> support(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    const size_t n_preds = 1 + rng.Index(3);
+    for (size_t k = 0; k < n_preds; ++k) {
+      Predicate p;
+      p.metric = rng.Index(num_metrics);
+      p.metric_name = "m" + std::to_string(p.metric);
+      p.greater = rng.Bernoulli(0.5);
+      p.threshold = rng.Uniform();
+      rules[j].predicates.push_back(std::move(p));
+    }
+    expectations[j] = rng.Uniform(0.1, 0.9);
+    support[j] = 10 + rng.Index(100);
+  }
+  RiskModel model(RiskFeatureSet::FromParts(std::move(rules),
+                                            std::move(expectations),
+                                            std::move(support)));
+  std::vector<double> theta(n_rules);
+  std::vector<double> phi(n_rules);
+  for (size_t j = 0; j < n_rules; ++j) {
+    theta[j] = rng.Normal(0.0, 1.0);
+    phi[j] = rng.Normal(0.0, 1.0);
+  }
+  std::vector<double> phi_out(model.phi_out().size());
+  for (double& v : phi_out) v = rng.Normal(0.0, 1.0);
+  model.ApplyUpdate(theta, phi, rng.Normal(0.0, 0.5), rng.Normal(0.5, 0.5),
+                    phi_out);
+  return model;
+}
+
+}  // namespace testutil
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_TESTS_TEST_MODELS_H_

@@ -3,13 +3,22 @@
 #  1. every relative markdown link in README.md / ROADMAP.md / docs/*.md
 #     resolves to an existing file (http(s)/mailto/anchor links are skipped);
 #  2. drift guard: every bench/bench_*.cc target is documented in
-#     docs/BENCHMARKS.md.
+#     docs/BENCHMARKS.md;
+#  3. orphan guard: every docs/*.md is reachable from README.md by following
+#     relative markdown links (a doc nobody links to is a doc nobody reads);
+#  4. API-coverage guard: docs/API.md documents the public serving-stack
+#     classes.
 #
 # Usage: tools/check_docs.sh [repo-root]  (default: cwd)
 set -u
 
 root="${1:-.}"
 fail=0
+
+# Extracts the (...) targets of markdown inline links from one file.
+md_links() {
+  grep -oE '\]\([^)]+\)' "$1" 2>/dev/null | sed -e 's/^](//' -e 's/)$//'
+}
 
 for path in "$root"/README.md "$root"/ROADMAP.md "$root"/docs/*.md; do
   [ -f "$path" ] || continue
@@ -26,7 +35,52 @@ for path in "$root"/README.md "$root"/ROADMAP.md "$root"/docs/*.md; do
       echo "broken link in $f: ($link)"
       fail=1
     fi
-  done < <(grep -oE '\]\([^)]+\)' "$path" | sed -e 's/^](//' -e 's/)$//')
+  done < <(md_links "$path")
+done
+
+# --- Orphan guard: every docs/*.md reachable from README.md. ---------------
+# Breadth-first walk over relative markdown links starting at README.md;
+# any docs page the walk never visits is an orphan.
+visited="README.md"
+queue="README.md"
+while [ -n "$queue" ]; do
+  next_queue=""
+  for f in $queue; do
+    dir=$(dirname "$root/$f")
+    while IFS= read -r link; do
+      case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+      esac
+      target="${link%%#*}"
+      [ -z "$target" ] && continue
+      case "$target" in
+        *.md) ;;
+        *) continue ;;
+      esac
+      resolved=""
+      if [ -e "$dir/$target" ]; then
+        resolved=$(realpath --relative-to="$root" "$dir/$target" 2>/dev/null)
+      elif [ -e "$root/$target" ]; then
+        resolved=$(realpath --relative-to="$root" "$root/$target" 2>/dev/null)
+      fi
+      [ -z "$resolved" ] && continue
+      case " $visited " in
+        *" $resolved "*) ;;
+        *) visited="$visited $resolved"
+           next_queue="$next_queue $resolved" ;;
+      esac
+    done < <(md_links "$root/$f")
+  done
+  queue="$next_queue"
+done
+for path in "$root"/docs/*.md; do
+  [ -f "$path" ] || continue
+  f="${path#"$root"/}"
+  case " $visited " in
+    *" $f "*) ;;
+    *) echo "orphaned doc: $f is not reachable from README.md"
+       fail=1 ;;
+  esac
 done
 
 benchmarks_doc="$root/docs/BENCHMARKS.md"
@@ -38,6 +92,21 @@ else
     name=$(basename "$b" .cc)
     if ! grep -q "$name" "$benchmarks_doc"; then
       echo "bench target $name is not documented in docs/BENCHMARKS.md"
+      fail=1
+    fi
+  done
+fi
+
+# --- API-coverage guard: docs/API.md documents the serving surface. --------
+api_doc="$root/docs/API.md"
+if [ ! -f "$api_doc" ]; then
+  echo "docs/API.md is missing"
+  fail=1
+else
+  for symbol in Gateway ModelRegistry ServingEngine CompiledRuleSet \
+                MetricSuite PreparedTable; do
+    if ! grep -q "$symbol" "$api_doc"; then
+      echo "docs/API.md does not document $symbol"
       fail=1
     fi
   done
