@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -284,6 +285,169 @@ int main() {
               batch_size, mixed_writes.load(), 100.0 * write_share, mixed_p50,
               mixed_p99, p99 > 0.0 ? mixed_p99 / p99 : 0.0);
 
+  // --- Durability: WAL append cost and recovery time. ---------------------
+  // Two fresh gateways over the same base tables — one in-memory, one with
+  // the write-ahead log on — take the same append stream and the same
+  // interleaved 95/5 read/write mix, so any delta is the WAL's fsync-free
+  // append on the write path. Then the durable namespace is recovered from
+  // disk at several (record count, WAL length) points: a long WAL tail, a
+  // fresh checkpoint (no tail), and a longer tail over a bigger base.
+  const std::string wal_dir = "bench_gateway_wal";
+  std::filesystem::remove_all(wal_dir);
+  const size_t wal_adds = bench::EnvSize("LEARNRISK_BENCH_ADDS", 2000);
+  auto make_gateway = [&](bool durable) {
+    GatewayOptions options;
+    if (durable) options.durability.dir = wal_dir;
+    auto fresh = std::make_unique<Gateway>(options);
+    NamespaceSpec fresh_spec;
+    fresh_spec.left = workload->left_ptr();
+    fresh_spec.right = workload->right_ptr();
+    fresh_spec.suite = suite;
+    fresh_spec.classifier = classifier;
+    if (!fresh->RegisterNamespace("ds", std::move(fresh_spec)).ok() ||
+        !fresh
+             ->Publish("ds", bench::MakeSyntheticRuleModel(
+                                 num_rules, num_metrics, seed + 1))
+             .ok()) {
+      std::fprintf(stderr, "durability bench setup failed\n");
+      std::exit(1);
+    }
+    return fresh;
+  };
+  auto add_at = [&](Gateway* target, size_t i) {
+    const Table& source = workload->right();
+    const auto added =
+        target->AddRecord("ds", BlockingSide::kRight,
+                          source.record(i % source.num_records()), -1);
+    if (!added.ok()) {
+      std::fprintf(stderr, "durability bench add failed: %s\n",
+                   added.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  auto add_rate = [&](Gateway* target) {
+    Timer timer;
+    for (size_t i = 0; i < wal_adds; ++i) add_at(target, i);
+    const double ms = timer.ElapsedMillis();
+    return ms > 0.0 ? static_cast<double>(wal_adds) / (ms / 1e3) : 0.0;
+  };
+  auto memory_gateway = make_gateway(false);
+  auto durable_gateway = make_gateway(true);
+  const double memory_adds_per_sec = add_rate(memory_gateway.get());
+  const double durable_adds_per_sec = add_rate(durable_gateway.get());
+  const double wal_append_overhead =
+      durable_adds_per_sec > 0.0
+          ? memory_adds_per_sec / durable_adds_per_sec - 1.0
+          : 0.0;
+  std::printf("\ndurability (%zu appends):\n", wal_adds);
+  std::printf("  %-20s %12.0f adds/s\n", "AddRecord, memory",
+              memory_adds_per_sec);
+  std::printf("  %-20s %12.0f adds/s (WAL overhead %.1f%%)\n",
+              "AddRecord, durable", durable_adds_per_sec,
+              100.0 * wal_append_overhead);
+
+  // Interleaved 95/5 mix (19 reads, then 1 write, single thread): the
+  // deterministic ops ratio isolates the WAL's per-write cost from reader
+  // scheduling noise.
+  struct MixedCost {
+    double read_p99_ms = 0.0;
+    double write_p50_ms = 0.0;
+  };
+  constexpr size_t kMixedWrites = 40;
+  // Cycles alternate between the two gateways so clock/cache drift over the
+  // run lands on both sides equally; a fixed write count (not wall clock)
+  // sizes the sample, and the median write latency is robust to the
+  // occasional O(n) binary-counter merge.
+  MixedCost memory_mixed;
+  MixedCost durable_mixed;
+  {
+    Gateway* targets[2] = {memory_gateway.get(), durable_gateway.get()};
+    std::vector<double> reads_ms[2];
+    std::vector<double> writes_ms[2];
+    size_t batch_index = 0;
+    size_t add_index[2] = {0, 0};
+    while (writes_ms[0].size() < kMixedWrites) {
+      for (int g = 0; g < 2; ++g) {
+        for (size_t r = 0; r < 19; ++r) {
+          const ResolveRequest& request =
+              batches[batch_index++ % batches.size()];
+          Timer request_timer;
+          if (!targets[g]->Resolve("ds", request).ok()) std::exit(1);
+          reads_ms[g].push_back(request_timer.ElapsedMillis());
+        }
+        Timer write_timer;
+        add_at(targets[g], add_index[g]++);
+        writes_ms[g].push_back(write_timer.ElapsedMillis());
+      }
+    }
+    memory_mixed.read_p99_ms = bench::Percentile(reads_ms[0], 0.99);
+    memory_mixed.write_p50_ms = bench::Percentile(writes_ms[0], 0.5);
+    durable_mixed.read_p99_ms = bench::Percentile(reads_ms[1], 0.99);
+    durable_mixed.write_p50_ms = bench::Percentile(writes_ms[1], 0.5);
+  }
+  const double mixed_write_overhead =
+      memory_mixed.write_p50_ms > 0.0
+          ? durable_mixed.write_p50_ms / memory_mixed.write_p50_ms - 1.0
+          : 0.0;
+  std::printf("  mixed 95/5: write p50 %.3f ms memory, %.3f ms durable "
+              "(overhead %.1f%%); read p99 %.3f / %.3f ms\n",
+              memory_mixed.write_p50_ms, durable_mixed.write_p50_ms,
+              100.0 * mixed_write_overhead, memory_mixed.read_p99_ms,
+              durable_mixed.read_p99_ms);
+
+  // Recovery: rebuild the namespace from disk. Three points — WAL-tail
+  // replay, a fresh checkpoint, and a longer tail over the checkpointed
+  // base — each timed on a cold Gateway.
+  struct RecoveryPoint {
+    size_t records = 0;
+    size_t wal_entries = 0;
+    double ms = 0.0;
+  };
+  std::vector<RecoveryPoint> recovery_points;
+  auto recover_spec = [&]() {
+    RecoverNamespaceSpec spec;
+    spec.schema = workload->left().schema();
+    spec.suite = suite;
+    spec.classifier = classifier;
+    return spec;
+  };
+  auto time_recovery = [&]() {
+    GatewayOptions options;
+    options.durability.dir = wal_dir;
+    auto cold = std::make_unique<Gateway>(options);
+    Timer timer;
+    const Status recovered = cold->RecoverNamespace("ds", recover_spec());
+    const double ms = timer.ElapsedMillis();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.ToString().c_str());
+      std::exit(1);
+    }
+    RecoveryPoint point;
+    point.records = *cold->NumRecords("ds", BlockingSide::kLeft) +
+                    *cold->NumRecords("ds", BlockingSide::kRight);
+    point.wal_entries = *cold->WalEntriesSinceCheckpoint("ds");
+    point.ms = ms;
+    recovery_points.push_back(point);
+    return cold;
+  };
+  durable_gateway.reset();  // close the WAL before recovering the directory
+  auto recovered_one = time_recovery();  // long WAL tail
+  if (!recovered_one->Checkpoint("ds").ok()) {
+    std::fprintf(stderr, "checkpoint failed\n");
+    return 1;
+  }
+  recovered_one.reset();
+  auto recovered_two = time_recovery();  // fresh checkpoint, empty tail
+  for (size_t i = 0; i < wal_adds; ++i) add_at(recovered_two.get(), i);
+  recovered_two.reset();
+  time_recovery().reset();  // longer tail over the bigger checkpointed base
+  for (const RecoveryPoint& point : recovery_points) {
+    std::printf("  recover %zu records (%zu WAL entries): %.2f ms\n",
+                point.records, point.wal_entries, point.ms);
+  }
+  std::filesystem::remove_all(wal_dir);
+
   FILE* json = std::fopen("BENCH_gateway.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -333,9 +497,33 @@ int main() {
                  "    \"read_p99_ms\": %.4f,\n"
                  "    \"readonly_p99_ms\": %.4f,\n"
                  "    \"p99_vs_readonly\": %.3f\n"
-                 "  }\n}\n",
+                 "  },\n",
                  write_share, mixed_writes.load(), mixed_p50, mixed_p99, p99,
                  p99 > 0.0 ? mixed_p99 / p99 : 0.0);
+    std::fprintf(json,
+                 "  \"durability\": {\n"
+                 "    \"adds\": %zu,\n"
+                 "    \"memory_adds_per_sec\": %.1f,\n"
+                 "    \"durable_adds_per_sec\": %.1f,\n"
+                 "    \"wal_append_overhead\": %.4f,\n"
+                 "    \"mixed_write_p50_ms_memory\": %.4f,\n"
+                 "    \"mixed_write_p50_ms_durable\": %.4f,\n"
+                 "    \"mixed_write_overhead\": %.4f,\n"
+                 "    \"mixed_read_p99_ms_memory\": %.4f,\n"
+                 "    \"mixed_read_p99_ms_durable\": %.4f,\n"
+                 "    \"recovery\": [",
+                 wal_adds, memory_adds_per_sec, durable_adds_per_sec,
+                 wal_append_overhead, memory_mixed.write_p50_ms,
+                 durable_mixed.write_p50_ms, mixed_write_overhead,
+                 memory_mixed.read_p99_ms, durable_mixed.read_p99_ms);
+    for (size_t i = 0; i < recovery_points.size(); ++i) {
+      std::fprintf(json,
+                   "%s\n      {\"records\": %zu, \"wal_entries\": %zu, "
+                   "\"ms\": %.3f}",
+                   i == 0 ? "" : ",", recovery_points[i].records,
+                   recovery_points[i].wal_entries, recovery_points[i].ms);
+    }
+    std::fprintf(json, "\n    ]\n  }\n}\n");
     std::fclose(json);
     std::printf("\n  wrote BENCH_gateway.json\n");
   }

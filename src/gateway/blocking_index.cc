@@ -51,6 +51,15 @@ Status BlockingIndex::AddRecord(BlockingSide side, const Record& record,
     tail->postings[std::move(tok)].push_back(index);
   }
   tail->entities.push_back(entity_id);
+  for (const auto& [tok, ids] : tail->postings) {
+    (void)ids;
+    for (const auto& segment : s.segments) {
+      if (segment->postings.count(tok) > 0) {
+        tail->prior.insert(tok);
+        break;
+      }
+    }
+  }
   s.segments.push_back(std::move(tail));
   s.num_records = index + 1;
 
@@ -65,7 +74,14 @@ Status BlockingIndex::AddRecord(BlockingSide side, const Record& record,
     auto merged = std::make_shared<Segment>();
     merged->base = a.base;
     merged->postings = a.postings;
+    merged->prior = a.prior;
     for (const auto& [tok, ids] : b.postings) {
+      // A token only b holds predates the merged segment iff it predates a:
+      // b.prior covers "before a, or in a", and "in a" is excluded here. For
+      // tokens a holds, a.prior (already copied) is the answer.
+      if (merged->postings.count(tok) == 0 && b.prior.count(tok) > 0) {
+        merged->prior.insert(tok);
+      }
       // b's ids all exceed a's (higher base), so appending keeps each
       // posting list ascending.
       std::vector<size_t>& list = merged->postings[tok];
@@ -183,11 +199,9 @@ std::vector<RecordPair> BlockingIndex::AllCandidates() const {
   for (size_t s = 0; s < left.segments.size(); ++s) {
     for (const auto& [token, seg_ids] : left.segments[s]->postings) {
       (void)seg_ids;
-      bool seen_earlier = false;
-      for (size_t e = 0; e < s && !seen_earlier; ++e) {
-        seen_earlier = left.segments[e]->postings.count(token) > 0;
-      }
-      if (seen_earlier) continue;
+      // The segment's prior set answers "did an earlier segment index this
+      // token?" in one lookup — no per-token walk over earlier segments.
+      if (left.segments[s]->prior.count(token) > 0) continue;
       left_ids.clear();
       GatherIds(left, token, s, &left_ids);
       if (!dedup_) {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -121,6 +122,13 @@ class BlockingIndex {
   struct Segment {
     size_t base = 0;
     Postings postings;
+    /// Of this segment's postings tokens, the ones that also appear in some
+    /// earlier (lower-base) segment of the same side. Computed once when the
+    /// segment is created (tail append or merge) and immutable like the
+    /// rest, so AllCandidates decides "is this the token's first segment?"
+    /// with one lookup instead of re-walking every earlier segment's
+    /// postings per token.
+    std::unordered_set<std::string> prior;
     std::vector<int64_t> entities;
     size_t num_records() const { return entities.size(); }
   };

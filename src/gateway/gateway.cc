@@ -3,9 +3,11 @@
 #include "gateway/gateway.h"
 
 #include <atomic>
+#include <tuple>
 #include <utility>
 
 #include "common/timer.h"
+#include "risk/model_io.h"
 
 namespace learnrisk {
 
@@ -67,6 +69,20 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
   // Registration publishes the first snapshot before the state becomes
   // visible in the map; no reader can observe a null snapshot.
   state->snapshot = std::move(snapshot);
+
+  if (!options_.durability.dir.empty()) {
+    // Durable registration: commit the base tables as checkpoint 1 before
+    // the namespace serves anything, so a crash at any later point can
+    // recover at least the registered state. Fails (leaving the gateway
+    // unchanged) if durable state for the name already exists — that state
+    // must be recovered, not silently overwritten.
+    Result<std::unique_ptr<NamespaceLog>> log =
+        NamespaceLog::Create(options_.durability, ns);
+    if (!log.ok()) return log.status();
+    state->log = log.MoveValueOrDie();
+    LEARNRISK_RETURN_NOT_OK(state->log->WriteCheckpoint(
+        *spec.left, dedup ? nullptr : spec.right.get(), 0, nullptr));
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (!namespaces_.emplace(ns, std::move(state)).second) {
@@ -214,6 +230,18 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
   // snapshot throughout. The successor snapshot shares every existing
   // segment — building it touches only the new tail.
   std::lock_guard<std::mutex> writer(s.writer_mu);
+  if (s.log != nullptr) {
+    // Write-ahead: the record hits the WAL (flushed) before any reader can
+    // see it, so every acknowledged AddRecord survives a crash. A crash
+    // after this append but before the return below leaves a durable but
+    // unacknowledged record — recovery may legitimately hold one more
+    // record than the caller saw acknowledged.
+    WalEntry entry;
+    entry.side = side;
+    entry.entity_id = entity_id;
+    entry.record = record;
+    LEARNRISK_RETURN_NOT_OK(s.log->Append(entry));
+  }
   const std::shared_ptr<const NamespaceSnapshot> cur = LoadSnapshot(s);
   auto next = std::make_shared<NamespaceSnapshot>();
   next->index = cur->index;  // shares posting segments
@@ -233,7 +261,146 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
   std::atomic_store_explicit(&s.snapshot,
                              std::shared_ptr<const NamespaceSnapshot>(next),
                              std::memory_order_release);
+  if (s.log != nullptr && options_.durability.wal_checkpoint_threshold > 0 &&
+      s.log->wal_entries_since_checkpoint() >=
+          options_.durability.wal_checkpoint_threshold) {
+    // The record is already published and durable; a checkpoint failure
+    // here fails the call without retracting it (the WAL still covers it).
+    LEARNRISK_RETURN_NOT_OK(CheckpointLocked(ns, s));
+  }
   return Status::OK();
+}
+
+Status Gateway::CheckpointLocked(const std::string& ns, NamespaceState& s) {
+  // Materialize the current snapshot under writer_mu: no new record can
+  // land between the tables written to disk and the WAL the checkpoint
+  // resets, so checkpoint + empty WAL is exactly the published state.
+  const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
+  const Table left = snap->left.Materialize(s.schema);
+  Table right;
+  if (!s.dedup) right = snap->right.Materialize(s.schema);
+
+  uint64_t model_version = 0;
+  std::shared_ptr<const ScorerSnapshot> model_snap;
+  Result<std::shared_ptr<ServingEngine>> engine = registry_.Engine(ns);
+  if (engine.ok()) {
+    // One consistent read: the saved model file is exactly the version the
+    // manifest records, even if a publish lands mid-checkpoint.
+    std::tie(model_version, model_snap) = (*engine)->VersionedSnapshot();
+  } else if (!engine.status().IsNotFound()) {
+    return engine.status();
+  }
+  NamespaceLog::ModelSaver saver;
+  if (model_version > 0 && model_snap != nullptr) {
+    saver = [model_snap](const std::string& path) {
+      return SaveRiskModel(model_snap->model(), path);
+    };
+  } else {
+    model_version = 0;
+  }
+  return s.log->WriteCheckpoint(left, s.dedup ? nullptr : &right,
+                                model_version, saver);
+}
+
+Status Gateway::Checkpoint(const std::string& ns) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  std::lock_guard<std::mutex> writer(s.writer_mu);
+  if (s.log == nullptr) {
+    return Status::FailedPrecondition(
+        "durability is not enabled for namespace '" + ns + "'");
+  }
+  return CheckpointLocked(ns, s);
+}
+
+Status Gateway::RecoverNamespace(const std::string& ns,
+                                 RecoverNamespaceSpec spec) {
+  if (options_.durability.dir.empty()) {
+    return Status::FailedPrecondition(
+        "durability is not enabled on this gateway");
+  }
+  if (!ModelRegistry::ValidNamespace(ns)) {
+    return Status::InvalidArgument("invalid namespace '" + ns + "'");
+  }
+  if (spec.suite.num_metrics() == 0) {
+    return Status::InvalidArgument("recover spec has an empty metric suite");
+  }
+  if (spec.classifier == nullptr) {
+    return Status::InvalidArgument("recover spec has no classifier");
+  }
+  for (size_t c : spec.classifier_columns) {
+    if (c >= spec.suite.num_metrics()) {
+      return Status::InvalidArgument("classifier column out of range");
+    }
+  }
+  if (spec.blocking.key_attribute >= spec.schema.num_attributes()) {
+    return Status::InvalidArgument("blocking key attribute out of range");
+  }
+  if (HasNamespace(ns)) {
+    return Status::FailedPrecondition("namespace '" + ns +
+                                      "' already registered");
+  }
+
+  RecoveredNamespace recovered;
+  Result<std::unique_ptr<NamespaceLog>> log =
+      NamespaceLog::Recover(options_.durability, ns, spec.schema, &recovered);
+  if (!log.ok()) return log.status();
+
+  // Rebuild the snapshot from the recovered tables exactly as registration
+  // builds it from a spec's tables — same base-segment bulk load, so every
+  // query output is bit-identical to a gateway that added the same records
+  // and never crashed.
+  auto state = std::make_shared<NamespaceState>();
+  state->dedup = recovered.dedup;
+  state->schema = spec.schema;
+  Result<BlockingIndex> index = BlockingIndex::Build(
+      recovered.left, recovered.dedup ? recovered.left : recovered.right,
+      spec.blocking);
+  if (!index.ok()) return index.status();
+  state->pipeline =
+      FeaturePipeline(std::move(spec.suite), std::move(spec.classifier),
+                      std::move(spec.classifier_columns));
+  auto snapshot = std::make_shared<NamespaceSnapshot>();
+  snapshot->index = index.MoveValueOrDie();
+  snapshot->left = SideStore::Build(recovered.left, state->pipeline.suite());
+  if (!recovered.dedup) {
+    snapshot->right =
+        SideStore::Build(recovered.right, state->pipeline.suite());
+  }
+  state->snapshot = std::move(snapshot);
+  state->log = log.MoveValueOrDie();
+
+  if (recovered.model_version > 0) {
+    // Re-publish the checkpointed model under its recorded version: seeding
+    // the floor at version - 1 makes the publish below yield exactly
+    // `model_version`, so scores keep reporting the same model_version
+    // across the restart.
+    Result<RiskModel> model = LoadRiskModel(recovered.model_path);
+    if (!model.ok()) return model.status();
+    registry_.EnsureVersionAtLeast(ns, recovered.model_version - 1);
+    Result<uint64_t> published = registry_.Publish(ns, model.MoveValueOrDie());
+    if (!published.ok()) return published.status();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!namespaces_.emplace(ns, std::move(state)).second) {
+    return Status::FailedPrecondition("namespace '" + ns +
+                                      "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<size_t> Gateway::WalEntriesSinceCheckpoint(const std::string& ns) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  std::lock_guard<std::mutex> writer(s.writer_mu);
+  if (s.log == nullptr) {
+    return Status::FailedPrecondition(
+        "durability is not enabled for namespace '" + ns + "'");
+  }
+  return s.log->wal_entries_since_checkpoint();
 }
 
 Result<size_t> Gateway::NumRecords(const std::string& ns,

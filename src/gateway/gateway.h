@@ -24,6 +24,7 @@
 #include "data/table.h"
 #include "data/workload.h"
 #include "gateway/blocking_index.h"
+#include "gateway/durability.h"
 #include "gateway/feature_pipeline.h"
 #include "gateway/model_registry.h"
 #include "gateway/namespace_segments.h"
@@ -80,9 +81,30 @@ struct ProbeResponse {
   StageTiming timing;
 };
 
-/// \brief Gateway configuration (the embedded registry's options).
+/// \brief Gateway configuration (the embedded registry's options and the
+/// per-namespace durability settings).
 struct GatewayOptions {
   ModelRegistryOptions registry;
+  /// When `durability.dir` is set, every namespace is durable: registration
+  /// writes checkpoint 1, AddRecord write-ahead-logs each record before
+  /// publishing it, and RecoverNamespace rebuilds namespaces after a
+  /// restart. See docs/DURABILITY.md.
+  DurabilityOptions durability;
+};
+
+/// \brief Everything RecoverNamespace needs that is *not* in the durable
+/// state: the record data, entity ids, dedup flag, and served model version
+/// come from disk; the fitted metric suite, classifier, and blocking
+/// parameters are code-side configuration the manifest cannot capture, so
+/// the caller re-supplies them (they must match the original registration —
+/// the schema is fingerprint-checked against the manifest).
+struct RecoverNamespaceSpec {
+  Schema schema;
+  /// Must already be fitted, like NamespaceSpec::suite.
+  MetricSuite suite;
+  std::shared_ptr<const BinaryClassifier> classifier;
+  std::vector<size_t> classifier_columns;
+  BlockingConfig blocking;
 };
 
 /// \brief Multi-tenant raw-record scoring front end.
@@ -167,6 +189,29 @@ class Gateway {
   /// \brief Current record count of one side of a namespace.
   Result<size_t> NumRecords(const std::string& ns, BlockingSide side) const;
 
+  /// \brief Checkpoints a durable namespace now: materializes the current
+  /// snapshot into immutable segment files, saves the served model at its
+  /// exact version, starts a fresh WAL, and commits with one atomic
+  /// manifest swap (full protocol: docs/DURABILITY.md). Serializes with
+  /// AddRecord on the namespace's writer mutex; readers are unaffected.
+  /// FailedPrecondition when durability is off.
+  Status Checkpoint(const std::string& ns);
+
+  /// \brief Rebuilds a namespace from its durable state after a restart:
+  /// loads the committed checkpoint, replays the WAL tail (torn entries
+  /// checksum-detected and truncated), rebuilds the snapshot — bit-identical
+  /// outputs to a gateway that never crashed — and re-publishes the
+  /// checkpointed model at its recorded version. The namespace continues
+  /// accepting AddRecord against the recovered WAL. NotFound when no
+  /// durable state exists; IOError/InvalidArgument (with the offending
+  /// file named) on corrupt or missing state.
+  Status RecoverNamespace(const std::string& ns, RecoverNamespaceSpec spec);
+
+  /// \brief WAL entries appended since the namespace's last checkpoint
+  /// (recovery replay counts toward it). FailedPrecondition when durability
+  /// is off.
+  Result<size_t> WalEntriesSinceCheckpoint(const std::string& ns);
+
  private:
   /// \brief One immutable view of a namespace's data. All heavy members are
   /// segment lists sharing storage with neighboring snapshots; copying a
@@ -187,6 +232,9 @@ class Gateway {
     /// Current snapshot; accessed only via std::atomic_load/atomic_store
     /// (acquire/release). Never mutated in place.
     std::shared_ptr<const NamespaceSnapshot> snapshot;
+    /// Durable WAL + checkpoint state; null when durability is off. Guarded
+    /// by writer_mu like every other write-side structure.
+    std::unique_ptr<NamespaceLog> log;
 
     const SideStore& right_store(const NamespaceSnapshot& snap) const {
       return dedup ? snap.left : snap.right;
@@ -201,6 +249,9 @@ class Gateway {
   Status ScoreBatch(const std::string& ns, const FeaturizedBatch& batch,
                     size_t explain_top_k, ScoreResponse* scores,
                     StageTiming* timing);
+  /// \brief Checkpoint body; caller holds the namespace's writer_mu and has
+  /// verified s.log is non-null.
+  Status CheckpointLocked(const std::string& ns, NamespaceState& s);
 
   GatewayOptions options_;
   ModelRegistry registry_;

@@ -253,6 +253,12 @@ Status ModelRegistry::SaveAll(const std::string& dir) const {
 }
 
 Result<size_t> ModelRegistry::LoadAll(const std::string& dir) {
+  // Up-front config check: with a residency cap but no spill_dir every
+  // Publish below would fail, after some namespaces had already landed.
+  if (options_.max_resident > 0 && options_.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "ModelRegistryOptions.max_resident requires a spill_dir");
+  }
   std::ifstream in(dir + "/" + kManifestName);
   if (!in) {
     return Status::IOError("cannot open registry manifest in '" + dir + "'");
@@ -263,7 +269,15 @@ Result<size_t> ModelRegistry::LoadAll(const std::string& dir) {
     return Status::InvalidArgument("unrecognized registry manifest header '" +
                                    header + "'");
   }
-  size_t loaded = 0;
+  // Stage everything first: parse the whole manifest and load every model
+  // file before touching registry state, so a corrupted or truncated
+  // directory cannot leave the registry partially loaded.
+  struct Staged {
+    std::string ns;
+    uint64_t version;
+    RiskModel model;
+  };
+  std::vector<Staged> staged;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line.front() == '#') continue;
@@ -278,20 +292,38 @@ Result<size_t> ModelRegistry::LoadAll(const std::string& dir) {
       return Status::InvalidArgument("invalid namespace '" + ns +
                                      "' in manifest");
     }
+    for (const Staged& s : staged) {
+      if (s.ns == ns) {
+        return Status::InvalidArgument("duplicate namespace '" + ns +
+                                       "' in manifest");
+      }
+    }
     Result<RiskModel> model = LoadRiskModel(dir + "/" + ns + ".model");
     if (!model.ok()) return model.status();
-    {
-      // Seed the version floor first so the publish below continues the
-      // saved registry's numbering instead of restarting at 1.
-      std::lock_guard<std::mutex> lock(mu_);
-      Entry& entry = entries_[ns];
-      entry.last_version = std::max(entry.last_version, version);
-    }
-    Result<uint64_t> published = Publish(ns, model.MoveValueOrDie());
-    if (!published.ok()) return published.status();
-    ++loaded;
+    staged.push_back(Staged{ns, version, model.MoveValueOrDie()});
   }
-  return loaded;
+  if (in.bad()) {
+    return Status::IOError("error reading registry manifest in '" + dir + "'");
+  }
+  // Everything validated; now publish. Seed each version floor first so the
+  // publish continues the saved registry's numbering instead of restarting
+  // at 1.
+  for (Staged& s : staged) {
+    EnsureVersionAtLeast(s.ns, s.version);
+    Result<uint64_t> published = Publish(s.ns, std::move(s.model));
+    if (!published.ok()) return published.status();
+  }
+  return staged.size();
+}
+
+void ModelRegistry::EnsureVersionAtLeast(const std::string& ns,
+                                         uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[ns];
+  entry.last_version = std::max(entry.last_version, version);
+  // The floor only takes effect when the next Publish creates the engine
+  // (entry.engine == nullptr) — exactly the recovery / reload situations
+  // this exists for; a resident engine keeps its own forward-only counter.
 }
 
 }  // namespace learnrisk

@@ -111,7 +111,18 @@ class ModelRegistry {
   /// \brief Publishes every model of a SaveAll directory into this registry
   /// and returns how many namespaces were loaded. Versions resume from the
   /// manifest, so a reloaded registry never re-serves an old version number.
+  /// All-or-nothing: the manifest and every model file are parsed and
+  /// validated *before* anything is published, so a corrupted or truncated
+  /// directory fails with a diagnostic Status and leaves the registry
+  /// exactly as it was — no namespaces half-loaded, no version floors
+  /// seeded for models that never arrived.
   Result<size_t> LoadAll(const std::string& dir);
+
+  /// \brief Raises the namespace's version floor: the next Publish returns a
+  /// version strictly greater than `version`. Idempotent; never lowers an
+  /// existing floor. Used by durable-namespace recovery to re-publish a
+  /// checkpointed model under the exact version the manifest recorded.
+  void EnsureVersionAtLeast(const std::string& ns, uint64_t version);
 
  private:
   struct Entry {

@@ -55,6 +55,10 @@ std::string SerializeRiskModel(const RiskModel& model,
     }
     out << '\n';
   }
+  // Explicit end-of-payload record: truncated files are otherwise
+  // undetectable when the cut lands on a parseable prefix (a chopped
+  // trailing number like "0." still reads as a valid double).
+  out << "end\n";
   return out.str();
 }
 
@@ -75,14 +79,20 @@ Result<RiskModel> DeserializeRiskModel(const std::string& text,
   std::vector<size_t> supports;
   std::vector<double> theta;
   std::vector<double> phi;
+  bool saw_end = false;
 
   while (std::getline(in, line)) {
     line = Trim(line);
     if (line.empty() || line[0] == '#') continue;
+    if (saw_end) {
+      return Status::InvalidArgument("record after end marker: " + line);
+    }
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
-    if (tag == "options") {
+    if (tag == "end") {
+      saw_end = true;
+    } else if (tag == "options") {
       int metric = 0;
       int use_out = 1;
       ls >> options.var_confidence >> metric >> options.rsd_max >>
@@ -138,6 +148,10 @@ Result<RiskModel> DeserializeRiskModel(const std::string& text,
     } else {
       return Status::InvalidArgument("unknown record tag: " + tag);
     }
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument(
+        "truncated model payload: missing end record");
   }
   if (phi_out.empty()) {
     return Status::InvalidArgument("missing phi_out record");

@@ -37,6 +37,15 @@ std::shared_ptr<const ScorerSnapshot> ServingEngine::snapshot() const {
   return {published, &published->snapshot};
 }
 
+std::pair<uint64_t, std::shared_ptr<const ScorerSnapshot>>
+ServingEngine::VersionedSnapshot() const {
+  const auto published = Load();
+  if (published == nullptr) return {0, nullptr};
+  return {published->version,
+          std::shared_ptr<const ScorerSnapshot>(published,
+                                                &published->snapshot)};
+}
+
 Result<ScoreResponse> ServingEngine::Score(const ScoreRequest& request) const {
   const auto published = Load();
   if (published == nullptr) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -80,6 +81,14 @@ class ServingEngine {
   /// \brief The current snapshot, or nullptr before the first Publish. The
   /// returned pointer keeps the snapshot alive independently of later swaps.
   std::shared_ptr<const ScorerSnapshot> snapshot() const;
+
+  /// \brief The current snapshot together with its version, read from one
+  /// atomic load — unlike calling version() and snapshot() separately, the
+  /// pair is guaranteed consistent under concurrent Publish. {0, nullptr}
+  /// before the first Publish. Checkpointing uses this to persist a model
+  /// file whose contents match the recorded version exactly.
+  std::pair<uint64_t, std::shared_ptr<const ScorerSnapshot>> VersionedSnapshot()
+      const;
 
   /// \brief Scores a batch against the current snapshot: compiled rule
   /// activation, baked-kernel risk scores, optional top-k explanations.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "common/random.h"
 
@@ -157,6 +158,30 @@ TEST(ModelIoTest, MissingFileIsIOError) {
   auto loaded = LoadRiskModel("/nonexistent/model.txt");
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST(ModelIoTest, TruncatedPayloadIsRejected) {
+  const std::string text = SerializeRiskModel(TrainedModel());
+  // Rules serialize last, so cutting into the tail leaves a half-written
+  // rule record. It must be rejected, not silently dropped.
+  ASSERT_GT(text.size(), 10u);
+  EXPECT_FALSE(DeserializeRiskModel(text.substr(0, text.size() - 10)).ok());
+}
+
+TEST(ModelIoTest, TruncatedFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "/learnrisk_model_trunc.txt";
+  ASSERT_TRUE(SaveRiskModel(TrainedModel(), path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 10);
+  EXPECT_FALSE(LoadRiskModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, CorruptedRuleFieldIsRejected) {
+  std::string text = SerializeRiskModel(TrainedModel());
+  const size_t pos = text.find("\nrule ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 6] = 'z';  // the rule's label field is no longer numeric
+  EXPECT_FALSE(DeserializeRiskModel(text).ok());
 }
 
 TEST(ModelIoTest, CommentsAndBlankLinesIgnored) {
