@@ -2,17 +2,20 @@
 //
 // Request-gateway bench: end-to-end throughput of Gateway::Resolve on a
 // generated DS workload — raw tables in, risk scores out — with the
-// per-stage breakdown (blocking / featurization / scoring) the gateway's
-// StageTiming reports, p50/p99 per-request latency over fixed-size
+// per-stage breakdown (blocking / featurize / classify / score) the
+// gateway's StageTiming reports, p50/p99 per-request latency over fixed-size
 // explicit-pair batches, a side-by-side raw vs prepared featurization
 // comparison (FeaturePipeline::Run vs RunPrepared on the same candidate
 // pairs, plus the one-time PreparedTable build cost), and a mixed
 // read/write scenario: a concurrent AddRecord writer at ~5% of operation
 // volume while the reader re-runs the batched requests — under the
 // snapshot storage model, reader p99 must stay in the read-only ballpark
-// instead of spiking behind writer locks. Prints a table and writes
-// BENCH_gateway.json so later PRs have an end-to-end serving perf
-// trajectory.
+// instead of spiking behind writer locks. An observability section measures
+// the telemetry subsystem's overhead (metrics off vs on, same traffic),
+// reads p50/p99 back out of the gateway's own latency histograms, and dumps
+// two Prometheus snapshots for tools/check_metrics_format.sh. Prints a
+// table and writes BENCH_gateway.json so later PRs have an end-to-end
+// serving perf trajectory.
 //
 // Env knobs:
 //   LEARNRISK_BENCH_SCALE   dataset scale                (default 0.05)
@@ -34,6 +37,7 @@
 #include "common/timer.h"
 #include "data/generators.h"
 #include "gateway/gateway.h"
+#include "obs/export.h"
 #include "risk/risk_feature.h"
 
 namespace {
@@ -122,6 +126,7 @@ int main() {
       total_pairs += response->pairs.size();
       stage_sum.blocking_ms += response->timing.blocking_ms;
       stage_sum.featurize_ms += response->timing.featurize_ms;
+      stage_sum.classify_ms += response->timing.classify_ms;
       stage_sum.score_ms += response->timing.score_ms;
     } while (timer.ElapsedSeconds() < kMinRunSeconds);
     total_ms = timer.ElapsedMillis();
@@ -130,6 +135,8 @@ int main() {
   const double blocking_rate = PairsPerSec(total_pairs, stage_sum.blocking_ms);
   const double featurize_rate =
       PairsPerSec(total_pairs, stage_sum.featurize_ms);
+  const double classify_rate =
+      PairsPerSec(total_pairs, stage_sum.classify_ms);
   const double score_rate = PairsPerSec(total_pairs, stage_sum.score_ms);
 
   std::printf("workload: DS scale=%.2f, %zu x %zu records, %zu candidate "
@@ -139,12 +146,15 @@ int main() {
               num_rules);
   std::printf("full-block resolve (end-to-end %16.0f pairs/s):\n", end_to_end);
   std::printf("  %-12s %16s %10s\n", "stage", "pairs/s", "share");
-  const double stage_total_ms =
-      stage_sum.blocking_ms + stage_sum.featurize_ms + stage_sum.score_ms;
+  const double stage_total_ms = stage_sum.blocking_ms +
+                                stage_sum.featurize_ms +
+                                stage_sum.classify_ms + stage_sum.score_ms;
   std::printf("  %-12s %16.0f %9.1f%%\n", "blocking", blocking_rate,
               100.0 * stage_sum.blocking_ms / stage_total_ms);
   std::printf("  %-12s %16.0f %9.1f%%\n", "featurize", featurize_rate,
               100.0 * stage_sum.featurize_ms / stage_total_ms);
+  std::printf("  %-12s %16.0f %9.1f%%\n", "classify", classify_rate,
+              100.0 * stage_sum.classify_ms / stage_total_ms);
   std::printf("  %-12s %16.0f %9.1f%%\n", "score", score_rate,
               100.0 * stage_sum.score_ms / stage_total_ms);
 
@@ -335,6 +345,23 @@ int main() {
   auto durable_gateway = make_gateway(true);
   const double memory_adds_per_sec = add_rate(memory_gateway.get());
   const double durable_adds_per_sec = add_rate(durable_gateway.get());
+  {
+    // Durable appends must report where the write-path time went: the WAL
+    // append and the snapshot publish stages of StageTiming are the contract
+    // (docs/OBSERVABILITY.md); fail loudly if instrumentation regresses.
+    StageTiming add_timing;
+    const auto timed = durable_gateway->AddRecord(
+        "ds", BlockingSide::kRight, workload->right().record(0), -1,
+        &add_timing);
+    if (!timed.ok() || add_timing.wal_append_ms <= 0.0 ||
+        add_timing.publish_ms <= 0.0) {
+      std::fprintf(stderr,
+                   "durable AddRecord left StageTiming durability stages "
+                   "empty (wal_append %.6f ms, publish %.6f ms)\n",
+                   add_timing.wal_append_ms, add_timing.publish_ms);
+      return 1;
+    }
+  }
   const double wal_append_overhead =
       durable_adds_per_sec > 0.0
           ? memory_adds_per_sec / durable_adds_per_sec - 1.0
@@ -448,6 +475,113 @@ int main() {
   }
   std::filesystem::remove_all(wal_dir);
 
+  // --- Observability: instrumentation overhead and metrics export. --------
+  // Two fresh in-memory gateways over the same namespace take the same
+  // full-block resolve stream, one with telemetry off (every instrument
+  // pointer null) and one with the default instrumented configuration. The
+  // delta is the total cost of the sharded counters, histograms, and trace
+  // spans on the hot path. The instrumented gateway's own request-latency
+  // histogram is then read back (p50/p99 from the log buckets) and two
+  // Prometheus snapshots are dumped for tools/check_metrics_format.sh.
+  double uninstrumented_pairs_per_sec = 0.0;
+  double instrumented_pairs_per_sec = 0.0;
+  double metrics_overhead = 0.0;
+  double hist_p50_ms = 0.0;
+  double hist_p99_ms = 0.0;
+  {
+    auto fresh_gateway = [&](bool enable_metrics) {
+      GatewayOptions options;
+      options.enable_metrics = enable_metrics;
+      auto fresh = std::make_unique<Gateway>(options);
+      NamespaceSpec fresh_spec;
+      fresh_spec.left = workload->left_ptr();
+      fresh_spec.right = workload->right_ptr();
+      fresh_spec.suite = suite;
+      fresh_spec.classifier = classifier;
+      if (!fresh->RegisterNamespace("ds", std::move(fresh_spec)).ok() ||
+          !fresh
+               ->Publish("ds", bench::MakeSyntheticRuleModel(
+                                   num_rules, num_metrics, seed + 1))
+               .ok()) {
+        std::fprintf(stderr, "observability bench setup failed\n");
+        std::exit(1);
+      }
+      return fresh;
+    };
+    auto plain = fresh_gateway(false);
+    auto instrumented = fresh_gateway(true);
+    // Alternate single full-block requests between the two gateways so
+    // clock/cache drift over the run lands on both sides equally — the
+    // per-request instrumentation cost is far below sequential-run noise.
+    Gateway* targets[2] = {plain.get(), instrumented.get()};
+    double side_ms[2] = {0.0, 0.0};
+    size_t side_pairs[2] = {0, 0};
+    for (int g = 0; g < 2; ++g) {  // warm-up
+      if (!targets[g]->Resolve("ds", block_all).ok()) std::exit(1);
+    }
+    const double overhead_run_ms = 2.5 * kMinRunSeconds * 1e3;
+    while (side_ms[0] + side_ms[1] < overhead_run_ms) {
+      for (int g = 0; g < 2; ++g) {
+        Timer timer;
+        const auto response = targets[g]->Resolve("ds", block_all);
+        if (!response.ok()) std::exit(1);
+        side_ms[g] += timer.ElapsedMillis();
+        side_pairs[g] += response->pairs.size();
+      }
+    }
+    uninstrumented_pairs_per_sec = PairsPerSec(side_pairs[0], side_ms[0]);
+    instrumented_pairs_per_sec = PairsPerSec(side_pairs[1], side_ms[1]);
+    metrics_overhead =
+        instrumented_pairs_per_sec > 0.0
+            ? uninstrumented_pairs_per_sec / instrumented_pairs_per_sec - 1.0
+            : 0.0;
+
+    const MetricsSnapshot first = instrumented->MetricsSnapshot();
+    const HistogramSnapshot* request_latency =
+        first.FindHistogram("learnrisk_gateway_request_latency_seconds",
+                            {{"api", "resolve"}, {"namespace", "ds"}});
+    if (request_latency == nullptr || request_latency->count == 0) {
+      std::fprintf(stderr, "instrumented gateway reported no request "
+                           "latency histogram\n");
+      return 1;
+    }
+    // Quantiles come out in the histogram's raw unit (ns); scale to ms.
+    hist_p50_ms = static_cast<double>(request_latency->Quantile(0.5)) *
+                  request_latency->scale * 1e3;
+    hist_p99_ms = static_cast<double>(request_latency->Quantile(0.99)) *
+                  request_latency->scale * 1e3;
+    std::printf("\nobservability:\n");
+    std::printf("  %-24s %12.0f pairs/s\n", "full block, metrics off",
+                uninstrumented_pairs_per_sec);
+    std::printf("  %-24s %12.0f pairs/s (overhead %.2f%%)\n",
+                "full block, metrics on", instrumented_pairs_per_sec,
+                100.0 * metrics_overhead);
+    std::printf("  request latency from histogram: p50 %.3f ms, p99 %.3f "
+                "ms over %llu requests\n",
+                hist_p50_ms, hist_p99_ms,
+                static_cast<unsigned long long>(request_latency->count));
+
+    // Two snapshots with traffic in between: the format checker verifies
+    // exposition syntax on both and counter monotonicity across them.
+    FILE* prom = std::fopen("gateway_metrics_1.prom", "w");
+    if (prom != nullptr) {
+      const std::string text = ExportPrometheusText(first);
+      std::fwrite(text.data(), 1, text.size(), prom);
+      std::fclose(prom);
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (!instrumented->Resolve("ds", block_all).ok()) return 1;
+    }
+    prom = std::fopen("gateway_metrics_2.prom", "w");
+    if (prom != nullptr) {
+      const std::string text =
+          ExportPrometheusText(instrumented->MetricsSnapshot());
+      std::fwrite(text.data(), 1, text.size(), prom);
+      std::fclose(prom);
+    }
+    std::printf("  wrote gateway_metrics_1.prom, gateway_metrics_2.prom\n");
+  }
+
   FILE* json = std::fopen("BENCH_gateway.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -466,9 +600,11 @@ int main() {
                  "    \"end_to_end_pairs_per_sec\": %.1f,\n"
                  "    \"blocking_pairs_per_sec\": %.1f,\n"
                  "    \"featurize_pairs_per_sec\": %.1f,\n"
+                 "    \"classify_pairs_per_sec\": %.1f,\n"
                  "    \"score_pairs_per_sec\": %.1f\n"
                  "  },\n",
-                 end_to_end, blocking_rate, featurize_rate, score_rate);
+                 end_to_end, blocking_rate, featurize_rate, classify_rate,
+                 score_rate);
     std::fprintf(json,
                  "  \"featurize\": {\n"
                  "    \"raw_pairs_per_sec\": %.1f,\n"
@@ -523,7 +659,17 @@ int main() {
                    i == 0 ? "" : ",", recovery_points[i].records,
                    recovery_points[i].wal_entries, recovery_points[i].ms);
     }
-    std::fprintf(json, "\n    ]\n  }\n}\n");
+    std::fprintf(json, "\n    ]\n  },\n");
+    std::fprintf(json,
+                 "  \"observability\": {\n"
+                 "    \"uninstrumented_pairs_per_sec\": %.1f,\n"
+                 "    \"instrumented_pairs_per_sec\": %.1f,\n"
+                 "    \"metrics_overhead\": %.4f,\n"
+                 "    \"histogram_request_p50_ms\": %.4f,\n"
+                 "    \"histogram_request_p99_ms\": %.4f\n"
+                 "  }\n}\n",
+                 uninstrumented_pairs_per_sec, instrumented_pairs_per_sec,
+                 metrics_overhead, hist_p50_ms, hist_p99_ms);
     std::fclose(json);
     std::printf("\n  wrote BENCH_gateway.json\n");
   }

@@ -3,7 +3,9 @@
 // dataset, register each as a gateway namespace (tables + blocking + metric
 // suite + frozen classifier), publish the trained risk models into the
 // multi-tenant registry, and resolve raw record pairs — batch (block_all)
-// and online (add a record, probe it) — through one API.
+// and online (add a record, probe it) — through one API. Ends by reading
+// the gateway's built-in telemetry back out: a metrics snapshot with
+// per-stage latency histograms and the Prometheus rendering of it.
 //
 //   ./gateway_end_to_end
 
@@ -13,6 +15,7 @@
 #include "classifier/mlp.h"
 #include "gateway/gateway.h"
 #include "learnrisk/learnrisk.h"
+#include "obs/export.h"
 
 using namespace learnrisk;  // NOLINT
 
@@ -82,9 +85,10 @@ int main() {
     }
     std::printf(
         "\n[%s] %zu candidate pairs (blocking %.1f ms, featurize %.1f ms, "
-        "score %.1f ms)\n",
+        "classify %.1f ms, score %.1f ms)\n",
         ns.c_str(), response->pairs.size(), response->timing.blocking_ms,
-        response->timing.featurize_ms, response->timing.score_ms);
+        response->timing.featurize_ms, response->timing.classify_ms,
+        response->timing.score_ms);
     std::printf("  riskiest pair (%zu, %zu): label=%s risk=%.3f\n",
                 response->pairs[top].left, response->pairs[top].right,
                 response->scores.machine_label[top] ? "match" : "unmatch",
@@ -122,5 +126,34 @@ int main() {
   const auto loaded = restored.LoadAll(dir);
   if (!loaded.ok()) return 1;
   std::printf("\nregistry saved and reloaded: %zu namespaces\n", *loaded);
+
+  // --- Telemetry: everything above left a trail in the metrics. -----------
+  // One lock-free snapshot covers both namespaces: request counts, pairs
+  // scored, per-stage latency histograms, and the risk-score distribution
+  // (docs/OBSERVABILITY.md catalogs every series). The same snapshot also
+  // renders as JSON (ExportJson) or Prometheus text for scraping.
+  const MetricsSnapshot metrics = gateway.MetricsSnapshot();
+  std::printf("\ntelemetry snapshot: %zu counters, %zu gauges, %zu "
+              "histograms\n",
+              metrics.counters.size(), metrics.gauges.size(),
+              metrics.histograms.size());
+  for (const std::string& ns : gateway.Namespaces()) {
+    const CounterSnapshot* pairs = metrics.FindCounter(
+        "learnrisk_gateway_pairs_scored_total", {{"namespace", ns}});
+    const HistogramSnapshot* latency = metrics.FindHistogram(
+        "learnrisk_gateway_request_latency_seconds",
+        {{"api", "resolve"}, {"namespace", ns}});
+    if (pairs == nullptr || latency == nullptr) return 1;
+    std::printf("  [%s] %llu pairs scored; resolve p99 %.2f ms over %llu "
+                "requests\n",
+                ns.c_str(), static_cast<unsigned long long>(pairs->value),
+                static_cast<double>(latency->Quantile(0.99)) *
+                    latency->scale * 1e3,
+                static_cast<unsigned long long>(latency->count));
+  }
+  // Tail of the Prometheus exposition, as a scraper would see it.
+  const std::string prom = ExportPrometheusText(metrics);
+  const size_t tail = prom.size() > 400 ? prom.size() - 400 : 0;
+  std::printf("\nprometheus exposition tail:\n...%s", prom.c_str() + tail);
   return 0;
 }

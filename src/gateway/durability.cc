@@ -431,9 +431,16 @@ Status NamespaceLog::Append(const WalEntry& entry) {
   if (fsync_appends_ && ::fsync(fileno(wal_)) != 0) {
     return Status::IOError("WAL fsync failed: " + wal_path_);
   }
+  if (fsync_appends_ && metrics_.wal_fsyncs != nullptr) {
+    metrics_.wal_fsyncs->Add(1);
+  }
 #endif
   LEARNRISK_RETURN_NOT_OK(CrashPoint("wal:after_append"));
   ++wal_entries_;
+  if (metrics_.wal_appends != nullptr) metrics_.wal_appends->Add(1);
+  if (metrics_.wal_append_bytes != nullptr) {
+    metrics_.wal_append_bytes->Add(frame.size());
+  }
   return Status::OK();
 }
 
@@ -489,15 +496,20 @@ Status NamespaceLog::WriteCheckpoint(const Table& left, const Table* right,
   m.schema_fingerprint = SchemaFingerprint(left.schema());
   m.left_file = SegmentFileName(id, true);
   m.left_records = left.num_records();
-  LEARNRISK_RETURN_NOT_OK(write_file(ns_dir_ + "/" + m.left_file,
-                                     EncodeSegment(left),
-                                     "checkpoint:mid_segment"));
+  size_t segment_bytes = 0;
+  {
+    const std::string segment = EncodeSegment(left);
+    segment_bytes += segment.size();
+    LEARNRISK_RETURN_NOT_OK(write_file(ns_dir_ + "/" + m.left_file, segment,
+                                       "checkpoint:mid_segment"));
+  }
   if (right != nullptr) {
     m.right_file = SegmentFileName(id, false);
     m.right_records = right->num_records();
+    const std::string segment = EncodeSegment(*right);
+    segment_bytes += segment.size();
     LEARNRISK_RETURN_NOT_OK(
-        write_file(ns_dir_ + "/" + m.right_file, EncodeSegment(*right),
-                   nullptr));
+        write_file(ns_dir_ + "/" + m.right_file, segment, nullptr));
   }
 
   // 2. Model file (the served model at checkpoint time, if any).
@@ -541,6 +553,13 @@ Status NamespaceLog::WriteCheckpoint(const Table& left, const Table* right,
   LEARNRISK_RETURN_NOT_OK(OpenWal(ns_dir_ + "/" + m.wal_file));
   checkpoint_id_ = id;
   wal_entries_ = 0;
+  if (metrics_.checkpoints != nullptr) metrics_.checkpoints->Add(1);
+  if (metrics_.checkpoint_bytes != nullptr) {
+    metrics_.checkpoint_bytes->Add(segment_bytes);
+  }
+  if (metrics_.checkpoint_records != nullptr) {
+    metrics_.checkpoint_records->Add(m.left_records + m.right_records);
+  }
   return Status::OK();
 }
 

@@ -44,8 +44,24 @@
 #include "common/status.h"
 #include "data/table.h"
 #include "gateway/blocking_index.h"
+#include "obs/metrics.h"
 
 namespace learnrisk {
+
+/// \brief Telemetry hooks for one namespace's durability machinery (all
+/// optional; see docs/OBSERVABILITY.md). The log records IO volume here —
+/// frames, bytes, fsyncs — while latency is timed by the gateway around its
+/// calls, so the histogram and StageTiming agree on stage boundaries.
+/// Instruments are owned by a MetricRegistry; null pointers disable
+/// recording. Set before the first Append / WriteCheckpoint.
+struct DurabilityMetrics {
+  ShardedCounter* wal_appends = nullptr;        ///< acknowledged WAL frames
+  ShardedCounter* wal_append_bytes = nullptr;   ///< WAL frame bytes written
+  ShardedCounter* wal_fsyncs = nullptr;         ///< fsyncs on the active WAL
+  ShardedCounter* checkpoints = nullptr;        ///< committed checkpoints
+  ShardedCounter* checkpoint_bytes = nullptr;   ///< segment bytes written
+  ShardedCounter* checkpoint_records = nullptr; ///< records across segments
+};
 
 /// \brief Test hook invoked at named IO sequence points ("wal:mid_append",
 /// "manifest:before_swap", ...). Returning true simulates a process crash at
@@ -165,6 +181,10 @@ class NamespaceLog {
   /// \brief True once a simulated crash killed this log.
   bool dead() const { return dead_; }
 
+  /// \brief Installs telemetry hooks (copied by value). The gateway wires
+  /// this right after Create / Recover, before the log sees traffic.
+  void set_metrics(const DurabilityMetrics& metrics) { metrics_ = metrics; }
+
  private:
   NamespaceLog() = default;
 
@@ -183,6 +203,8 @@ class NamespaceLog {
   uint64_t checkpoint_id_ = 0;  ///< 0 = created but nothing committed yet
   size_t wal_entries_ = 0;
   bool dead_ = false;
+  /// Null pointers = no instrumentation; written once before first use.
+  DurabilityMetrics metrics_;
 };
 
 }  // namespace learnrisk

@@ -38,6 +38,11 @@ class SideStore;
 struct FeaturizedBatch {
   FeatureMatrix features;
   std::vector<double> probs;
+  /// Wall time of the two internal passes (metric evaluation vs classifier
+  /// inference) — the gateway splits its featurize/classify stage telemetry
+  /// on these without re-timing the pipeline.
+  double featurize_ms = 0.0;
+  double classify_ms = 0.0;
 };
 
 /// \brief A frozen (suite, classifier) pair evaluating record pairs.

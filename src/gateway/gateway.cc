@@ -10,9 +10,185 @@
 #include "risk/model_io.h"
 
 namespace learnrisk {
+namespace {
+
+// Feeds a millisecond measurement that was already taken for StageTiming
+// into a nanosecond histogram — one clock reading backing both views.
+void RecordMs(LatencyHistogram* histogram, double ms) {
+  if (histogram == nullptr) return;
+  histogram->Record(ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1e6));
+}
+
+}  // namespace
 
 Gateway::Gateway(GatewayOptions options)
-    : options_(options), registry_(options.registry) {}
+    : options_(std::move(options)), registry_(options_.registry) {
+  if (!options_.enable_metrics) return;
+  // Gateway-wide instruments: the registry's LRU counters, the engine-level
+  // serving counters (shared by every engine the registry creates), and the
+  // snapshot-time gauges over registry state.
+  ModelRegistryMetrics registry_metrics;
+  registry_metrics.publishes =
+      metric_registry_.Counter("learnrisk_registry_publishes_total", {},
+                               "Successful model publishes via the registry");
+  registry_metrics.engine_hits = metric_registry_.Counter(
+      "learnrisk_registry_engine_hits_total", {},
+      "Engine lookups served by a resident engine");
+  registry_metrics.engine_reloads = metric_registry_.Counter(
+      "learnrisk_registry_engine_reloads_total", {},
+      "Spilled engine snapshots reloaded from disk");
+  registry_metrics.spills =
+      metric_registry_.Counter("learnrisk_registry_spills_total", {},
+                               "Eviction model files written to the spill dir");
+  registry_metrics.evictions =
+      metric_registry_.Counter("learnrisk_registry_evictions_total", {},
+                               "Resident engines dropped after a spill");
+  registry_metrics.pinned_engine_waits = metric_registry_.Counter(
+      "learnrisk_registry_pinned_engine_waits_total", {},
+      "Eviction rounds left over cap because every candidate was pinned");
+  ServingEngineMetrics engine_metrics;
+  engine_metrics.publishes =
+      metric_registry_.Counter("learnrisk_serving_publishes_total", {},
+                               "Scorer snapshot swaps installed by engines");
+  engine_metrics.score_batches =
+      metric_registry_.Counter("learnrisk_serving_score_batches_total", {},
+                               "Successful ServingEngine::Score calls");
+  engine_metrics.scored_pairs =
+      metric_registry_.Counter("learnrisk_serving_scored_pairs_total", {},
+                               "Pairs scored across those batches");
+  engine_metrics.score_ns = metric_registry_.Latency(
+      "learnrisk_serving_score_latency_seconds", {},
+      "Per-batch ServingEngine::Score wall time (all outcomes)");
+  registry_.set_metrics(registry_metrics, engine_metrics);
+  metric_registry_.GaugeCallback(
+      "learnrisk_registry_resident_engines", {},
+      "Namespaces whose engine snapshot is currently in memory",
+      [this]() { return static_cast<int64_t>(registry_.resident_count()); });
+  metric_registry_.GaugeCallback(
+      "learnrisk_registry_namespaces", {},
+      "Namespaces known to the model registry", [this]() {
+        return static_cast<int64_t>(registry_.Namespaces().size());
+      });
+}
+
+learnrisk::MetricsSnapshot Gateway::MetricsSnapshot() const {
+  return metric_registry_.Snapshot();
+}
+
+Gateway::NamespaceMetrics Gateway::CreateNamespaceMetrics(
+    const std::string& ns) {
+  NamespaceMetrics m;
+  const MetricLabels ns_labels = {{"namespace", ns}};
+  auto stage = [&](const char* name) {
+    return metric_registry_.Latency(
+        "learnrisk_gateway_stage_latency_seconds",
+        {{"namespace", ns}, {"stage", name}},
+        "Per-stage wall time of gateway requests (StageTiming's twin)");
+  };
+  m.stage_block = stage("block");
+  m.stage_featurize = stage("featurize");
+  m.stage_classify = stage("classify");
+  m.stage_risk = stage("risk");
+  m.stage_wal_append = stage("wal_append");
+  m.stage_publish = stage("publish");
+  m.resolve_latency = metric_registry_.Latency(
+      "learnrisk_gateway_request_latency_seconds",
+      {{"api", "resolve"}, {"namespace", ns}},
+      "End-to-end gateway request wall time (all outcomes)");
+  m.resolve_record_latency = metric_registry_.Latency(
+      "learnrisk_gateway_request_latency_seconds",
+      {{"api", "resolve_record"}, {"namespace", ns}},
+      "End-to-end gateway request wall time (all outcomes)");
+  m.resolve_requests = metric_registry_.Counter(
+      "learnrisk_gateway_requests_total",
+      {{"api", "resolve"}, {"namespace", ns}},
+      "Successfully answered gateway requests");
+  m.resolve_record_requests = metric_registry_.Counter(
+      "learnrisk_gateway_requests_total",
+      {{"api", "resolve_record"}, {"namespace", ns}},
+      "Successfully answered gateway requests");
+  m.pairs_scored =
+      metric_registry_.Counter("learnrisk_gateway_pairs_scored_total",
+                               ns_labels, "Candidate pairs risk-scored");
+  m.records_added = metric_registry_.Counter(
+      "learnrisk_gateway_records_added_total", ns_labels,
+      "Records appended online via AddRecord");
+  m.recoveries = metric_registry_.Counter(
+      "learnrisk_gateway_recoveries_total", ns_labels,
+      "Successful RecoverNamespace calls");
+  m.recovered_wal_entries = metric_registry_.Counter(
+      "learnrisk_gateway_recovered_wal_entries_total", ns_labels,
+      "WAL tail entries replayed during recovery");
+  m.recovered_wal_bytes_discarded = metric_registry_.Counter(
+      "learnrisk_gateway_recovered_wal_bytes_discarded_total", ns_labels,
+      "Torn or corrupt WAL tail bytes truncated during recovery");
+  m.checkpoint_latency = metric_registry_.Latency(
+      "learnrisk_gateway_checkpoint_latency_seconds", ns_labels,
+      "Full checkpoint wall time (segments, model, manifest swap)");
+  m.recover_latency = metric_registry_.Latency(
+      "learnrisk_gateway_recover_latency_seconds", ns_labels,
+      "Full namespace recovery wall time (load, replay, rebuild)");
+  m.risk_scores =
+      metric_registry_.Values("learnrisk_gateway_risk_score", ns_labels,
+                              "Distribution of served risk scores");
+  m.durability.wal_appends = metric_registry_.Counter(
+      "learnrisk_gateway_wal_appends_total", ns_labels,
+      "Acknowledged WAL record appends");
+  m.durability.wal_append_bytes = metric_registry_.Counter(
+      "learnrisk_gateway_wal_append_bytes_total", ns_labels,
+      "WAL frame bytes written");
+  m.durability.wal_fsyncs = metric_registry_.Counter(
+      "learnrisk_gateway_wal_fsyncs_total", ns_labels,
+      "fsync calls on the active WAL (fsync_appends mode)");
+  m.durability.checkpoints = metric_registry_.Counter(
+      "learnrisk_gateway_checkpoints_total", ns_labels,
+      "Committed checkpoints (manifest swapped)");
+  m.durability.checkpoint_bytes = metric_registry_.Counter(
+      "learnrisk_gateway_checkpoint_bytes_total", ns_labels,
+      "Checkpoint segment bytes written");
+  m.durability.checkpoint_records = metric_registry_.Counter(
+      "learnrisk_gateway_checkpoint_records_total", ns_labels,
+      "Records across written checkpoint segments");
+  return m;
+}
+
+void Gateway::RegisterStateGauges(
+    const std::string& ns, const std::shared_ptr<NamespaceState>& state) {
+  std::weak_ptr<NamespaceState> weak = state;
+  metric_registry_.GaugeCallback(
+      "learnrisk_gateway_records", {{"namespace", ns}, {"side", "left"}},
+      "Records visible in the namespace's current snapshot",
+      [weak]() -> int64_t {
+        const std::shared_ptr<NamespaceState> s = weak.lock();
+        if (s == nullptr) return 0;
+        return static_cast<int64_t>(
+            LoadSnapshot(*s)->index.num_records(BlockingSide::kLeft));
+      });
+  if (!state->dedup) {
+    metric_registry_.GaugeCallback(
+        "learnrisk_gateway_records", {{"namespace", ns}, {"side", "right"}},
+        "Records visible in the namespace's current snapshot",
+        [weak]() -> int64_t {
+          const std::shared_ptr<NamespaceState> s = weak.lock();
+          if (s == nullptr) return 0;
+          return static_cast<int64_t>(
+              LoadSnapshot(*s)->index.num_records(BlockingSide::kRight));
+        });
+  }
+  if (state->log != nullptr) {
+    metric_registry_.GaugeCallback(
+        "learnrisk_gateway_wal_entries_since_checkpoint",
+        {{"namespace", ns}},
+        "WAL entries appended since the namespace's last checkpoint",
+        [weak]() -> int64_t {
+          const std::shared_ptr<NamespaceState> s = weak.lock();
+          if (s == nullptr) return 0;
+          std::lock_guard<std::mutex> writer(s->writer_mu);
+          if (s->log == nullptr) return 0;
+          return static_cast<int64_t>(s->log->wal_entries_since_checkpoint());
+        });
+  }
+}
 
 Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
   if (!ModelRegistry::ValidNamespace(ns)) {
@@ -69,6 +245,9 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
   // Registration publishes the first snapshot before the state becomes
   // visible in the map; no reader can observe a null snapshot.
   state->snapshot = std::move(snapshot);
+  // Instruments are get-or-create, so a registration that loses the emplace
+  // race below simply shares the winner's instruments — nothing leaks.
+  if (options_.enable_metrics) state->metrics = CreateNamespaceMetrics(ns);
 
   if (!options_.durability.dir.empty()) {
     // Durable registration: commit the base tables as checkpoint 1 before
@@ -80,15 +259,20 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
         NamespaceLog::Create(options_.durability, ns);
     if (!log.ok()) return log.status();
     state->log = log.MoveValueOrDie();
+    state->log->set_metrics(state->metrics.durability);
+    TraceSpan span(state->metrics.checkpoint_latency);
     LEARNRISK_RETURN_NOT_OK(state->log->WriteCheckpoint(
         *spec.left, dedup ? nullptr : spec.right.get(), 0, nullptr));
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!namespaces_.emplace(ns, std::move(state)).second) {
-    return Status::FailedPrecondition("namespace '" + ns +
-                                      "' already registered");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!namespaces_.emplace(ns, state).second) {
+      return Status::FailedPrecondition("namespace '" + ns +
+                                        "' already registered");
+    }
   }
+  if (options_.enable_metrics) RegisterStateGauges(ns, state);
   return Status::OK();
 }
 
@@ -129,6 +313,7 @@ std::shared_ptr<const Gateway::NamespaceSnapshot> Gateway::LoadSnapshot(
 }
 
 Status Gateway::ScoreBatch(const std::string& ns,
+                           const NamespaceMetrics& metrics,
                            const FeaturizedBatch& batch, size_t explain_top_k,
                            ScoreResponse* scores, StageTiming* timing) {
   Result<std::shared_ptr<ServingEngine>> engine = registry_.Engine(ns);
@@ -145,11 +330,17 @@ Status Gateway::ScoreBatch(const std::string& ns,
   request.metric_features = &batch.features;
   request.classifier_probs = batch.probs;
   request.explain_top_k = explain_top_k;
-  Timer timer;
+  TraceSpan span(metrics.stage_risk, &timing->score_ms);
   Result<ScoreResponse> response = (*engine)->Score(request);
-  timing->score_ms = timer.ElapsedMillis();
+  span.Stop();
   if (!response.ok()) return response.status();
   *scores = response.MoveValueOrDie();
+  if (metrics.pairs_scored != nullptr) {
+    metrics.pairs_scored->Add(scores->risk.size());
+  }
+  if (metrics.risk_scores != nullptr) {
+    for (double risk : scores->risk) metrics.risk_scores->Record(risk);
+  }
   return Status::OK();
 }
 
@@ -171,19 +362,26 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
   // publish successors without ever touching it.
   const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
   ResolveResponse response;
-  Timer timer;
-  response.pairs =
-      request.block_all ? snap->index.AllCandidates() : request.pairs;
-  response.timing.blocking_ms = timer.ElapsedMillis();
+  TraceSpan request_span(s.metrics.resolve_latency);
+  {
+    TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms);
+    response.pairs =
+        request.block_all ? snap->index.AllCandidates() : request.pairs;
+  }
 
-  timer.Reset();
   Result<FeaturizedBatch> batch = s.pipeline.RunPrepared(
       snap->left, s.right_store(*snap), response.pairs);
   if (!batch.ok()) return batch.status();
-  response.timing.featurize_ms = timer.ElapsedMillis();
+  response.timing.featurize_ms = batch->featurize_ms;
+  response.timing.classify_ms = batch->classify_ms;
+  RecordMs(s.metrics.stage_featurize, batch->featurize_ms);
+  RecordMs(s.metrics.stage_classify, batch->classify_ms);
 
-  LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, request.explain_top_k,
-                                     &response.scores, &response.timing));
+  LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, s.metrics, *batch,
+                                     request.explain_top_k, &response.scores,
+                                     &response.timing));
+  request_span.Stop();
+  if (s.metrics.resolve_requests != nullptr) s.metrics.resolve_requests->Add(1);
   return response;
 }
 
@@ -200,25 +398,44 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
   const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
 
   ProbeResponse response;
-  Timer timer;
-  response.candidates = snap->index.Candidates(
-      probe, s.dedup ? BlockingSide::kLeft : BlockingSide::kRight);
-  response.timing.blocking_ms = timer.ElapsedMillis();
+  TraceSpan request_span(s.metrics.resolve_record_latency);
+  {
+    TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms);
+    response.candidates = snap->index.Candidates(
+        probe, s.dedup ? BlockingSide::kLeft : BlockingSide::kRight);
+  }
 
-  timer.Reset();
+  // Probe preparation counts toward the featurize stage: it is the same
+  // per-record work the prepared cache amortizes for stored records.
+  Timer timer;
   const PreparedRecord prepared_probe = s.pipeline.Prepare(probe);
+  const double prepare_ms = timer.ElapsedMillis();
   Result<FeaturizedBatch> batch = s.pipeline.RunProbePrepared(
       prepared_probe, s.right_store(*snap), response.candidates);
   if (!batch.ok()) return batch.status();
-  response.timing.featurize_ms = timer.ElapsedMillis();
+  response.timing.featurize_ms = prepare_ms + batch->featurize_ms;
+  response.timing.classify_ms = batch->classify_ms;
+  RecordMs(s.metrics.stage_featurize, response.timing.featurize_ms);
+  RecordMs(s.metrics.stage_classify, batch->classify_ms);
 
-  LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, *batch, explain_top_k,
+  LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, s.metrics, *batch, explain_top_k,
                                      &response.scores, &response.timing));
+  request_span.Stop();
+  if (s.metrics.resolve_record_requests != nullptr) {
+    s.metrics.resolve_record_requests->Add(1);
+  }
   return response;
 }
 
 Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
-                          Record record, int64_t entity_id) {
+                          Record record, int64_t entity_id,
+                          StageTiming* timing) {
+  StageTiming local_timing;
+  if (timing == nullptr) {
+    timing = &local_timing;
+  } else {
+    *timing = StageTiming{};
+  }
   Result<std::shared_ptr<NamespaceState>> state = State(ns);
   if (!state.ok()) return state.status();
   NamespaceState& s = **state;
@@ -240,8 +457,10 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
     entry.side = side;
     entry.entity_id = entity_id;
     entry.record = record;
+    TraceSpan span(s.metrics.stage_wal_append, &timing->wal_append_ms);
     LEARNRISK_RETURN_NOT_OK(s.log->Append(entry));
   }
+  TraceSpan publish_span(s.metrics.stage_publish, &timing->publish_ms);
   const std::shared_ptr<const NamespaceSnapshot> cur = LoadSnapshot(s);
   auto next = std::make_shared<NamespaceSnapshot>();
   next->index = cur->index;  // shares posting segments
@@ -261,6 +480,8 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
   std::atomic_store_explicit(&s.snapshot,
                              std::shared_ptr<const NamespaceSnapshot>(next),
                              std::memory_order_release);
+  publish_span.Stop();
+  if (s.metrics.records_added != nullptr) s.metrics.records_added->Add(1);
   if (s.log != nullptr && options_.durability.wal_checkpoint_threshold > 0 &&
       s.log->wal_entries_since_checkpoint() >=
           options_.durability.wal_checkpoint_threshold) {
@@ -272,6 +493,7 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
 }
 
 Status Gateway::CheckpointLocked(const std::string& ns, NamespaceState& s) {
+  TraceSpan span(s.metrics.checkpoint_latency);
   // Materialize the current snapshot under writer_mu: no new record can
   // land between the tables written to disk and the WAL the checkpoint
   // resets, so checkpoint + empty WAL is exactly the published state.
@@ -342,6 +564,7 @@ Status Gateway::RecoverNamespace(const std::string& ns,
                                       "' already registered");
   }
 
+  Timer recover_timer;
   RecoveredNamespace recovered;
   Result<std::unique_ptr<NamespaceLog>> log =
       NamespaceLog::Recover(options_.durability, ns, spec.schema, &recovered);
@@ -370,6 +593,10 @@ Status Gateway::RecoverNamespace(const std::string& ns,
   }
   state->snapshot = std::move(snapshot);
   state->log = log.MoveValueOrDie();
+  if (options_.enable_metrics) {
+    state->metrics = CreateNamespaceMetrics(ns);
+    state->log->set_metrics(state->metrics.durability);
+  }
 
   if (recovered.model_version > 0) {
     // Re-publish the checkpointed model under its recorded version: seeding
@@ -383,10 +610,20 @@ Status Gateway::RecoverNamespace(const std::string& ns,
     if (!published.ok()) return published.status();
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!namespaces_.emplace(ns, std::move(state)).second) {
-    return Status::FailedPrecondition("namespace '" + ns +
-                                      "' already registered");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!namespaces_.emplace(ns, state).second) {
+      return Status::FailedPrecondition("namespace '" + ns +
+                                        "' already registered");
+    }
+  }
+  if (options_.enable_metrics) {
+    RegisterStateGauges(ns, state);
+    RecordMs(state->metrics.recover_latency, recover_timer.ElapsedMillis());
+    state->metrics.recoveries->Add(1);
+    state->metrics.recovered_wal_entries->Add(recovered.wal_entries_replayed);
+    state->metrics.recovered_wal_bytes_discarded->Add(
+        recovered.wal_bytes_discarded);
   }
   return Status::OK();
 }

@@ -29,6 +29,7 @@
 #include "gateway/model_registry.h"
 #include "gateway/namespace_segments.h"
 #include "metrics/metric_suite.h"
+#include "obs/registry.h"
 
 namespace learnrisk {
 
@@ -55,12 +56,22 @@ struct ResolveRequest {
   size_t explain_top_k = 0;
 };
 
-/// \brief Wall-clock breakdown of one gateway request.
+/// \brief Wall-clock breakdown of one gateway request. Read paths (Resolve /
+/// ResolveRecord) fill the first four stages; AddRecord fills the durability
+/// stages. Each stage is measured once and that same measurement also feeds
+/// the namespace's stage-latency histograms (see docs/OBSERVABILITY.md), so
+/// per-request timings and aggregate telemetry always agree on boundaries.
 struct StageTiming {
   double blocking_ms = 0.0;
-  double featurize_ms = 0.0;
-  double score_ms = 0.0;
-  double total_ms() const { return blocking_ms + featurize_ms + score_ms; }
+  double featurize_ms = 0.0;   ///< metric evaluation (prepared kernels)
+  double classify_ms = 0.0;    ///< classifier inference over the metric rows
+  double score_ms = 0.0;       ///< risk scoring (rule activation + kernel)
+  double wal_append_ms = 0.0;  ///< AddRecord: durable WAL append + flush
+  double publish_ms = 0.0;     ///< AddRecord: snapshot derivation + swap
+  double total_ms() const {
+    return blocking_ms + featurize_ms + classify_ms + score_ms +
+           wal_append_ms + publish_ms;
+  }
 };
 
 /// \brief Scored candidate pairs plus the serving metadata.
@@ -90,6 +101,13 @@ struct GatewayOptions {
   /// publishing it, and RecoverNamespace rebuilds namespaces after a
   /// restart. See docs/DURABILITY.md.
   DurabilityOptions durability;
+  /// Runtime telemetry (docs/OBSERVABILITY.md): per-namespace counters,
+  /// per-stage latency histograms, and risk-score distributions, exposed
+  /// through MetricsSnapshot(). Recording is lock-free (a few relaxed
+  /// atomics per event; measured overhead is in BENCH_gateway.json's
+  /// `observability` block). Off = no instruments are created and every
+  /// recording site is skipped via a null check.
+  bool enable_metrics = true;
 };
 
 /// \brief Everything RecoverNamespace needs that is *not* in the durable
@@ -183,8 +201,11 @@ class Gateway {
   /// readers: concurrent Resolve calls see the namespace fully without the
   /// record or fully with it (one atomic snapshot swap), never a partial
   /// update. `entity_id` is optional ground truth (-1 = unknown).
+  /// `timing` (optional) receives the wal_append/publish stage breakdown of
+  /// this append — zero elsewhere, and wal_append_ms stays zero for
+  /// non-durable namespaces.
   Status AddRecord(const std::string& ns, BlockingSide side, Record record,
-                   int64_t entity_id = -1);
+                   int64_t entity_id = -1, StageTiming* timing = nullptr);
 
   /// \brief Current record count of one side of a namespace.
   Result<size_t> NumRecords(const std::string& ns, BlockingSide side) const;
@@ -212,6 +233,17 @@ class Gateway {
   /// is off.
   Result<size_t> WalEntriesSinceCheckpoint(const std::string& ns);
 
+  /// \brief Point-in-time snapshot of every runtime metric this gateway owns
+  /// — request/stage latency histograms, risk-score distributions, WAL and
+  /// checkpoint counters, registry LRU stats, serving-engine counters, and
+  /// the snapshot-time gauges (record counts, resident engines). Feed it to
+  /// ExportJson / ExportPrometheusText (obs/export.h). Safe to call
+  /// concurrently with serving traffic: instruments are lock-free and the
+  /// snapshot never tears an instrument. Empty when
+  /// GatewayOptions::enable_metrics is false. Metric catalog:
+  /// docs/OBSERVABILITY.md.
+  learnrisk::MetricsSnapshot MetricsSnapshot() const;
+
  private:
   /// \brief One immutable view of a namespace's data. All heavy members are
   /// segment lists sharing storage with neighboring snapshots; copying a
@@ -220,6 +252,35 @@ class Gateway {
     SideStore left;
     SideStore right;  ///< unused when dedup
     BlockingIndex index;
+  };
+
+  /// \brief Per-namespace instrument bundle, cached as raw pointers so the
+  /// hot paths record without touching the MetricRegistry. All null when
+  /// GatewayOptions::enable_metrics is false — every recording site checks.
+  /// Instruments are owned by metric_registry_ and outlive the namespace.
+  struct NamespaceMetrics {
+    ShardedCounter* resolve_requests = nullptr;        ///< successful Resolves
+    ShardedCounter* resolve_record_requests = nullptr; ///< successful probes
+    ShardedCounter* pairs_scored = nullptr;
+    ShardedCounter* records_added = nullptr;
+    ShardedCounter* recoveries = nullptr;
+    ShardedCounter* recovered_wal_entries = nullptr;
+    ShardedCounter* recovered_wal_bytes_discarded = nullptr;
+    /// Request latency (includes failed requests; counters count successes).
+    LatencyHistogram* resolve_latency = nullptr;
+    LatencyHistogram* resolve_record_latency = nullptr;
+    /// Stage latencies — the histogram twins of StageTiming's fields.
+    LatencyHistogram* stage_block = nullptr;
+    LatencyHistogram* stage_featurize = nullptr;
+    LatencyHistogram* stage_classify = nullptr;
+    LatencyHistogram* stage_risk = nullptr;
+    LatencyHistogram* stage_wal_append = nullptr;
+    LatencyHistogram* stage_publish = nullptr;
+    LatencyHistogram* checkpoint_latency = nullptr;
+    LatencyHistogram* recover_latency = nullptr;
+    ValueHistogram* risk_scores = nullptr;  ///< served risk distribution
+    /// Volume counters recorded inside NamespaceLog (bytes, frames, fsyncs).
+    DurabilityMetrics durability;
   };
 
   struct NamespaceState {
@@ -235,6 +296,8 @@ class Gateway {
     /// Durable WAL + checkpoint state; null when durability is off. Guarded
     /// by writer_mu like every other write-side structure.
     std::unique_ptr<NamespaceLog> log;
+    /// Immutable after registration, like `pipeline`; read lock-free.
+    NamespaceMetrics metrics;
 
     const SideStore& right_store(const NamespaceSnapshot& snap) const {
       return dedup ? snap.left : snap.right;
@@ -245,15 +308,27 @@ class Gateway {
   static std::shared_ptr<const NamespaceSnapshot> LoadSnapshot(
       const NamespaceState& state);
   /// \brief Featurized batch -> engine score, shared by Resolve and
-  /// ResolveRecord. Fills scores + the featurize/score timings.
-  Status ScoreBatch(const std::string& ns, const FeaturizedBatch& batch,
-                    size_t explain_top_k, ScoreResponse* scores,
-                    StageTiming* timing);
+  /// ResolveRecord. Fills scores + the risk-stage timing, and records the
+  /// stage latency / risk-score distribution into `metrics`.
+  Status ScoreBatch(const std::string& ns, const NamespaceMetrics& metrics,
+                    const FeaturizedBatch& batch, size_t explain_top_k,
+                    ScoreResponse* scores, StageTiming* timing);
   /// \brief Checkpoint body; caller holds the namespace's writer_mu and has
   /// verified s.log is non-null.
   Status CheckpointLocked(const std::string& ns, NamespaceState& s);
+  /// \brief Get-or-creates the namespace's instrument bundle in
+  /// metric_registry_. Only called when enable_metrics is on.
+  NamespaceMetrics CreateNamespaceMetrics(const std::string& ns);
+  /// \brief Registers the namespace's snapshot-time gauges (record counts,
+  /// WAL backlog); the callbacks hold a weak_ptr so they outlive nothing.
+  void RegisterStateGauges(const std::string& ns,
+                           const std::shared_ptr<NamespaceState>& state);
 
   GatewayOptions options_;
+  /// Owns every instrument; declared before registry_ so the raw instrument
+  /// pointers handed to the model registry (and through it to engines)
+  /// outlive their users on destruction.
+  MetricRegistry metric_registry_;
   ModelRegistry registry_;
   mutable std::mutex mu_;  ///< guards namespaces_ map shape only
   std::map<std::string, std::shared_ptr<NamespaceState>> namespaces_;

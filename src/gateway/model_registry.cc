@@ -65,6 +65,7 @@ Result<uint64_t> ModelRegistry::Publish(const std::string& ns,
     entry.touched = ++clock_;
     if (entry.engine == nullptr) {
       entry.engine = std::make_shared<ServingEngine>(entry.last_version + 1);
+      entry.engine->set_metrics(engine_metrics_);
     }
     engine = entry.engine;
     // Pin the engine against eviction for the duration of the publish: all
@@ -86,6 +87,7 @@ Result<uint64_t> ModelRegistry::Publish(const std::string& ns,
     // The pin kept entry.engine == engine, so a later eviction spills (and
     // a reload re-serves) the snapshot that includes this publish.
   }
+  if (metrics_.publishes != nullptr) metrics_.publishes->Add(1);
   // Enforce the residency cap with the lock released during the spill IO;
   // the cap can be exceeded transiently while a spill is in flight. The
   // publish itself has already succeeded — the engine is serving the new
@@ -101,10 +103,14 @@ Result<std::shared_ptr<ServingEngine>> ModelRegistry::ResidentEngineLocked(
     const std::string& ns, Entry* entry) {
   if (entry->engine == nullptr) {
     auto engine = std::make_shared<ServingEngine>(entry->last_version + 1);
+    engine->set_metrics(engine_metrics_);
     Result<uint64_t> version = engine->LoadAndPublish(SpillPath(ns));
     if (!version.ok()) return version.status();
     entry->last_version = std::max(entry->last_version, *version);
     entry->engine = std::move(engine);
+    if (metrics_.engine_reloads != nullptr) metrics_.engine_reloads->Add(1);
+  } else if (metrics_.engine_hits != nullptr) {
+    metrics_.engine_hits->Add(1);
   }
   return entry->engine;
 }
@@ -167,17 +173,27 @@ std::vector<ModelRegistry::SpillJob> ModelRegistry::PlanEvictionsLocked() {
     // still waiting for their first publish have nothing to save and stay
     // resident (they hold no snapshot memory anyway).
     std::map<std::string, Entry>::iterator victim = entries_.end();
+    bool skipped_pinned = false;
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (it->second.engine == nullptr) continue;
       if (!it->second.engine->has_model()) continue;
-      if (it->second.publishing > 0) continue;  // pinned by in-flight publish
-      if (it->second.spilling) continue;        // already being spilled
+      if (it->second.publishing > 0 || it->second.spilling) {
+        skipped_pinned = true;  // pinned by publish or an in-flight spill
+        continue;
+      }
       if (victim == entries_.end() ||
           it->second.touched < victim->second.touched) {
         victim = it;
       }
     }
-    if (victim == entries_.end()) break;  // every over-cap entry is pinned
+    if (victim == entries_.end()) {
+      // Every over-cap entry is pinned; the registry stays over cap until
+      // the next access retries.
+      if (skipped_pinned && metrics_.pinned_engine_waits != nullptr) {
+        metrics_.pinned_engine_waits->Add(1);
+      }
+      break;
+    }
     victim->second.spilling = true;
     jobs.push_back(SpillJob{victim->first, victim->second.engine,
                             victim->second.engine->version()});
@@ -203,17 +219,23 @@ Status ModelRegistry::SpillOverCap() {
         if (options_.spill_io_hook) options_.spill_io_hook(job.ns);
         io = job.engine->SaveCurrent(SpillPath(job.ns));
       }
-      std::lock_guard<std::mutex> lock(mu_);
-      Entry& entry = entries_[job.ns];
-      entry.spilling = false;
-      // Drop the engine only if the spill file really holds its current
-      // state: a publish that landed mid-IO bumps the version, in which
-      // case the namespace stays resident (the stale file is overwritten by
-      // the next successful spill).
-      if (io.ok() && entry.publishing == 0 && entry.engine == job.engine &&
-          entry.engine->version() == job.version) {
-        entry.engine = nullptr;
+      if (io.ok() && metrics_.spills != nullptr) metrics_.spills->Add(1);
+      bool evicted = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Entry& entry = entries_[job.ns];
+        entry.spilling = false;
+        // Drop the engine only if the spill file really holds its current
+        // state: a publish that landed mid-IO bumps the version, in which
+        // case the namespace stays resident (the stale file is overwritten
+        // by the next successful spill).
+        if (io.ok() && entry.publishing == 0 && entry.engine == job.engine &&
+            entry.engine->version() == job.version) {
+          entry.engine = nullptr;
+          evicted = true;
+        }
       }
+      if (evicted && metrics_.evictions != nullptr) metrics_.evictions->Add(1);
       if (!io.ok() && failed.ok()) failed = io;
     }
     LEARNRISK_RETURN_NOT_OK(failed);

@@ -20,9 +20,27 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serve/serving_engine.h"
 
 namespace learnrisk {
+
+/// \brief Telemetry hooks for the registry's LRU machinery (all optional) —
+/// the counters behind the "LRU stats" in Gateway::MetricsSnapshot(); the
+/// resident/namespace counts are exposed as snapshot-time gauge callbacks
+/// over resident_count() / Namespaces(). Instruments are owned by a
+/// MetricRegistry; null pointers disable recording. Set before the registry
+/// is shared across threads (see ModelRegistry::set_metrics).
+struct ModelRegistryMetrics {
+  ShardedCounter* publishes = nullptr;       ///< successful Publish calls
+  ShardedCounter* engine_hits = nullptr;     ///< Engine() found it resident
+  ShardedCounter* engine_reloads = nullptr;  ///< spilled snapshot reloaded
+  ShardedCounter* spills = nullptr;          ///< eviction model files written
+  ShardedCounter* evictions = nullptr;       ///< engines actually dropped
+  /// Eviction rounds that left the registry over cap because every victim
+  /// candidate was pinned by an in-flight publish.
+  ShardedCounter* pinned_engine_waits = nullptr;
+};
 
 /// \brief Registry configuration.
 struct ModelRegistryOptions {
@@ -124,6 +142,17 @@ class ModelRegistry {
   /// checkpointed model under the exact version the manifest recorded.
   void EnsureVersionAtLeast(const std::string& ns, uint64_t version);
 
+  /// \brief Installs telemetry hooks: LRU counters for this registry plus
+  /// the engine-level hooks copied onto every ServingEngine the registry
+  /// creates from now on (publish-created and spill-reloaded alike). Call
+  /// before the registry is shared across threads — the Gateway wires this
+  /// in its constructor.
+  void set_metrics(const ModelRegistryMetrics& metrics,
+                   const ServingEngineMetrics& engine_metrics) {
+    metrics_ = metrics;
+    engine_metrics_ = engine_metrics;
+  }
+
  private:
   struct Entry {
     std::shared_ptr<ServingEngine> engine;  ///< null while spilled
@@ -161,6 +190,10 @@ class ModelRegistry {
   Status SpillOverCap();
 
   ModelRegistryOptions options_;
+  /// Null pointers = no instrumentation; written once before concurrent use.
+  ModelRegistryMetrics metrics_;
+  /// Copied onto every ServingEngine this registry creates.
+  ServingEngineMetrics engine_metrics_;
   mutable std::mutex mu_;
   uint64_t clock_ = 0;
   std::map<std::string, Entry> entries_;

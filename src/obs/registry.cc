@@ -1,0 +1,156 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace learnrisk {
+
+MetricRegistry::Instrument* MetricRegistry::SlotLocked(const std::string& name,
+                                                       MetricLabels labels,
+                                                       const std::string& help,
+                                                       Type type) {
+  std::sort(labels.begin(), labels.end());
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    // One name, one instrument type — a mismatch is a programming error in
+    // the instrumentation layer, surfaced as a null instrument.
+    return nullptr;
+  }
+  for (const auto& instrument : family.instruments) {
+    if (instrument->labels == labels) return instrument.get();
+  }
+  family.instruments.push_back(std::make_unique<Instrument>());
+  Instrument* instrument = family.instruments.back().get();
+  instrument->labels = std::move(labels);
+  switch (type) {
+    case Type::kCounter:
+      instrument->counter = std::make_unique<ShardedCounter>();
+      break;
+    case Type::kGauge:
+      instrument->gauge = std::make_unique<ShardedGauge>();
+      break;
+    case Type::kGaugeCallback:
+      break;  // callback assigned by the caller
+    case Type::kLatency:
+      instrument->latency = std::make_unique<LatencyHistogram>();
+      break;
+    case Type::kValues:
+      instrument->values = std::make_unique<ValueHistogram>();
+      break;
+  }
+  return instrument;
+}
+
+ShardedCounter* MetricRegistry::Counter(const std::string& name,
+                                        MetricLabels labels,
+                                        const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument* slot = SlotLocked(name, std::move(labels), help, Type::kCounter);
+  return slot == nullptr ? nullptr : slot->counter.get();
+}
+
+ShardedGauge* MetricRegistry::Gauge(const std::string& name,
+                                    MetricLabels labels,
+                                    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument* slot = SlotLocked(name, std::move(labels), help, Type::kGauge);
+  return slot == nullptr ? nullptr : slot->gauge.get();
+}
+
+void MetricRegistry::GaugeCallback(const std::string& name,
+                                   MetricLabels labels,
+                                   const std::string& help,
+                                   std::function<int64_t()> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument* slot =
+      SlotLocked(name, std::move(labels), help, Type::kGaugeCallback);
+  if (slot != nullptr) slot->gauge_callback = std::move(callback);
+}
+
+LatencyHistogram* MetricRegistry::Latency(const std::string& name,
+                                          MetricLabels labels,
+                                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument* slot = SlotLocked(name, std::move(labels), help, Type::kLatency);
+  return slot == nullptr ? nullptr : slot->latency.get();
+}
+
+ValueHistogram* MetricRegistry::Values(const std::string& name,
+                                       MetricLabels labels,
+                                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument* slot = SlotLocked(name, std::move(labels), help, Type::kValues);
+  return slot == nullptr ? nullptr : slot->values.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    // Instruments of one family sorted by label set for deterministic
+    // exporter output (families_ is already name-ordered).
+    std::vector<const Instrument*> ordered;
+    ordered.reserve(family.instruments.size());
+    for (const auto& instrument : family.instruments) {
+      ordered.push_back(instrument.get());
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Instrument* a, const Instrument* b) {
+                return a->labels < b->labels;
+              });
+    for (const Instrument* instrument : ordered) {
+      switch (family.type) {
+        case Type::kCounter: {
+          CounterSnapshot entry;
+          entry.name = name;
+          entry.help = family.help;
+          entry.labels = instrument->labels;
+          entry.value = instrument->counter->Value();
+          snapshot.counters.push_back(std::move(entry));
+          break;
+        }
+        case Type::kGauge:
+        case Type::kGaugeCallback: {
+          GaugeSnapshot entry;
+          entry.name = name;
+          entry.help = family.help;
+          entry.labels = instrument->labels;
+          entry.value = family.type == Type::kGauge
+                            ? instrument->gauge->Value()
+                            : (instrument->gauge_callback
+                                   ? instrument->gauge_callback()
+                                   : 0);
+          snapshot.gauges.push_back(std::move(entry));
+          break;
+        }
+        case Type::kLatency: {
+          HistogramSnapshot entry = instrument->latency->Snapshot();
+          entry.name = name;
+          entry.help = family.help;
+          entry.labels = instrument->labels;
+          entry.scale = 1e-9;  // nanoseconds -> seconds
+          snapshot.histograms.push_back(std::move(entry));
+          break;
+        }
+        case Type::kValues: {
+          HistogramSnapshot entry = instrument->values->Snapshot();
+          entry.name = name;
+          entry.help = family.help;
+          entry.labels = instrument->labels;
+          entry.scale = 1.0 / static_cast<double>(ValueHistogram::kScale);
+          snapshot.histograms.push_back(std::move(entry));
+          break;
+        }
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,106 @@
+// Copyright 2026 The LearnRisk Authors
+// Metric registry — the naming layer of the telemetry subsystem. Owns every
+// instrument (counters, gauges, histograms) keyed by metric name + label
+// set, hands out stable raw pointers for hot-path recording, and produces
+// immutable point-in-time MetricsSnapshots for the exporters.
+//
+// Concurrency: instrument creation (get-or-create) and Snapshot() take the
+// registry mutex — both are cold paths, run at namespace registration and
+// scrape time. Recording through the returned pointers never touches the
+// registry at all: callers cache the pointers once and the instruments are
+// lock-free (see obs/metrics.h), so the Resolve hot path stays contention
+// free. Returned pointers live as long as the registry.
+
+#ifndef LEARNRISK_OBS_REGISTRY_H_
+#define LEARNRISK_OBS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace learnrisk {
+
+/// \brief Thread-safe name -> instrument registry.
+///
+/// Metric names follow the Prometheus convention ([a-zA-Z_:][a-zA-Z0-9_:]*,
+/// counters end in `_total`, latency histograms in `_seconds`); one name
+/// holds exactly one instrument type — a get-or-create under a name already
+/// registered with a different type returns nullptr (callers treat that as
+/// a programming error). The same name with different label sets yields
+/// independent instruments of one family, sharing the help text of the
+/// first registration.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// \brief Get-or-create a counter under (name, labels).
+  ShardedCounter* Counter(const std::string& name, MetricLabels labels,
+                          const std::string& help);
+
+  /// \brief Get-or-create a gauge under (name, labels).
+  ShardedGauge* Gauge(const std::string& name, MetricLabels labels,
+                      const std::string& help);
+
+  /// \brief Registers a gauge evaluated lazily at snapshot time (resident
+  /// counts, queue depths — values that are cheaper to read than to track).
+  /// The callback runs under the registry mutex during Snapshot(); it must
+  /// not call back into this registry. Re-registering (name, labels)
+  /// replaces the callback.
+  void GaugeCallback(const std::string& name, MetricLabels labels,
+                     const std::string& help,
+                     std::function<int64_t()> callback);
+
+  /// \brief Get-or-create a log-bucketed latency histogram (record
+  /// nanoseconds; exported scaled to seconds).
+  LatencyHistogram* Latency(const std::string& name, MetricLabels labels,
+                            const std::string& help);
+
+  /// \brief Get-or-create a linear [0, 1] value histogram (record ratios;
+  /// exported scaled from micro-units back to ratios).
+  ValueHistogram* Values(const std::string& name, MetricLabels labels,
+                         const std::string& help);
+
+  /// \brief Immutable point-in-time view of every instrument: stripes
+  /// summed, histogram buckets copied, gauge callbacks evaluated. Entries
+  /// are sorted by (name, labels). Safe under concurrent recording; a
+  /// snapshot taken mid-record may miss in-flight samples but never tears
+  /// an instrument, and counter values never decrease between snapshots.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kGaugeCallback, kLatency, kValues };
+
+  struct Instrument {
+    MetricLabels labels;
+    std::unique_ptr<ShardedCounter> counter;
+    std::unique_ptr<ShardedGauge> gauge;
+    std::function<int64_t()> gauge_callback;
+    std::unique_ptr<LatencyHistogram> latency;
+    std::unique_ptr<ValueHistogram> values;
+  };
+
+  struct Family {
+    Type type;
+    std::string help;
+    std::vector<std::unique_ptr<Instrument>> instruments;
+  };
+
+  /// \brief Finds or creates the (name, labels) instrument slot; null on a
+  /// type conflict. Caller holds mu_.
+  Instrument* SlotLocked(const std::string& name, MetricLabels labels,
+                         const std::string& help, Type type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_OBS_REGISTRY_H_

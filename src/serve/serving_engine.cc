@@ -21,6 +21,7 @@ uint64_t ServingEngine::Publish(RiskModel model) {
       break;
     }
   }
+  if (metrics_.publishes != nullptr) metrics_.publishes->Add(1);
   return version;
 }
 
@@ -47,6 +48,7 @@ ServingEngine::VersionedSnapshot() const {
 }
 
 Result<ScoreResponse> ServingEngine::Score(const ScoreRequest& request) const {
+  TraceSpan span(metrics_.score_ns);
   const auto published = Load();
   if (published == nullptr) {
     return Status::FailedPrecondition("no model published to the engine");
@@ -93,6 +95,8 @@ Result<ScoreResponse> ServingEngine::Score(const ScoreRequest& request) const {
                        request.classifier_probs[i], request.explain_top_k);
     }
   }
+  if (metrics_.score_batches != nullptr) metrics_.score_batches->Add(1);
+  if (metrics_.scored_pairs != nullptr) metrics_.scored_pairs->Add(n);
   return response;
 }
 

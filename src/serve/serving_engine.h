@@ -20,9 +20,22 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serve/scorer_snapshot.h"
 
 namespace learnrisk {
+
+/// \brief Telemetry hooks for one engine (all optional; see
+/// docs/OBSERVABILITY.md). Instruments are owned by a MetricRegistry; the
+/// engine only records through the pointers, so a default-constructed
+/// (all-null) struct disables instrumentation with a single branch per
+/// event. Set before the engine is shared across threads.
+struct ServingEngineMetrics {
+  ShardedCounter* publishes = nullptr;      ///< snapshot swaps installed
+  ShardedCounter* score_batches = nullptr;  ///< successful Score calls
+  ShardedCounter* scored_pairs = nullptr;   ///< rows across those batches
+  LatencyHistogram* score_ns = nullptr;     ///< per-batch Score latency
+};
 
 /// \brief One scoring batch: metric features plus classifier outputs for the
 /// same pairs, and optionally a request for top-k explanations per pair.
@@ -103,6 +116,11 @@ class ServingEngine {
   /// \brief Loads a model_io file and publishes it; returns the new version.
   Result<uint64_t> LoadAndPublish(const std::string& path);
 
+  /// \brief Installs telemetry hooks (copied by value). Call before the
+  /// engine is shared across threads — typically right after construction,
+  /// as ModelRegistry does; the registry wires every engine it creates.
+  void set_metrics(const ServingEngineMetrics& metrics) { metrics_ = metrics; }
+
  private:
   struct Published {
     uint64_t version;
@@ -118,6 +136,8 @@ class ServingEngine {
   // never mutated in place.
   std::shared_ptr<const Published> published_;
   std::atomic<uint64_t> next_version_{1};
+  /// Null pointers = no instrumentation; written once before concurrent use.
+  ServingEngineMetrics metrics_;
 };
 
 }  // namespace learnrisk

@@ -104,9 +104,34 @@ if [ ! -f "$api_doc" ]; then
   fail=1
 else
   for symbol in Gateway ModelRegistry ServingEngine CompiledRuleSet \
-                MetricSuite PreparedTable NamespaceLog DurabilityOptions; do
+                MetricSuite PreparedTable NamespaceLog DurabilityOptions \
+                MetricsSnapshot StageTiming; do
     if ! grep -q "$symbol" "$api_doc"; then
       echo "docs/API.md does not document $symbol"
+      fail=1
+    fi
+  done
+fi
+
+# --- Telemetry guard: docs/OBSERVABILITY.md documents the obs surface. -----
+obs_doc="$root/docs/OBSERVABILITY.md"
+if [ ! -f "$obs_doc" ]; then
+  echo "docs/OBSERVABILITY.md is missing"
+  fail=1
+else
+  for symbol in MetricRegistry MetricsSnapshot ShardedCounter ShardedGauge \
+                LatencyHistogram ValueHistogram TraceSpan ExportJson \
+                ExportPrometheusText check_metrics_format; do
+    if ! grep -q "$symbol" "$obs_doc"; then
+      echo "docs/OBSERVABILITY.md does not document $symbol"
+      fail=1
+    fi
+  done
+  # Every metric family the gateway registers must be cataloged.
+  for family in $(grep -ohE '"learnrisk_[a-z_]+"' "$root"/src/gateway/gateway.cc \
+                  | tr -d '"' | sort -u); do
+    if ! grep -q "$family" "$obs_doc"; then
+      echo "docs/OBSERVABILITY.md does not catalog metric $family"
       fail=1
     fi
   done

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Validates Prometheus text-exposition dumps produced by the gateway's
+# metrics exporter (bench_gateway writes gateway_metrics_{1,2}.prom):
+#  1. syntax: every non-comment line is `name{labels} value` with a legal
+#     metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a parseable value;
+#  2. typing: every sample's family has a preceding `# TYPE` line, counter
+#     families end in `_total`, and histogram families only emit
+#     `_bucket` / `_sum` / `_count` series;
+#  3. histogram shape: every `_bucket` series carries an `le` label and each
+#     histogram family has an `le="+Inf"` bucket;
+#  4. monotonicity: given two snapshot files from the same process, every
+#     counter (and histogram _count/_bucket/_sum) present in both must not
+#     decrease from the first to the second.
+#
+# Usage: tools/check_metrics_format.sh snapshot1.prom [snapshot2.prom]
+set -u
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 snapshot1.prom [snapshot2.prom]" >&2
+  exit 2
+fi
+
+fail=0
+
+check_file() {
+  local file="$1"
+  if [ ! -s "$file" ]; then
+    echo "$file: missing or empty"
+    fail=1
+    return
+  fi
+  # awk does the per-line validation in one pass; its exit code folds into
+  # $fail. Family state resets on each TYPE line.
+  awk -v fname="$file" '
+    function err(msg) { printf "%s:%d: %s\n", fname, NR, msg; bad = 1 }
+    /^# TYPE / {
+      if (NF != 4) { err("malformed TYPE line: " $0); next }
+      type[$3] = $4
+      if ($4 != "counter" && $4 != "gauge" && $4 != "histogram" && \
+          $4 != "summary" && $4 != "untyped")
+        err("unknown metric type " $4)
+      if ($4 == "counter" && $3 !~ /_total$/)
+        err("counter family " $3 " does not end in _total")
+      next
+    }
+    /^#/ { next }         # HELP and other comments
+    /^$/ { next }
+    {
+      # Sample line: name[{labels}] value
+      if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/)) {
+        err("illegal metric name: " $0); next
+      }
+      name = substr($0, 1, RLENGTH)
+      rest = substr($0, RLENGTH + 1)
+      labels = ""
+      if (substr(rest, 1, 1) == "{") {
+        close_idx = index(rest, "}")
+        if (close_idx == 0) { err("unterminated label set: " $0); next }
+        labels = substr(rest, 2, close_idx - 2)
+        rest = substr(rest, close_idx + 1)
+      }
+      sub(/^[ \t]+/, "", rest)
+      if (rest !~ /^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$/) {
+        err("unparseable sample value for " name ": \"" rest "\"")
+      }
+      # Resolve the family: histogram samples append _bucket/_sum/_count.
+      family = name
+      if (!(family in type)) {
+        stripped = name
+        sub(/_(bucket|sum|count)$/, "", stripped)
+        if (stripped in type && type[stripped] == "histogram")
+          family = stripped
+      }
+      if (!(family in type)) {
+        err("sample " name " has no preceding # TYPE line")
+        next
+      }
+      if (type[family] == "histogram") {
+        if (name == family "_bucket") {
+          if (labels !~ /(^|,)le="/) err("_bucket sample without le label")
+          if (labels ~ /le="\+Inf"/) saw_inf[family] = 1
+          seen_hist[family] = 1
+        } else if (name != family "_sum" && name != family "_count") {
+          err("histogram family " family " emitted stray series " name)
+        }
+      } else if (name != family) {
+        err("sample " name " does not match its TYPE family " family)
+      }
+    }
+    END {
+      for (f in seen_hist)
+        if (!(f in saw_inf)) {
+          printf "%s: histogram %s has no le=\"+Inf\" bucket\n", fname, f
+          bad = 1
+        }
+      exit bad
+    }
+  ' "$file" || fail=1
+}
+
+# Emits "key value" pairs for every monotone series in a snapshot: counters
+# (by TYPE), plus histogram _bucket/_count/_sum. The key embeds the full
+# label set, so series are matched exactly across snapshots.
+monotone_series() {
+  awk '
+    /^# TYPE / { type[$3] = $4; next }
+    /^#/ || /^$/ { next }
+    {
+      if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/)) next
+      name = substr($0, 1, RLENGTH)
+      rest = substr($0, RLENGTH + 1)
+      labels = ""
+      if (substr(rest, 1, 1) == "{") {
+        close_idx = index(rest, "}")
+        labels = substr(rest, 1, close_idx)
+        rest = substr(rest, close_idx + 1)
+      }
+      sub(/^[ \t]+/, "", rest)
+      family = name
+      sub(/_(bucket|sum|count)$/, "", family)
+      if (type[name] == "counter" || type[family] == "histogram")
+        printf "%s%s %s\n", name, labels, rest
+    }
+  ' "$1"
+}
+
+for file in "$@"; do
+  check_file "$file"
+done
+
+if [ "$#" -ge 2 ] && [ -s "$1" ] && [ -s "$2" ]; then
+  while IFS=' ' read -r key first second; do
+    # Floating-point compare via awk (values can be exponents).
+    if ! awk -v a="$first" -v b="$second" 'BEGIN { exit (b+0 >= a+0) ? 0 : 1 }'; then
+      echo "counter went backwards between snapshots: $key $first -> $second"
+      fail=1
+    fi
+  done < <(join <(monotone_series "$1" | sort) \
+                <(monotone_series "$2" | sort))
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "metrics format check FAILED"
+  exit 1
+fi
+echo "metrics format check OK ($# snapshot(s))"
