@@ -5,17 +5,24 @@
 // multi-tenant registry, and resolve raw record pairs — batch (block_all)
 // and online (add a record, probe it) — through one API. Ends by reading
 // the gateway's built-in telemetry back out: a metrics snapshot with
-// per-stage latency histograms and the Prometheus rendering of it.
+// per-stage latency histograms, the slowest captured request traces with
+// their stage spans, the per-column drift gauges (PSI vs each model's
+// training baseline), and the Prometheus rendering of it all.
 //
 //   ./gateway_end_to_end
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <numeric>
+#include <vector>
 
 #include "classifier/mlp.h"
 #include "gateway/gateway.h"
 #include "learnrisk/learnrisk.h"
+#include "obs/drift.h"
 #include "obs/export.h"
+#include "obs/trace.h"
 
 using namespace learnrisk;  // NOLINT
 
@@ -48,7 +55,17 @@ bool SetUpNamespace(Gateway* gateway, const std::string& ns,
   spec.classifier = std::make_shared<MlpClassifier>(pipeline.classifier());
   spec.classifier_columns = pipeline.classifier_columns();
   if (!gateway->RegisterNamespace(ns, std::move(spec)).ok()) return false;
-  const auto version = gateway->Publish(ns, pipeline.risk_model());
+  // Freeze the training-time feature and risk-score distributions into the
+  // published model so the gateway's drift gauges compare live traffic
+  // against what this model actually saw at fit time (docs/TRACING.md).
+  std::vector<size_t> all_pairs(pipeline.features().rows());
+  std::iota(all_pairs.begin(), all_pairs.end(), size_t{0});
+  const auto training_risk = pipeline.Score(all_pairs);
+  if (!training_risk.ok()) return false;
+  auto baseline = std::make_shared<const DriftBaseline>(
+      DriftBaseline::FromTraining(pipeline.features(), *training_risk));
+  const auto version =
+      gateway->Publish(ns, pipeline.risk_model(), std::move(baseline));
   if (!version.ok()) return false;
   std::printf("namespace %-4s <- %s: %zu risk rules, model v%llu\n",
               ns.c_str(), dataset.c_str(),
@@ -60,7 +77,12 @@ bool SetUpNamespace(Gateway* gateway, const std::string& ns,
 }  // namespace
 
 int main() {
-  Gateway gateway;
+  // Capture a trace for every request (this walkthrough only issues a
+  // handful); production deployments keep the default 1-in-64 head
+  // sampling and arm the slow / high-risk tail thresholds instead.
+  GatewayOptions gateway_options;
+  gateway_options.trace.sample_every = 1;
+  Gateway gateway(gateway_options);
   if (!SetUpNamespace(&gateway, "ds", "DS", 7) ||
       !SetUpNamespace(&gateway, "ab", "AB", 11)) {
     std::fprintf(stderr, "namespace setup failed\n");
@@ -151,6 +173,62 @@ int main() {
                     latency->scale * 1e3,
                 static_cast<unsigned long long>(latency->count));
   }
+  // --- Decision observability: traces and drift. --------------------------
+  // Every request above was captured (sample_every = 1) into the audit
+  // ring. Pull the two slowest back out with their stage spans — this is
+  // the exemplar a dashboard would link from a latency alert.
+  auto traces = gateway.RecentTraces();
+  if (traces.empty()) {
+    std::fprintf(stderr, "tracing armed but no traces captured\n");
+    return 1;
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const std::shared_ptr<const RequestTrace>& a,
+               const std::shared_ptr<const RequestTrace>& b) {
+              return a->total_ns > b->total_ns;
+            });
+  std::printf("\n%zu request traces captured; two slowest:\n", traces.size());
+  for (size_t i = 0; i < traces.size() && i < 2; ++i) {
+    const RequestTrace& trace = *traces[i];
+    std::printf("  #%llu %s [%s] model v%llu: %.2f ms, %zu pairs scored, "
+                "max risk %.3f\n",
+                static_cast<unsigned long long>(trace.request_id),
+                trace.api, trace.ns.c_str(),
+                static_cast<unsigned long long>(trace.model_version),
+                static_cast<double>(trace.total_ns) / 1e6, trace.pairs_scored,
+                trace.max_risk);
+    for (const TraceStageSpan& span : trace.stages) {
+      std::printf("    %-12s %8.2f ms\n", span.stage, span.ms);
+    }
+  }
+
+  // Drift gauges: PSI of each live feature-value distribution against the
+  // training baseline frozen at Publish. The models were fit on the
+  // workload's labeled candidate pairs, but block_all swept every blocking
+  // pair — far more dissimilar ones — so several similarity columns land
+  // above the conventional 0.2 alert line. That gap between training
+  // sample and served traffic is exactly what these gauges exist to
+  // surface.
+  int64_t max_psi = 0;
+  size_t drifted = 0;
+  for (const GaugeSnapshot& gauge : metrics.gauges) {
+    if (gauge.name != "learnrisk_gateway_drift_psi_micros") continue;
+    max_psi = std::max(max_psi, gauge.value);
+    if (static_cast<double>(gauge.value) < 0.2 * 1e6) continue;
+    ++drifted;
+    std::string column = "?";
+    std::string ns = "?";
+    for (const auto& label : gauge.labels) {
+      if (label.first == "column") column = label.second;
+      if (label.first == "namespace") ns = label.second;
+    }
+    std::printf("  DRIFT WARNING [%s] %s: PSI %.4f >= 0.2\n", ns.c_str(),
+                column.c_str(), static_cast<double>(gauge.value) / 1e6);
+  }
+  std::printf("\ndrift check: max PSI %.4f across columns, %zu at or above "
+              "the 0.2 alert line\n",
+              static_cast<double>(max_psi) / 1e6, drifted);
+
   // Tail of the Prometheus exposition, as a scraper would see it.
   const std::string prom = ExportPrometheusText(metrics);
   const size_t tail = prom.size() > 400 ? prom.size() - 400 : 0;

@@ -15,7 +15,8 @@ FeaturePipeline::FeaturePipeline(
     std::vector<size_t> classifier_columns)
     : suite_(std::move(suite)),
       classifier_(std::move(classifier)),
-      classifier_columns_(std::move(classifier_columns)) {}
+      classifier_columns_(std::move(classifier_columns)),
+      metric_names_(suite_.MetricNames()) {}
 
 template <typename EvalRow>
 Result<FeaturizedBatch> FeaturePipeline::RunImpl(

@@ -65,6 +65,13 @@ class FeaturePipeline {
     return classifier_columns_;
   }
 
+  /// \brief Names of the suite's metric columns, cached at construction —
+  /// the gateway labels its per-column drift instruments with these without
+  /// re-deriving them from the specs per registration or snapshot.
+  const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+
   /// \brief Metric rows + classifier probabilities for record pairs indexing
   /// into the two tables — the raw reference path (chunk-parallel, per-pair
   /// re-derivation of record-level artifacts).
@@ -131,6 +138,7 @@ class FeaturePipeline {
   MetricSuite suite_;
   std::shared_ptr<const BinaryClassifier> classifier_;
   std::vector<size_t> classifier_columns_;
+  std::vector<std::string> metric_names_;  ///< suite_.MetricNames(), cached
 };
 
 }  // namespace learnrisk

@@ -2,7 +2,10 @@
 
 #include "gateway/gateway.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <numeric>
 #include <tuple>
 #include <utility>
 
@@ -19,11 +22,40 @@ void RecordMs(LatencyHistogram* histogram, double ms) {
   histogram->Record(ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1e6));
 }
 
+// Steady-clock nanoseconds (trace start timestamps: monotone within the
+// process, comparable across requests, never wall-clock).
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// A stage measurement taken outside a TraceSpan (featurize/classify come
+// pre-timed from the pipeline), appended to a trace's stage list.
+void SinkStage(std::vector<TraceStageSpan>* sink, const char* stage,
+               double ms) {
+  if (sink != nullptr) sink->push_back(TraceStageSpan{stage, ms});
+}
+
 }  // namespace
 
 Gateway::Gateway(GatewayOptions options)
     : options_(std::move(options)), registry_(options_.registry) {
+  if (options_.trace.enabled) {
+    traces_ = std::make_unique<TraceBuffer>(options_.trace.buffer_capacity);
+  }
   if (!options_.enable_metrics) return;
+  if (traces_ != nullptr) {
+    metric_registry_.GaugeCallback(
+        "learnrisk_gateway_traces_captured", {},
+        "Request traces captured into the audit ring (head + tail)",
+        [this]() { return static_cast<int64_t>(traces_->pushed()); });
+    metric_registry_.GaugeCallback(
+        "learnrisk_gateway_traces_dropped", {},
+        "Captured traces overwritten before a scrape (ring overflow)",
+        [this]() { return static_cast<int64_t>(traces_->dropped()); });
+  }
   // Gateway-wide instruments: the registry's LRU counters, the engine-level
   // serving counters (shared by every engine the registry creates), and the
   // snapshot-time gauges over registry state.
@@ -76,9 +108,19 @@ learnrisk::MetricsSnapshot Gateway::MetricsSnapshot() const {
 }
 
 Gateway::NamespaceMetrics Gateway::CreateNamespaceMetrics(
-    const std::string& ns) {
+    const std::string& ns, const std::vector<std::string>& metric_names) {
   NamespaceMetrics m;
   const MetricLabels ns_labels = {{"namespace", ns}};
+  if (options_.drift.enabled) {
+    m.feature_values.reserve(metric_names.size());
+    for (const std::string& column : metric_names) {
+      // Label keys sorted ("column" < "namespace") like every other family.
+      m.feature_values.push_back(metric_registry_.Values(
+          "learnrisk_gateway_feature_value",
+          {{"column", column}, {"namespace", ns}},
+          "Distribution of served feature values per metric column"));
+    }
+  }
   auto stage = [&](const char* name) {
     return metric_registry_.Latency(
         "learnrisk_gateway_stage_latency_seconds",
@@ -188,6 +230,76 @@ void Gateway::RegisterStateGauges(
           return static_cast<int64_t>(s->log->wal_entries_since_checkpoint());
         });
   }
+  if (!state->metrics.feature_values.empty()) {
+    // Per-column drift divergence, computed at snapshot time from the live
+    // feature histograms vs the baseline the last Publish supplied. Reads 0
+    // until a model is published with a baseline (docs/TRACING.md).
+    const char* psi_help =
+        "PSI (micro-units) of the live distribution vs the published model's "
+        "training baseline";
+    const std::vector<std::string>& columns = state->pipeline.metric_names();
+    const size_t num_columns =
+        std::min(columns.size(), state->metrics.feature_values.size());
+    for (size_t c = 0; c < num_columns; ++c) {
+      metric_registry_.GaugeCallback(
+          "learnrisk_gateway_drift_psi_micros",
+          {{"column", columns[c]}, {"namespace", ns}}, psi_help,
+          [weak, c]() -> int64_t {
+            const std::shared_ptr<NamespaceState> s = weak.lock();
+            if (s == nullptr) return 0;
+            const std::shared_ptr<const DriftBaseline> baseline =
+                std::atomic_load_explicit(&s->drift_baseline,
+                                          std::memory_order_acquire);
+            if (baseline == nullptr || c >= baseline->columns().size() ||
+                c >= s->metrics.feature_values.size()) {
+              return 0;
+            }
+            return PsiMicros(baseline->columns()[c],
+                             s->metrics.feature_values[c]->Snapshot());
+          });
+    }
+    if (state->metrics.risk_scores != nullptr) {
+      metric_registry_.GaugeCallback(
+          "learnrisk_gateway_drift_psi_micros",
+          {{"column", "risk_score"}, {"namespace", ns}}, psi_help,
+          [weak]() -> int64_t {
+            const std::shared_ptr<NamespaceState> s = weak.lock();
+            if (s == nullptr) return 0;
+            const std::shared_ptr<const DriftBaseline> baseline =
+                std::atomic_load_explicit(&s->drift_baseline,
+                                          std::memory_order_acquire);
+            if (baseline == nullptr || !baseline->has_risk() ||
+                s->metrics.risk_scores == nullptr) {
+              return 0;
+            }
+            return PsiMicros(baseline->risk(),
+                             s->metrics.risk_scores->Snapshot());
+          });
+    }
+    const double alert_psi = options_.drift.alert_psi;
+    metric_registry_.GaugeCallback(
+        "learnrisk_gateway_drift_columns_alerted", {{"namespace", ns}},
+        "Metric columns whose PSI vs the training baseline is at or above "
+        "DriftOptions::alert_psi",
+        [weak, alert_psi]() -> int64_t {
+          const std::shared_ptr<NamespaceState> s = weak.lock();
+          if (s == nullptr) return 0;
+          const std::shared_ptr<const DriftBaseline> baseline =
+              std::atomic_load_explicit(&s->drift_baseline,
+                                        std::memory_order_acquire);
+          if (baseline == nullptr) return 0;
+          int64_t alerted = 0;
+          const size_t n = std::min(baseline->columns().size(),
+                                    s->metrics.feature_values.size());
+          for (size_t c = 0; c < n; ++c) {
+            if (Psi(baseline->columns()[c],
+                    s->metrics.feature_values[c]->Snapshot()) >= alert_psi) {
+              ++alerted;
+            }
+          }
+          return alerted;
+        });
+  }
 }
 
 Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
@@ -247,7 +359,9 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
   state->snapshot = std::move(snapshot);
   // Instruments are get-or-create, so a registration that loses the emplace
   // race below simply shares the winner's instruments — nothing leaks.
-  if (options_.enable_metrics) state->metrics = CreateNamespaceMetrics(ns);
+  if (options_.enable_metrics) {
+    state->metrics = CreateNamespaceMetrics(ns, state->pipeline.metric_names());
+  }
 
   if (!options_.durability.dir.empty()) {
     // Durable registration: commit the base tables as checkpoint 1 before
@@ -289,11 +403,28 @@ std::vector<std::string> Gateway::Namespaces() const {
   return names;
 }
 
-Result<uint64_t> Gateway::Publish(const std::string& ns, RiskModel model) {
-  if (!HasNamespace(ns)) {
-    return Status::NotFound("unknown namespace '" + ns + "'");
+Result<uint64_t> Gateway::Publish(
+    const std::string& ns, RiskModel model,
+    std::shared_ptr<const DriftBaseline> drift_baseline) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  Result<uint64_t> version =
+      registry_.Publish(ns, std::move(model), drift_baseline);
+  if (version.ok() && drift_baseline != nullptr) {
+    // Cache the baseline on the namespace so the drift gauge callbacks read
+    // it with one atomic load — never through registry_.Engine(), whose
+    // spill-reload can do IO a metrics scrape must not wait on.
+    std::atomic_store_explicit(&(*state)->drift_baseline,
+                               std::move(drift_baseline),
+                               std::memory_order_release);
   }
-  return registry_.Publish(ns, std::move(model));
+  return version;
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> Gateway::RecentTraces()
+    const {
+  if (traces_ == nullptr) return {};
+  return traces_->Snapshot();
 }
 
 Result<std::shared_ptr<Gateway::NamespaceState>> Gateway::State(
@@ -315,7 +446,9 @@ std::shared_ptr<const Gateway::NamespaceSnapshot> Gateway::LoadSnapshot(
 Status Gateway::ScoreBatch(const std::string& ns,
                            const NamespaceMetrics& metrics,
                            const FeaturizedBatch& batch, size_t explain_top_k,
-                           ScoreResponse* scores, StageTiming* timing) {
+                           ScoreResponse* scores, StageTiming* timing,
+                           std::vector<TraceStageSpan>* stage_sink,
+                           std::shared_ptr<const ScorerSnapshot>* scorer_out) {
   Result<std::shared_ptr<ServingEngine>> engine = registry_.Engine(ns);
   if (!engine.ok()) {
     // A registered namespace is only unknown to the registry before its
@@ -330,11 +463,17 @@ Status Gateway::ScoreBatch(const std::string& ns,
   request.metric_features = &batch.features;
   request.classifier_probs = batch.probs;
   request.explain_top_k = explain_top_k;
-  TraceSpan span(metrics.stage_risk, &timing->score_ms);
+  TraceSpan span(metrics.stage_risk, &timing->score_ms, stage_sink, "risk");
   Result<ScoreResponse> response = (*engine)->Score(request);
   span.Stop();
   if (!response.ok()) return response.status();
   *scores = response.MoveValueOrDie();
+  if (scorer_out != nullptr) {
+    // Best-effort for trace explanations: a publish landing mid-request can
+    // make this snapshot one version newer than the one that scored; trace
+    // capture re-validates column bounds before reading it.
+    *scorer_out = (*engine)->snapshot();
+  }
   if (metrics.pairs_scored != nullptr) {
     metrics.pairs_scored->Add(scores->risk.size());
   }
@@ -342,6 +481,98 @@ Status Gateway::ScoreBatch(const std::string& ns,
     for (double risk : scores->risk) metrics.risk_scores->Record(risk);
   }
   return Status::OK();
+}
+
+void Gateway::MaybeCaptureTrace(
+    const char* api, const std::string& ns, uint64_t request_id,
+    uint64_t start_ns, uint64_t total_ns,
+    std::vector<TraceStageSpan> stages, size_t candidates,
+    const FeaturizedBatch* batch, const ScoreResponse* scores,
+    const std::shared_ptr<const ScorerSnapshot>& scorer,
+    const std::vector<RecordPair>* pairs,
+    const std::vector<size_t>* probe_candidates) {
+  const TraceOptions& t = options_.trace;
+  const bool head_sampled =
+      t.sample_every > 0 && request_id % t.sample_every == 0;
+  const bool slow = t.slow_request_ms > 0.0 &&
+                    static_cast<double>(total_ns) >= t.slow_request_ms * 1e6;
+  double max_risk = 0.0;
+  if (scores != nullptr) {
+    for (double risk : scores->risk) max_risk = std::max(max_risk, risk);
+  }
+  const bool high_risk = t.high_risk_threshold >= 0.0 && scores != nullptr &&
+                         !scores->risk.empty() &&
+                         max_risk >= t.high_risk_threshold;
+  if (!head_sampled && !slow && !high_risk) return;
+
+  // From here on the request is captured and allocation is fine — capture
+  // is off the common path by construction (1-in-N plus tail triggers).
+  auto trace = std::make_shared<RequestTrace>();
+  trace->request_id = request_id;
+  trace->api = api;
+  trace->ns = ns;
+  trace->model_version = scores != nullptr ? scores->model_version : 0;
+  trace->start_ns = start_ns;
+  trace->total_ns = total_ns;
+  trace->candidates = candidates;
+  trace->pairs_scored = scores != nullptr ? scores->risk.size() : 0;
+  trace->max_risk = max_risk;
+  trace->head_sampled = head_sampled;
+  trace->slow = slow;
+  trace->high_risk = high_risk;
+  trace->stages = std::move(stages);
+
+  if (scores != nullptr && batch != nullptr && !scores->risk.empty() &&
+      t.top_k > 0) {
+    // Top-k riskiest pairs, ties broken by original order.
+    std::vector<size_t> order(scores->risk.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    const size_t k = std::min(t.top_k, order.size());
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [scores](size_t a, size_t b) {
+                        if (scores->risk[a] != scores->risk[b]) {
+                          return scores->risk[a] > scores->risk[b];
+                        }
+                        return a < b;
+                      });
+    // The scorer may be one publish newer than the one that produced
+    // `scores` (hot-swap mid-request); re-validate its column needs before
+    // reading feature rows through its compiled plan.
+    const bool can_explain =
+        scorer != nullptr &&
+        batch->features.cols() >= scorer->compiled().min_feature_columns();
+    trace->top_risky.reserve(k);
+    for (size_t rank = 0; rank < k; ++rank) {
+      const size_t idx = order[rank];
+      TracedDecision decision;
+      if (pairs != nullptr && idx < pairs->size()) {
+        decision.left = static_cast<int64_t>((*pairs)[idx].left);
+        decision.right = static_cast<int64_t>((*pairs)[idx].right);
+      } else if (probe_candidates != nullptr &&
+                 idx < probe_candidates->size()) {
+        decision.right = static_cast<int64_t>((*probe_candidates)[idx]);
+      }
+      decision.risk = scores->risk[idx];
+      decision.classifier_prob =
+          idx < batch->probs.size() ? batch->probs[idx] : 0.0;
+      decision.machine_label = idx < scores->machine_label.size() &&
+                               scores->machine_label[idx] != 0;
+      if (can_explain) {
+        decision.active_rules =
+            scorer->compiled().ActiveRules(batch->features.row(idx));
+        const std::vector<RiskContribution> contributions = scorer->Explain(
+            decision.active_rules.data(), decision.active_rules.size(),
+            decision.classifier_prob, t.top_k);
+        decision.explanation.reserve(contributions.size());
+        for (const RiskContribution& c : contributions) {
+          decision.explanation.push_back(TraceContribution{
+              c.description, c.weight, c.expectation, c.rsd});
+        }
+      }
+      trace->top_risky.push_back(std::move(decision));
+    }
+  }
+  traces_->Push(std::move(trace));
 }
 
 Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
@@ -362,9 +593,16 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
   // publish successors without ever touching it.
   const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
   ResolveResponse response;
+  response.request_id = NextRequestId();
+  response.timing.request_id = response.request_id;
+  const bool tracing = traces_ != nullptr;
+  const uint64_t start_ns = tracing ? SteadyNowNs() : 0;
+  std::vector<TraceStageSpan> trace_stages;
+  std::vector<TraceStageSpan>* stage_sink = tracing ? &trace_stages : nullptr;
   TraceSpan request_span(s.metrics.resolve_latency);
   {
-    TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms);
+    TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms,
+                    stage_sink, "block");
     response.pairs =
         request.block_all ? snap->index.AllCandidates() : request.pairs;
   }
@@ -376,12 +614,24 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
   response.timing.classify_ms = batch->classify_ms;
   RecordMs(s.metrics.stage_featurize, batch->featurize_ms);
   RecordMs(s.metrics.stage_classify, batch->classify_ms);
+  SinkStage(stage_sink, "featurize", batch->featurize_ms);
+  SinkStage(stage_sink, "classify", batch->classify_ms);
 
+  std::shared_ptr<const ScorerSnapshot> scorer;
   LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, s.metrics, *batch,
                                      request.explain_top_k, &response.scores,
-                                     &response.timing));
-  request_span.Stop();
+                                     &response.timing, stage_sink,
+                                     tracing ? &scorer : nullptr));
+  if (!s.metrics.feature_values.empty()) {
+    ObserveFeatures(batch->features, s.metrics.feature_values);
+  }
+  const uint64_t total_ns = request_span.Stop();
   if (s.metrics.resolve_requests != nullptr) s.metrics.resolve_requests->Add(1);
+  if (tracing) {
+    MaybeCaptureTrace("resolve", ns, response.request_id, start_ns, total_ns,
+                      std::move(trace_stages), response.pairs.size(), &*batch,
+                      &response.scores, scorer, &response.pairs, nullptr);
+  }
   return response;
 }
 
@@ -398,9 +648,16 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
   const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
 
   ProbeResponse response;
+  response.request_id = NextRequestId();
+  response.timing.request_id = response.request_id;
+  const bool tracing = traces_ != nullptr;
+  const uint64_t start_ns = tracing ? SteadyNowNs() : 0;
+  std::vector<TraceStageSpan> trace_stages;
+  std::vector<TraceStageSpan>* stage_sink = tracing ? &trace_stages : nullptr;
   TraceSpan request_span(s.metrics.resolve_record_latency);
   {
-    TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms);
+    TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms,
+                    stage_sink, "block");
     response.candidates = snap->index.Candidates(
         probe, s.dedup ? BlockingSide::kLeft : BlockingSide::kRight);
   }
@@ -417,12 +674,26 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
   response.timing.classify_ms = batch->classify_ms;
   RecordMs(s.metrics.stage_featurize, response.timing.featurize_ms);
   RecordMs(s.metrics.stage_classify, batch->classify_ms);
+  SinkStage(stage_sink, "featurize", response.timing.featurize_ms);
+  SinkStage(stage_sink, "classify", batch->classify_ms);
 
+  std::shared_ptr<const ScorerSnapshot> scorer;
   LEARNRISK_RETURN_NOT_OK(ScoreBatch(ns, s.metrics, *batch, explain_top_k,
-                                     &response.scores, &response.timing));
-  request_span.Stop();
+                                     &response.scores, &response.timing,
+                                     stage_sink,
+                                     tracing ? &scorer : nullptr));
+  if (!s.metrics.feature_values.empty()) {
+    ObserveFeatures(batch->features, s.metrics.feature_values);
+  }
+  const uint64_t total_ns = request_span.Stop();
   if (s.metrics.resolve_record_requests != nullptr) {
     s.metrics.resolve_record_requests->Add(1);
+  }
+  if (tracing) {
+    MaybeCaptureTrace("resolve_record", ns, response.request_id, start_ns,
+                      total_ns, std::move(trace_stages),
+                      response.candidates.size(), &*batch, &response.scores,
+                      scorer, nullptr, &response.candidates);
   }
   return response;
 }
@@ -443,6 +714,11 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
     return Status::InvalidArgument(
         "record width does not match the namespace schema");
   }
+  timing->request_id = NextRequestId();
+  const bool tracing = traces_ != nullptr;
+  const uint64_t start_ns = tracing ? SteadyNowNs() : 0;
+  std::vector<TraceStageSpan> trace_stages;
+  std::vector<TraceStageSpan>* stage_sink = tracing ? &trace_stages : nullptr;
   // Writers serialize among themselves; readers keep serving the current
   // snapshot throughout. The successor snapshot shares every existing
   // segment — building it touches only the new tail.
@@ -457,10 +733,12 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
     entry.side = side;
     entry.entity_id = entity_id;
     entry.record = record;
-    TraceSpan span(s.metrics.stage_wal_append, &timing->wal_append_ms);
+    TraceSpan span(s.metrics.stage_wal_append, &timing->wal_append_ms,
+                   stage_sink, "wal_append");
     LEARNRISK_RETURN_NOT_OK(s.log->Append(entry));
   }
-  TraceSpan publish_span(s.metrics.stage_publish, &timing->publish_ms);
+  TraceSpan publish_span(s.metrics.stage_publish, &timing->publish_ms,
+                         stage_sink, "publish");
   const std::shared_ptr<const NamespaceSnapshot> cur = LoadSnapshot(s);
   auto next = std::make_shared<NamespaceSnapshot>();
   next->index = cur->index;  // shares posting segments
@@ -482,6 +760,14 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
                              std::memory_order_release);
   publish_span.Stop();
   if (s.metrics.records_added != nullptr) s.metrics.records_added->Add(1);
+  if (tracing) {
+    // AddRecord has no latency histogram of its own; the trace's total is
+    // the sum of its measured stages plus the bookkeeping around them.
+    const uint64_t total_ns = SteadyNowNs() - start_ns;
+    MaybeCaptureTrace("add_record", ns, timing->request_id, start_ns,
+                      total_ns, std::move(trace_stages), /*candidates=*/0,
+                      nullptr, nullptr, nullptr, nullptr, nullptr);
+  }
   if (s.log != nullptr && options_.durability.wal_checkpoint_threshold > 0 &&
       s.log->wal_entries_since_checkpoint() >=
           options_.durability.wal_checkpoint_threshold) {
@@ -594,7 +880,7 @@ Status Gateway::RecoverNamespace(const std::string& ns,
   state->snapshot = std::move(snapshot);
   state->log = log.MoveValueOrDie();
   if (options_.enable_metrics) {
-    state->metrics = CreateNamespaceMetrics(ns);
+    state->metrics = CreateNamespaceMetrics(ns, state->pipeline.metric_names());
     state->log->set_metrics(state->metrics.durability);
   }
 

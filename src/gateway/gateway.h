@@ -12,6 +12,7 @@
 #ifndef LEARNRISK_GATEWAY_GATEWAY_H_
 #define LEARNRISK_GATEWAY_GATEWAY_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,7 +30,10 @@
 #include "gateway/model_registry.h"
 #include "gateway/namespace_segments.h"
 #include "metrics/metric_suite.h"
+#include "obs/drift.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs/trace_buffer.h"
 
 namespace learnrisk {
 
@@ -62,6 +66,10 @@ struct ResolveRequest {
 /// the namespace's stage-latency histograms (see docs/OBSERVABILITY.md), so
 /// per-request timings and aggregate telemetry always agree on boundaries.
 struct StageTiming {
+  /// Gateway-wide id of the request this breakdown belongs to (assigned
+  /// monotonically across Resolve / ResolveRecord / AddRecord), so stage
+  /// logs correlate with responses and captured RequestTraces.
+  uint64_t request_id = 0;
   double blocking_ms = 0.0;
   double featurize_ms = 0.0;   ///< metric evaluation (prepared kernels)
   double classify_ms = 0.0;    ///< classifier inference over the metric rows
@@ -76,6 +84,9 @@ struct StageTiming {
 
 /// \brief Scored candidate pairs plus the serving metadata.
 struct ResolveResponse {
+  /// Gateway-assigned id of this request (same value as timing.request_id);
+  /// quote it to find the request's captured trace in RecentTraces().
+  uint64_t request_id = 0;
   /// The pairs that were scored (request order, or the blocker's
   /// deterministic order under block_all); scores.risk[i] belongs to
   /// pairs[i].
@@ -87,9 +98,45 @@ struct ResolveResponse {
 /// \brief Result of probing one raw record: the blocking candidates on the
 /// opposite side and their scores against the probe.
 struct ProbeResponse {
+  /// Gateway-assigned id of this request (same value as timing.request_id).
+  uint64_t request_id = 0;
   std::vector<size_t> candidates;
   ScoreResponse scores;
   StageTiming timing;
+};
+
+/// \brief Request-trace capture configuration (docs/TRACING.md). Defaults
+/// are cheap: 1-in-64 head sampling into a 256-slot ring, slow/high-risk
+/// tail capture off until a threshold is set.
+struct TraceOptions {
+  /// Master switch. Off = no trace buffer, no per-request stage recording;
+  /// request ids are still assigned and returned.
+  bool enabled = true;
+  /// Head sampling: capture every Nth request (by request id); 0 disables
+  /// head sampling (tail capture below still applies).
+  size_t sample_every = 64;
+  /// Slots in the trace ring buffer (drop-oldest on overflow).
+  size_t buffer_capacity = 256;
+  /// Tail capture: requests slower than this are always captured; <= 0
+  /// disables the latency trigger.
+  double slow_request_ms = 0.0;
+  /// Tail capture: requests whose max risk score reaches this are always
+  /// captured; < 0 disables the risk trigger.
+  double high_risk_threshold = -1.0;
+  /// Riskiest pairs per captured trace that carry rule activations and the
+  /// ScorerSnapshot explanation.
+  size_t top_k = 3;
+};
+
+/// \brief Drift-monitoring configuration (docs/TRACING.md). Requires
+/// enable_metrics: the live distributions are ValueHistogram instruments
+/// and the PSI divergences are snapshot-time gauges.
+struct DriftOptions {
+  /// Master switch for the per-column feature histograms + PSI gauges.
+  bool enabled = true;
+  /// PSI at or above this counts a column as drifted in the
+  /// learnrisk_gateway_drift_columns_alerted gauge (conventional 0.2).
+  double alert_psi = 0.2;
 };
 
 /// \brief Gateway configuration (the embedded registry's options and the
@@ -108,6 +155,12 @@ struct GatewayOptions {
   /// `observability` block). Off = no instruments are created and every
   /// recording site is skipped via a null check.
   bool enable_metrics = true;
+  /// Request-scoped trace capture (docs/TRACING.md). Independent of
+  /// enable_metrics: traces capture even with aggregate metrics off.
+  TraceOptions trace;
+  /// Online drift monitoring vs the published model's training baseline
+  /// (docs/TRACING.md); inert unless enable_metrics is also on.
+  DriftOptions drift;
 };
 
 /// \brief Everything RecoverNamespace needs that is *not* in the durable
@@ -167,8 +220,14 @@ class Gateway {
   /// \brief Publishes a risk model for the namespace (hot-swap; returns the
   /// namespace's new version). The namespace must be registered. Never
   /// blocks in-flight Resolve calls: they finish on the snapshot they
-  /// loaded at score time.
-  Result<uint64_t> Publish(const std::string& ns, RiskModel model);
+  /// loaded at score time. `drift_baseline`, when given, freezes the
+  /// training-time feature/risk distributions into the new ScorerSnapshot
+  /// and arms the namespace's drift gauges against it (docs/TRACING.md);
+  /// it is not persisted, so spill-reload and recovery serve without one
+  /// until the next Publish.
+  Result<uint64_t> Publish(const std::string& ns, RiskModel model,
+                           std::shared_ptr<const DriftBaseline>
+                               drift_baseline = nullptr);
 
   /// \brief The embedded registry (save/load of all models, LRU stats).
   ModelRegistry& registry() { return registry_; }
@@ -244,6 +303,14 @@ class Gateway {
   /// docs/OBSERVABILITY.md.
   learnrisk::MetricsSnapshot MetricsSnapshot() const;
 
+  /// \brief The captured request traces currently resident in the audit
+  /// ring (sorted by request id): head-sampled plus slow / high-risk
+  /// exemplars, per TraceOptions. Never blocks serving traffic; a
+  /// concurrently completing request's trace is either fully present or
+  /// absent. Empty when tracing is disabled. Serialize with
+  /// ExportTracesJson (obs/trace.h); schema in docs/TRACING.md.
+  std::vector<std::shared_ptr<const RequestTrace>> RecentTraces() const;
+
  private:
   /// \brief One immutable view of a namespace's data. All heavy members are
   /// segment lists sharing storage with neighboring snapshots; copying a
@@ -279,6 +346,10 @@ class Gateway {
     LatencyHistogram* checkpoint_latency = nullptr;
     LatencyHistogram* recover_latency = nullptr;
     ValueHistogram* risk_scores = nullptr;  ///< served risk distribution
+    /// Per-metric-column live feature distributions (drift monitoring;
+    /// column order matches the pipeline's metric_names()). Empty unless
+    /// enable_metrics and drift.enabled are both on.
+    std::vector<ValueHistogram*> feature_values;
     /// Volume counters recorded inside NamespaceLog (bytes, frames, fsyncs).
     DurabilityMetrics durability;
   };
@@ -298,6 +369,12 @@ class Gateway {
     std::unique_ptr<NamespaceLog> log;
     /// Immutable after registration, like `pipeline`; read lock-free.
     NamespaceMetrics metrics;
+    /// Training baseline of the most recent Publish that carried one;
+    /// accessed only via std::atomic_load/atomic_store. Read by the drift
+    /// gauge callbacks at snapshot time, swapped by Publish — cached here
+    /// so a scrape never touches the model registry (whose Engine() call
+    /// can do spill-reload IO).
+    std::shared_ptr<const DriftBaseline> drift_baseline;
 
     const SideStore& right_store(const NamespaceSnapshot& snap) const {
       return dedup ? snap.left : snap.right;
@@ -309,20 +386,50 @@ class Gateway {
       const NamespaceState& state);
   /// \brief Featurized batch -> engine score, shared by Resolve and
   /// ResolveRecord. Fills scores + the risk-stage timing, and records the
-  /// stage latency / risk-score distribution into `metrics`.
+  /// stage latency / risk-score distribution into `metrics`. `stage_sink`
+  /// (optional) receives the risk stage's TraceStageSpan; `scorer_out`
+  /// (optional) receives the scorer snapshot currently published for the
+  /// namespace, which trace capture uses to recompute rule activations and
+  /// explanations for the top-k riskiest pairs.
   Status ScoreBatch(const std::string& ns, const NamespaceMetrics& metrics,
                     const FeaturizedBatch& batch, size_t explain_top_k,
-                    ScoreResponse* scores, StageTiming* timing);
+                    ScoreResponse* scores, StageTiming* timing,
+                    std::vector<TraceStageSpan>* stage_sink = nullptr,
+                    std::shared_ptr<const ScorerSnapshot>* scorer_out =
+                        nullptr);
   /// \brief Checkpoint body; caller holds the namespace's writer_mu and has
   /// verified s.log is non-null.
   Status CheckpointLocked(const std::string& ns, NamespaceState& s);
   /// \brief Get-or-creates the namespace's instrument bundle in
   /// metric_registry_. Only called when enable_metrics is on.
-  NamespaceMetrics CreateNamespaceMetrics(const std::string& ns);
+  /// `metric_names` labels the per-column drift histograms (one per metric
+  /// column; skipped when drift is off).
+  NamespaceMetrics CreateNamespaceMetrics(
+      const std::string& ns, const std::vector<std::string>& metric_names);
   /// \brief Registers the namespace's snapshot-time gauges (record counts,
-  /// WAL backlog); the callbacks hold a weak_ptr so they outlive nothing.
+  /// WAL backlog, per-column drift PSI); the callbacks hold a weak_ptr so
+  /// they outlive nothing.
   void RegisterStateGauges(const std::string& ns,
                            const std::shared_ptr<NamespaceState>& state);
+
+  /// \brief Next gateway-wide request id (1-based, monotone across APIs).
+  uint64_t NextRequestId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// \brief Applies the capture policy to a completed request and, when it
+  /// captures, builds the RequestTrace (stages, counts, top-k riskiest
+  /// decisions with activations + explanations) and pushes it into the
+  /// ring. `batch`/`scores`/`scorer` may be null (AddRecord traces carry no
+  /// decisions); `pairs` xor `candidates` names the scored pairs.
+  void MaybeCaptureTrace(const char* api, const std::string& ns,
+                         uint64_t request_id, uint64_t start_ns,
+                         uint64_t total_ns,
+                         std::vector<TraceStageSpan> stages,
+                         size_t candidates, const FeaturizedBatch* batch,
+                         const ScoreResponse* scores,
+                         const std::shared_ptr<const ScorerSnapshot>& scorer,
+                         const std::vector<RecordPair>* pairs,
+                         const std::vector<size_t>* probe_candidates);
 
   GatewayOptions options_;
   /// Owns every instrument; declared before registry_ so the raw instrument
@@ -330,6 +437,11 @@ class Gateway {
   /// outlive their users on destruction.
   MetricRegistry metric_registry_;
   ModelRegistry registry_;
+  /// The trace audit ring; null when TraceOptions::enabled is false.
+  /// Lock-free on both sides (docs/TRACING.md).
+  std::unique_ptr<TraceBuffer> traces_;
+  /// Gateway-wide request-id counter (ids are NextRequestId() results).
+  std::atomic<uint64_t> next_request_id_{0};
   mutable std::mutex mu_;  ///< guards namespaces_ map shape only
   std::map<std::string, std::shared_ptr<NamespaceState>> namespaces_;
 };

@@ -48,8 +48,9 @@ std::string ModelRegistry::SpillPath(const std::string& ns) const {
   return options_.spill_dir + "/" + ns + ".model";
 }
 
-Result<uint64_t> ModelRegistry::Publish(const std::string& ns,
-                                        RiskModel model) {
+Result<uint64_t> ModelRegistry::Publish(
+    const std::string& ns, RiskModel model,
+    std::shared_ptr<const DriftBaseline> drift_baseline) {
   if (!ValidNamespace(ns)) {
     return Status::InvalidArgument("invalid namespace '" + ns + "'");
   }
@@ -77,7 +78,8 @@ Result<uint64_t> ModelRegistry::Publish(const std::string& ns,
   // The snapshot build (the expensive part of Publish) runs outside the
   // registry lock; concurrent publishes to the same namespace serialize
   // inside the engine's forward-only swap.
-  const uint64_t version = engine->Publish(std::move(model));
+  const uint64_t version =
+      engine->Publish(std::move(model), std::move(drift_baseline));
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -106,8 +106,13 @@ class ModelRegistry {
   /// use) and returns the namespace's new version. Versions are
   /// per-namespace, unique and increasing — including across spill/reload.
   /// The snapshot build runs outside the registry lock with the target
-  /// engine pinned against eviction for the duration.
-  Result<uint64_t> Publish(const std::string& ns, RiskModel model);
+  /// engine pinned against eviction for the duration. `drift_baseline`
+  /// rides the new ScorerSnapshot (see ServingEngine::Publish); spill files
+  /// do not carry it, so a spilled-and-reloaded namespace serves without
+  /// one until the next Publish.
+  Result<uint64_t> Publish(const std::string& ns, RiskModel model,
+                           std::shared_ptr<const DriftBaseline>
+                               drift_baseline = nullptr);
 
   /// \brief The namespace's engine, reloading a spilled snapshot if needed.
   /// NotFound for namespaces never published. The returned pointer stays

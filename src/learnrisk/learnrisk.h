@@ -82,6 +82,11 @@ class LearnRiskPipeline {
   bool fitted() const { return fitted_; }
   /// \brief The fitted metric suite (for wiring a serving gateway namespace).
   const MetricSuite& suite() const { return suite_; }
+  /// \brief Training-time feature matrix over every workload pair (rows
+  /// align with workload pair indices). Feed DriftBaseline::FromTraining
+  /// (obs/drift.h) to arm a serving gateway's drift gauges against the
+  /// training distribution.
+  const FeatureMatrix& features() const { return features_; }
   /// \brief Metric columns the classifier was trained on (similarity-only by
   /// default; see PipelineOptions::classifier_uses_difference_metrics).
   const std::vector<size_t>& classifier_columns() const {

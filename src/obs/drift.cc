@@ -1,0 +1,110 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace learnrisk {
+namespace {
+
+constexpr double kSmoothing = 0.5;  // Laplace mass added to every bucket
+
+void BucketValues(const double* values, size_t count, size_t stride,
+                  DriftColumn* out) {
+  out->counts.assign(DriftBaseline::kNumBuckets, 0);
+  out->total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const double value = values[i * stride];
+    if (!std::isfinite(value)) continue;
+    const uint64_t micro = ValueHistogram::ToMicro(value);
+    ++out->counts[ValueHistogram::BucketIndex(micro)];
+    ++out->total;
+  }
+}
+
+}  // namespace
+
+DriftBaseline DriftBaseline::FromTraining(
+    const FeatureMatrix& features, const std::vector<double>& risk_scores) {
+  DriftBaseline baseline;
+  baseline.columns_.resize(features.cols());
+  for (size_t c = 0; c < features.cols(); ++c) {
+    DriftColumn& column = baseline.columns_[c];
+    column.name = c < features.column_names.size()
+                      ? features.column_names[c]
+                      : "column_" + std::to_string(c);
+    if (features.rows() > 0) {
+      BucketValues(features.row(0) + c, features.rows(), features.cols(),
+                   &column);
+    } else {
+      column.counts.assign(kNumBuckets, 0);
+    }
+  }
+  baseline.risk_.name = "risk_score";
+  if (!risk_scores.empty()) {
+    BucketValues(risk_scores.data(), risk_scores.size(), 1, &baseline.risk_);
+  } else {
+    baseline.risk_.counts.assign(kNumBuckets, 0);
+  }
+  return baseline;
+}
+
+double Psi(const DriftColumn& baseline, const HistogramSnapshot& live) {
+  if (baseline.total == 0 || live.count == 0) return 0.0;
+  if (baseline.counts.size() != DriftBaseline::kNumBuckets) return 0.0;
+  // Re-densify the sparse live snapshot onto the shared fixed layout.
+  uint64_t live_counts[DriftBaseline::kNumBuckets] = {0};
+  for (const HistogramBucket& bucket : live.buckets) {
+    live_counts[ValueHistogram::BucketIndex(bucket.upper_bound)] +=
+        bucket.count;
+  }
+  const double base_denom =
+      static_cast<double>(baseline.total) +
+      kSmoothing * static_cast<double>(DriftBaseline::kNumBuckets);
+  const double live_denom =
+      static_cast<double>(live.count) +
+      kSmoothing * static_cast<double>(DriftBaseline::kNumBuckets);
+  double psi = 0.0;
+  for (size_t i = 0; i < DriftBaseline::kNumBuckets; ++i) {
+    const double q =
+        (static_cast<double>(baseline.counts[i]) + kSmoothing) / base_denom;
+    const double p =
+        (static_cast<double>(live_counts[i]) + kSmoothing) / live_denom;
+    psi += (p - q) * std::log(p / q);
+  }
+  return psi;
+}
+
+int64_t PsiMicros(const DriftColumn& baseline, const HistogramSnapshot& live) {
+  return static_cast<int64_t>(std::llround(Psi(baseline, live) * 1e6));
+}
+
+void ObserveFeatures(const FeatureMatrix& features,
+                     const std::vector<ValueHistogram*>& columns) {
+  if (features.rows() == 0) return;
+  const size_t num_columns = std::min(columns.size(), features.cols());
+  uint64_t counts[ValueHistogram::kNumBuckets];
+  for (size_t c = 0; c < num_columns; ++c) {
+    if (columns[c] == nullptr) continue;
+    std::fill(counts, counts + ValueHistogram::kNumBuckets, uint64_t{0});
+    uint64_t total = 0;
+    uint64_t sum = 0;
+    uint64_t min = UINT64_MAX;
+    uint64_t max = 0;
+    for (size_t r = 0; r < features.rows(); ++r) {
+      const double value = features.at(r, c);
+      if (!std::isfinite(value)) continue;
+      const uint64_t micro = ValueHistogram::ToMicro(value);
+      ++counts[ValueHistogram::BucketIndex(micro)];
+      ++total;
+      sum += micro;
+      min = std::min(min, micro);
+      max = std::max(max, micro);
+    }
+    columns[c]->RecordBucketed(counts, total, sum, min, max);
+  }
+}
+
+}  // namespace learnrisk

@@ -168,16 +168,35 @@ uint64_t ValueHistogram::BucketUpperBound(size_t index) {
   return (index + 1) * kScale / kNumBuckets - 1;
 }
 
+uint64_t ValueHistogram::ToMicro(double value) {
+  value = std::min(1.0, std::max(0.0, value));
+  return static_cast<uint64_t>(
+      std::llround(value * static_cast<double>(kScale)));
+}
+
 void ValueHistogram::Record(double value) {
   if (!std::isfinite(value)) return;
-  value = std::min(1.0, std::max(0.0, value));
-  const uint64_t micro =
-      static_cast<uint64_t>(std::llround(value * static_cast<double>(kScale)));
+  const uint64_t micro = ToMicro(value);
   buckets_[BucketIndex(micro)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(micro, std::memory_order_relaxed);
   AtomicMin(&min_, micro);
   AtomicMax(&max_, micro);
+}
+
+void ValueHistogram::RecordBucketed(const uint64_t* counts, uint64_t total,
+                                    uint64_t micro_sum, uint64_t micro_min,
+                                    uint64_t micro_max) {
+  if (total == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] > 0) {
+      buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  sum_.fetch_add(micro_sum, std::memory_order_relaxed);
+  AtomicMin(&min_, micro_min);
+  AtomicMax(&max_, micro_max);
 }
 
 HistogramSnapshot ValueHistogram::Snapshot() const {
@@ -206,7 +225,11 @@ uint64_t TraceSpan::Stop() {
           std::chrono::steady_clock::now() - start_)
           .count());
   if (histogram_ != nullptr) histogram_->Record(elapsed_ns_);
-  if (out_ms_ != nullptr) *out_ms_ = static_cast<double>(elapsed_ns_) / 1e6;
+  const double ms = static_cast<double>(elapsed_ns_) / 1e6;
+  if (out_ms_ != nullptr) *out_ms_ = ms;
+  if (trace_stages_ != nullptr) {
+    trace_stages_->push_back(TraceStageSpan{stage_, ms});
+  }
   return elapsed_ns_;
 }
 

@@ -208,6 +208,21 @@ class ValueHistogram {
 
   void Record(double value);
 
+  /// \brief Merges a batch of pre-bucketed samples in one pass: counts[i]
+  /// samples landed in bucket i (counts has kNumBuckets entries), with their
+  /// total count, micro-unit sum, and observed micro min/max. Equivalent to
+  /// the corresponding sequence of Record() calls but costs one atomic add
+  /// per non-empty bucket instead of four per sample — the drift monitor
+  /// uses this to observe every feature value of a batch for the price of a
+  /// local array walk (see obs/drift.h). No-op when total is 0.
+  void RecordBucketed(const uint64_t* counts, uint64_t total,
+                      uint64_t micro_sum, uint64_t micro_min,
+                      uint64_t micro_max);
+
+  /// \brief Fixed-point micro-units of a finite sample, clamped to [0, 1] —
+  /// the exact quantization Record() applies before bucketing.
+  static uint64_t ToMicro(double value);
+
   static size_t BucketIndex(uint64_t micro_value);
   static uint64_t BucketUpperBound(size_t index);  ///< inclusive, micro-units
 
@@ -221,16 +236,32 @@ class ValueHistogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// \brief One named stage measurement inside a request-scoped trace (see
+/// obs/trace.h). `stage` is expected to be a string literal ("block",
+/// "featurize", ...) so spans stay allocation-free.
+struct TraceStageSpan {
+  const char* stage = "";
+  double ms = 0.0;
+};
+
 /// \brief RAII trace span: starts a wall clock on construction and records
 /// the elapsed nanoseconds into `histogram` (when non-null) on destruction
 /// or Stop(), optionally also writing elapsed milliseconds to `out_ms` —
 /// one measurement feeding both the per-request StageTiming and the
-/// namespace histograms, so the two always agree on stage boundaries.
+/// namespace histograms, so the two always agree on stage boundaries. A
+/// third out-channel (`trace_stages` + `stage`) appends the same
+/// measurement to a request-scoped trace's stage list, so captured
+/// RequestTraces, StageTiming, and the aggregate histograms can never
+/// disagree on what a stage cost.
 class TraceSpan {
  public:
-  explicit TraceSpan(LatencyHistogram* histogram, double* out_ms = nullptr)
+  explicit TraceSpan(LatencyHistogram* histogram, double* out_ms = nullptr,
+                     std::vector<TraceStageSpan>* trace_stages = nullptr,
+                     const char* stage = "")
       : histogram_(histogram),
         out_ms_(out_ms),
+        trace_stages_(trace_stages),
+        stage_(stage),
         start_(std::chrono::steady_clock::now()) {}
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -243,6 +274,8 @@ class TraceSpan {
  private:
   LatencyHistogram* histogram_;
   double* out_ms_;
+  std::vector<TraceStageSpan>* trace_stages_;
+  const char* stage_;
   std::chrono::steady_clock::time_point start_;
   bool stopped_ = false;
   uint64_t elapsed_ns_ = 0;

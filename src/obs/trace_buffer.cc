@@ -1,0 +1,43 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "obs/trace_buffer.h"
+
+#include <algorithm>
+
+namespace learnrisk {
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
+
+void TraceBuffer::Push(std::shared_ptr<const RequestTrace> trace) {
+  if (trace == nullptr) return;
+  const uint64_t slot =
+      head_.fetch_add(1, std::memory_order_relaxed) % capacity_;
+  // The exchange is the publish point: release so a scraper that acquires
+  // the pointer sees the fully built trace, and the returned previous
+  // occupant gives exact drop-oldest accounting.
+  std::shared_ptr<const RequestTrace> evicted =
+      std::atomic_exchange_explicit(&slots_[slot], std::move(trace),
+                                    std::memory_order_acq_rel);
+  if (evicted != nullptr) dropped_.fetch_add(1, std::memory_order_relaxed);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> TraceBuffer::Snapshot()
+    const {
+  std::vector<std::shared_ptr<const RequestTrace>> traces;
+  traces.reserve(capacity_);
+  for (const auto& slot : slots_) {
+    std::shared_ptr<const RequestTrace> trace =
+        std::atomic_load_explicit(&slot, std::memory_order_acquire);
+    if (trace != nullptr) traces.push_back(std::move(trace));
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const std::shared_ptr<const RequestTrace>& a,
+               const std::shared_ptr<const RequestTrace>& b) {
+              return a->request_id < b->request_id;
+            });
+  return traces;
+}
+
+}  // namespace learnrisk

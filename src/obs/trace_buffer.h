@@ -1,0 +1,63 @@
+// Copyright 2026 The LearnRisk Authors
+// Fixed-size lock-free ring of completed request traces — the sampled
+// audit log behind Gateway::RecentTraces(). Push claims a slot with one
+// relaxed fetch_add on the head counter and swaps the trace in with one
+// atomic shared_ptr exchange, so a capturing request never blocks on
+// scrapers (or other capturers): no locks, no waiting, drop-oldest on
+// overflow with exact accounting. Scrapers read each slot with an atomic
+// load and share the immutable RequestTrace by shared_ptr, so a trace is
+// either absent or complete — never torn. Capture policy (head sampling,
+// slow/high-risk tail capture) lives in the gateway; this type only
+// stores. Semantics documented in docs/TRACING.md.
+
+#ifndef LEARNRISK_OBS_TRACE_BUFFER_H_
+#define LEARNRISK_OBS_TRACE_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace learnrisk {
+
+class TraceBuffer {
+ public:
+  /// \brief A ring holding the most recent `capacity` captured traces
+  /// (clamped to at least 1).
+  explicit TraceBuffer(size_t capacity);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// \brief Publishes a completed trace, overwriting the oldest slot when
+  /// the ring is full. Lock-free and wait-free apart from the shared_ptr
+  /// refcount; safe from any number of threads.
+  void Push(std::shared_ptr<const RequestTrace> trace);
+
+  /// \brief Point-in-time copy of the resident traces, sorted by
+  /// request id. Never blocks writers; a concurrently pushed trace is
+  /// either fully present or absent.
+  std::vector<std::shared_ptr<const RequestTrace>> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Total traces ever pushed.
+  uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+
+  /// \brief Traces overwritten before any scrape could have retained them —
+  /// the overflow counter. Exact once pushers are quiescent:
+  /// pushed() == dropped() + (traces resident in the ring).
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  std::vector<std::shared_ptr<const RequestTrace>> slots_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_OBS_TRACE_BUFFER_H_

@@ -11,7 +11,9 @@
 
 namespace learnrisk {
 
-ScorerSnapshot::ScorerSnapshot(RiskModel model) : model_(std::move(model)) {
+ScorerSnapshot::ScorerSnapshot(
+    RiskModel model, std::shared_ptr<const DriftBaseline> drift_baseline)
+    : model_(std::move(model)), drift_baseline_(std::move(drift_baseline)) {
   const size_t n_rules = model_.num_rules();
   weight_.resize(n_rules);
   expectation_.resize(n_rules);

@@ -11,13 +11,17 @@
 #define LEARNRISK_SERVE_SCORER_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "risk/risk_model.h"
 #include "serve/compiled_rules.h"
 
 namespace learnrisk {
+
+class DriftBaseline;  // obs/drift.h
 
 /// \brief An immutable scoring view frozen from a RiskModel.
 ///
@@ -27,10 +31,22 @@ namespace learnrisk {
 /// threads without synchronization: nothing mutates after construction.
 class ScorerSnapshot {
  public:
-  explicit ScorerSnapshot(RiskModel model);
+  /// \brief Freezes `model`, optionally together with the training-time
+  /// feature/risk distributions it was fitted on (see obs/drift.h) — the
+  /// reference the gateway's drift gauges compare live traffic against.
+  /// The baseline is carried, not persisted: model_io round-trips drop it.
+  explicit ScorerSnapshot(
+      RiskModel model,
+      std::shared_ptr<const DriftBaseline> drift_baseline = nullptr);
 
   /// \brief The underlying model (for persistence / introspection).
   const RiskModel& model() const { return model_; }
+
+  /// \brief Training-time distributions frozen at publish; nullptr when the
+  /// model was published (or reloaded from disk) without one.
+  const std::shared_ptr<const DriftBaseline>& drift_baseline() const {
+    return drift_baseline_;
+  }
   /// \brief The compiled activation plan (shared with the model's features).
   const CompiledRuleSet& compiled() const { return model_.features().compiled(); }
   size_t num_rules() const { return weight_.size(); }
@@ -66,6 +82,7 @@ class ScorerSnapshot {
 
  private:
   RiskModel model_;
+  std::shared_ptr<const DriftBaseline> drift_baseline_;
   // Baked transforms; read-only after construction.
   double alpha_ = 0.0;           ///< softplus(alpha_raw)
   double beta_ = 0.0;            ///< softplus(beta_raw)

@@ -6,10 +6,12 @@
 
 namespace learnrisk {
 
-uint64_t ServingEngine::Publish(RiskModel model) {
+uint64_t ServingEngine::Publish(
+    RiskModel model, std::shared_ptr<const DriftBaseline> drift_baseline) {
   const uint64_t version =
       next_version_.fetch_add(1, std::memory_order_relaxed);
-  auto published = std::make_shared<const Published>(version, std::move(model));
+  auto published = std::make_shared<const Published>(version, std::move(model),
+                                                     std::move(drift_baseline));
   // Swap forward only: if a concurrent Publish drew a later version and its
   // store landed first, installing ours would regress the served version.
   auto expected = Load();

@@ -83,7 +83,13 @@ class ServingEngine {
   /// \brief Freezes the model into a snapshot and swaps it in as the current
   /// scorer. Returns the new snapshot's version. Never blocks readers: the
   /// (comparatively expensive) snapshot build happens before the swap.
-  uint64_t Publish(RiskModel model);
+  /// `drift_baseline`, when given, rides the snapshot as the training-time
+  /// reference the gateway's drift gauges compare live traffic against
+  /// (obs/drift.h); it is not persisted, so SaveCurrent/LoadAndPublish
+  /// round-trips drop it.
+  uint64_t Publish(RiskModel model,
+                   std::shared_ptr<const DriftBaseline> drift_baseline =
+                       nullptr);
 
   /// \brief True once a model has been published.
   bool has_model() const { return Load() != nullptr; }
@@ -125,7 +131,9 @@ class ServingEngine {
   struct Published {
     uint64_t version;
     ScorerSnapshot snapshot;
-    Published(uint64_t v, RiskModel m) : version(v), snapshot(std::move(m)) {}
+    Published(uint64_t v, RiskModel m,
+              std::shared_ptr<const DriftBaseline> baseline)
+        : version(v), snapshot(std::move(m), std::move(baseline)) {}
   };
 
   std::shared_ptr<const Published> Load() const {

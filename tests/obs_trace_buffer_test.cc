@@ -1,0 +1,166 @@
+// Copyright 2026 The LearnRisk Authors
+// TraceBuffer contract tests: the audit ring keeps the newest traces with
+// drop-oldest overflow and exact push/drop accounting, snapshots are sorted
+// by request id and stay valid after eviction, and — the hammer — concurrent
+// writers racing concurrent scrapers never produce a torn trace: every
+// trace a snapshot returns is internally consistent (its derived fields
+// match its id), and once writers join the accounting is exact:
+// pushed == dropped + resident. Run under TSan in CI (tsan job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_buffer.h"
+
+namespace learnrisk {
+namespace {
+
+// A trace whose fields are all derived from its id, so a reader can verify
+// it was not torn: any mix of two traces' fields breaks the arithmetic.
+std::shared_ptr<const RequestTrace> DerivedTrace(uint64_t id) {
+  auto trace = std::make_shared<RequestTrace>();
+  trace->request_id = id;
+  trace->api = "resolve";
+  trace->ns = "ns" + std::to_string(id % 10);
+  trace->model_version = id + 1;
+  trace->start_ns = id * 1000;
+  trace->total_ns = id * 3;
+  trace->candidates = id % 7;
+  trace->pairs_scored = id % 5;
+  trace->max_risk = static_cast<double>(id % 100) / 100.0;
+  return trace;
+}
+
+void CheckDerived(const RequestTrace& t) {
+  const uint64_t id = t.request_id;
+  ASSERT_EQ(t.model_version, id + 1);
+  ASSERT_EQ(t.start_ns, id * 1000);
+  ASSERT_EQ(t.total_ns, id * 3);
+  ASSERT_EQ(t.candidates, id % 7);
+  ASSERT_EQ(t.pairs_scored, id % 5);
+  ASSERT_EQ(t.ns, "ns" + std::to_string(id % 10));
+}
+
+TEST(TraceBufferTest, PushAndSnapshotSortedById) {
+  TraceBuffer buffer(8);
+  EXPECT_EQ(buffer.capacity(), 8u);
+  EXPECT_TRUE(buffer.Snapshot().empty());
+
+  // Out-of-order pushes come back sorted by request id.
+  buffer.Push(DerivedTrace(3));
+  buffer.Push(DerivedTrace(1));
+  buffer.Push(DerivedTrace(2));
+  buffer.Push(nullptr);  // ignored, not counted
+
+  const auto snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0]->request_id, 1u);
+  EXPECT_EQ(snap[1]->request_id, 2u);
+  EXPECT_EQ(snap[2]->request_id, 3u);
+  EXPECT_EQ(buffer.pushed(), 3u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceBufferTest, ZeroCapacityClampsToOne) {
+  TraceBuffer buffer(0);
+  EXPECT_EQ(buffer.capacity(), 1u);
+  buffer.Push(DerivedTrace(1));
+  buffer.Push(DerivedTrace(2));
+  const auto snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0]->request_id, 2u);
+  EXPECT_EQ(buffer.pushed(), 2u);
+  EXPECT_EQ(buffer.dropped(), 1u);
+}
+
+TEST(TraceBufferTest, OverflowDropsOldestWithExactAccounting) {
+  constexpr size_t kCapacity = 4;
+  constexpr uint64_t kPushes = 10;
+  TraceBuffer buffer(kCapacity);
+  for (uint64_t id = 1; id <= kPushes; ++id) buffer.Push(DerivedTrace(id));
+
+  const auto snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), kCapacity);
+  // Single-writer: the ring holds exactly the newest kCapacity traces.
+  for (size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(snap[i]->request_id, kPushes - kCapacity + 1 + i);
+  }
+  EXPECT_EQ(buffer.pushed(), kPushes);
+  EXPECT_EQ(buffer.dropped(), kPushes - kCapacity);
+}
+
+TEST(TraceBufferTest, SnapshotSurvivesEviction) {
+  TraceBuffer buffer(2);
+  buffer.Push(DerivedTrace(1));
+  buffer.Push(DerivedTrace(2));
+  const auto snap = buffer.Snapshot();
+  // Evict everything the snapshot saw; the shared_ptrs keep the traces
+  // alive and untouched (traces are immutable once pushed).
+  for (uint64_t id = 3; id <= 6; ++id) buffer.Push(DerivedTrace(id));
+  ASSERT_EQ(snap.size(), 2u);
+  CheckDerived(*snap[0]);
+  CheckDerived(*snap[1]);
+  EXPECT_EQ(snap[0]->request_id, 1u);
+  EXPECT_EQ(snap[1]->request_id, 2u);
+}
+
+// The TSan hammer: writers push derived traces while scrapers snapshot in a
+// loop. Every observed trace must be internally consistent (never torn),
+// and the final accounting must be exact.
+TEST(TraceBufferTest, ConcurrentWritersAndScrapersNeverTear) {
+  static constexpr size_t kCapacity = 64;
+  static constexpr size_t kWriters = 4;
+  static constexpr uint64_t kPerWriter = 10000;
+  static constexpr uint64_t kTotal = kWriters * kPerWriter;
+  TraceBuffer buffer(kCapacity);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::vector<std::thread> scrapers;
+  for (size_t s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&buffer, &done, &scrapes] {
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = buffer.Snapshot();
+        ASSERT_LE(snap.size(), kCapacity);
+        uint64_t prev = 0;
+        for (const auto& trace : snap) {
+          ASSERT_NE(trace, nullptr);
+          CheckDerived(*trace);
+          ASSERT_GT(trace->request_id, prev);  // sorted, no duplicates
+          prev = trace->request_id;
+        }
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&buffer, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        // Globally unique ids, disjoint per writer.
+        buffer.Push(DerivedTrace(w * kPerWriter + i + 1));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : scrapers) t.join();
+  EXPECT_GT(scrapes.load(), 0u);
+
+  // Writers are quiescent: accounting is exact, not approximate.
+  const auto snap = buffer.Snapshot();
+  EXPECT_EQ(snap.size(), kCapacity);
+  EXPECT_EQ(buffer.pushed(), kTotal);
+  EXPECT_EQ(buffer.dropped(), kTotal - kCapacity);
+  EXPECT_EQ(buffer.pushed(), buffer.dropped() + snap.size());
+  for (const auto& trace : snap) CheckDerived(*trace);
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -137,6 +137,22 @@ else
   done
 fi
 
+# --- Tracing guard: docs/TRACING.md documents the decision-obs surface. ----
+tracing_doc="$root/docs/TRACING.md"
+if [ ! -f "$tracing_doc" ]; then
+  echo "docs/TRACING.md is missing"
+  fail=1
+else
+  for symbol in RequestTrace TraceStageSpan TracedDecision TraceBuffer \
+                RecentTraces TraceOptions DriftOptions DriftBaseline \
+                PsiMicros ExportTracesJson; do
+    if ! grep -q "$symbol" "$tracing_doc"; then
+      echo "docs/TRACING.md does not document $symbol"
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "docs checks passed"
 fi

@@ -12,11 +12,22 @@
 #     counter (and histogram _count/_bucket/_sum) present in both must not
 #     decrease from the first to the second.
 #
-# Usage: tools/check_metrics_format.sh snapshot1.prom [snapshot2.prom]
+# Arguments ending in .json are validated as request-trace dumps instead
+# (ExportTracesJson output, e.g. bench_gateway's gateway_traces.json;
+# schema in docs/TRACING.md):
+#  1. framing: `{"traces": [` header, `]}` footer, one JSON object per line
+#     in between, at least one trace;
+#  2. schema: every trace line carries the full key set (request_id through
+#     top_risky);
+#  3. identity: request ids are unique across the dump;
+#  4. ordering: start_ns is nondecreasing down the file (the exporter sorts
+#     by start time).
+#
+# Usage: tools/check_metrics_format.sh snapshot1.prom [snapshot2.prom] [traces.json ...]
 set -u
 
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 snapshot1.prom [snapshot2.prom]" >&2
+  echo "usage: $0 snapshot1.prom [snapshot2.prom] [traces.json ...]" >&2
   exit 2
 fi
 
@@ -124,11 +135,71 @@ monotone_series() {
   ' "$1"
 }
 
+# Validates one ExportTracesJson dump (one trace object per line between
+# the header and footer lines).
+check_trace_file() {
+  local file="$1"
+  if [ ! -s "$file" ]; then
+    echo "$file: missing or empty"
+    fail=1
+    return
+  fi
+  awk -v fname="$file" '
+    function err(msg) { printf "%s:%d: %s\n", fname, NR, msg; bad = 1 }
+    NR == 1 {
+      if ($0 !~ /^\{"traces": \[$/) err("bad header line: " $0)
+      next
+    }
+    /^\]\}$/ { saw_close = 1; next }
+    saw_close { err("content after closing ]}"); next }
+    {
+      line = $0
+      sub(/,$/, "", line)
+      if (line !~ /^\{/ || line !~ /\}$/) {
+        err("trace line is not a JSON object"); next
+      }
+      ++traces
+      nkeys = split("request_id api namespace model_version start_ns " \
+                    "total_ns candidates pairs_scored max_risk " \
+                    "head_sampled slow high_risk stages top_risky", keys, " ")
+      for (i = 1; i <= nkeys; ++i)
+        if (index(line, "\"" keys[i] "\": ") == 0)
+          err("trace missing key \"" keys[i] "\"")
+      if (match(line, /"request_id": [0-9]+/)) {
+        id = substr(line, RSTART + 14, RLENGTH - 14)
+        if (id in seen_ids) err("duplicate request_id " id)
+        seen_ids[id] = 1
+      } else {
+        err("unparseable request_id")
+      }
+      if (match(line, /"start_ns": [0-9]+/)) {
+        start = substr(line, RSTART + 12, RLENGTH - 12) + 0
+        if (have_prev && start < prev_start)
+          err("start_ns went backwards: " prev_start " -> " start)
+        prev_start = start
+        have_prev = 1
+      } else {
+        err("unparseable start_ns")
+      }
+    }
+    END {
+      if (!saw_close) { printf "%s: missing ]} footer\n", fname; bad = 1 }
+      if (traces == 0) { printf "%s: no traces in dump\n", fname; bad = 1 }
+      exit bad
+    }
+  ' "$file" || fail=1
+}
+
+prom_files=()
 for file in "$@"; do
-  check_file "$file"
+  case "$file" in
+    *.json) check_trace_file "$file" ;;
+    *) check_file "$file"; prom_files+=("$file") ;;
+  esac
 done
 
-if [ "$#" -ge 2 ] && [ -s "$1" ] && [ -s "$2" ]; then
+check_monotone() {
+  if [ -s "$1" ] && [ -s "$2" ]; then
   while IFS=' ' read -r key first second; do
     # Floating-point compare via awk (values can be exponents).
     if ! awk -v a="$first" -v b="$second" 'BEGIN { exit (b+0 >= a+0) ? 0 : 1 }'; then
@@ -137,6 +208,11 @@ if [ "$#" -ge 2 ] && [ -s "$1" ] && [ -s "$2" ]; then
     fi
   done < <(join <(monotone_series "$1" | sort) \
                 <(monotone_series "$2" | sort))
+  fi
+}
+
+if [ "${#prom_files[@]}" -ge 2 ]; then
+  check_monotone "${prom_files[0]}" "${prom_files[1]}"
 fi
 
 if [ "$fail" -ne 0 ]; then
