@@ -1,0 +1,306 @@
+// Copyright 2026 The LearnRisk Authors
+//
+// Multicore scaling bench for sharded gateway namespaces: the same explicit-
+// pair request stream is served by an unsharded namespace and by a sharded
+// one (results are bit-identical by construction — tests/gateway_shard_test
+// proves it; this binary measures what sharding buys). Each cell of the
+// matrix {unsharded, sharded} x {read-only, mixed 95/5 read/write} x
+// {1, 2, 4, ... reader threads} runs N concurrent readers over fixed-size
+// explicit-pair batches (mixed cells add one AddRecord writer paced at ~5%
+// of operations) and reports aggregate pairs/s, pairs/s per reader thread,
+// and the p50/p99 per-request latency. Requests run with
+// request_parallelism = 1 (each request evaluates serially on its own
+// thread) so concurrency across requests — not the shared intra-request
+// pool — is what scales. Prints a table and writes BENCH_scaling.json.
+//
+// On a single-core container the thread counts oversubscribe one CPU: expect
+// flat aggregate throughput and rising p99 — the interesting signal there is
+// sharded-vs-unsharded parity of the serving overhead. On real multicore
+// hosts the per-shard writer locks and RCU snapshots let readers and
+// writers spread across cores.
+//
+// Env knobs:
+//   LEARNRISK_BENCH_SCALE     dataset scale                (default 0.05)
+//   LEARNRISK_BENCH_BATCH     explicit-pair request size   (default 256)
+//   LEARNRISK_BENCH_RULES     risk-model rules             (default 64)
+//   LEARNRISK_BENCH_SECONDS   seconds per matrix cell      (default 0.4)
+//   LEARNRISK_BENCH_THREADS   max reader threads, doubling
+//                             from 1 (default 4 -> 1,2,4)
+//   LEARNRISK_BENCH_SHARDS    shard count of the sharded
+//                             configuration (default 4)
+//   LEARNRISK_SEED            master seed                  (default 7)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "classifier/logistic.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "gateway/gateway.h"
+#include "risk/risk_feature.h"
+
+namespace {
+
+using namespace learnrisk;  // NOLINT
+
+struct CellResult {
+  std::string config;  ///< "unsharded" | "sharded"
+  std::string mode;    ///< "read_only" | "mixed_95_5"
+  size_t threads = 0;  ///< reader threads
+  size_t requests = 0;
+  size_t writes = 0;
+  double pairs_per_sec = 0.0;
+  double pairs_per_sec_per_thread = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Sharded namespaces: reader/writer thread scaling, sharded vs "
+      "unsharded");
+
+  const double scale = bench::EnvDouble("LEARNRISK_BENCH_SCALE", 0.05);
+  const size_t batch_size = bench::EnvSize("LEARNRISK_BENCH_BATCH", 256);
+  const size_t num_rules = bench::EnvSize("LEARNRISK_BENCH_RULES", 64);
+  const double cell_seconds =
+      bench::EnvDouble("LEARNRISK_BENCH_SECONDS", 0.4);
+  const size_t max_threads = bench::EnvSize("LEARNRISK_BENCH_THREADS", 4);
+  const size_t num_shards = bench::EnvSize("LEARNRISK_BENCH_SHARDS", 4);
+  const uint64_t seed = bench::Seed();
+
+  GeneratorOptions generator;
+  generator.scale = scale;
+  generator.seed = seed;
+  Result<Workload> workload = GenerateDataset("DS", generator);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  MetricSuite suite = MetricSuite::ForSchema(workload->left().schema());
+  suite.Fit(*workload);
+  const size_t num_metrics = suite.num_metrics();
+  const FeatureMatrix features = ComputeFeatures(*workload, suite);
+  LogisticOptions logistic;
+  logistic.epochs = 60;
+  logistic.seed = seed;
+  auto classifier = std::make_shared<LogisticClassifier>(logistic);
+  if (!classifier->Train(features, workload->Labels()).ok()) {
+    std::fprintf(stderr, "classifier training failed\n");
+    return 1;
+  }
+  const RiskModel model =
+      bench::MakeSyntheticRuleModel(num_rules, num_metrics, seed + 1);
+
+  // Fresh gateway per cell (mixed cells grow the namespace; a shared one
+  // would hand later cells a bigger workload). Each request evaluates
+  // serially on its calling thread so reader-thread count is the knob.
+  auto make_gateway = [&](size_t shards) {
+    GatewayOptions options;
+    options.request_parallelism = 1;
+    auto gateway = std::make_unique<Gateway>(options);
+    NamespaceSpec spec;
+    spec.left = workload->left_ptr();
+    spec.right = workload->right_ptr();
+    spec.suite = suite;
+    spec.classifier = classifier;
+    spec.shards = shards;
+    if (!gateway->RegisterNamespace("ds", std::move(spec)).ok() ||
+        !gateway->Publish("ds", model).ok()) {
+      std::fprintf(stderr, "gateway setup failed (shards=%zu)\n", shards);
+      std::exit(1);
+    }
+    return gateway;
+  };
+
+  // The shared request stream: fixed-size explicit-pair batches cut from
+  // the namespace's full candidate set.
+  std::vector<ResolveRequest> batches;
+  size_t candidate_pairs = 0;
+  {
+    auto probe_gateway = make_gateway(1);
+    ResolveRequest block_all;
+    block_all.block_all = true;
+    const auto full = probe_gateway->Resolve("ds", block_all);
+    if (!full.ok() || full->pairs.empty()) {
+      std::fprintf(stderr, "no candidate pairs at scale %.3f\n", scale);
+      return 1;
+    }
+    candidate_pairs = full->pairs.size();
+    for (size_t begin = 0; begin < full->pairs.size(); begin += batch_size) {
+      const size_t end = std::min(begin + batch_size, full->pairs.size());
+      ResolveRequest request;
+      request.pairs.assign(
+          full->pairs.begin() + static_cast<ptrdiff_t>(begin),
+          full->pairs.begin() + static_cast<ptrdiff_t>(end));
+      batches.push_back(std::move(request));
+    }
+  }
+
+  auto run_cell = [&](const std::string& config, size_t shards,
+                      const std::string& mode, bool mixed, size_t threads) {
+    auto gateway = make_gateway(shards);
+    if (!gateway->Resolve("ds", batches[0]).ok()) std::exit(1);  // warm-up
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> failed{false};
+    std::atomic<size_t> total_requests{0};
+    std::atomic<size_t> total_pairs{0};
+    std::vector<std::vector<double>> latencies(threads);
+    auto reader = [&](size_t t) {
+      size_t i = t;  // staggered start so threads touch different batches
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ResolveRequest& request = batches[i++ % batches.size()];
+        Timer request_timer;
+        const auto response = gateway->Resolve("ds", request);
+        if (!response.ok()) {
+          failed.store(true);
+          return;
+        }
+        latencies[t].push_back(request_timer.ElapsedMillis());
+        total_pairs.fetch_add(response->pairs.size(),
+                              std::memory_order_relaxed);
+        total_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    std::atomic<size_t> writes{0};
+    auto writer = [&]() {
+      size_t next = 0;
+      const Table& source = workload->right();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // One write per 19 read requests across all readers (~5% of ops).
+        if (writes.load(std::memory_order_relaxed) * 19 <
+            total_requests.load(std::memory_order_relaxed)) {
+          const auto added = gateway->AddRecord(
+              "ds", BlockingSide::kRight,
+              source.record(next++ % source.num_records()), -1);
+          if (!added.ok()) {
+            failed.store(true);
+            return;
+          }
+          writes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    Timer timer;
+    for (size_t t = 0; t < threads; ++t) pool.emplace_back(reader, t);
+    if (mixed) pool.emplace_back(writer);
+    while (timer.ElapsedSeconds() < cell_seconds &&
+           !failed.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stop.store(true);
+    for (std::thread& t : pool) t.join();
+    const double wall_ms = timer.ElapsedMillis();
+    if (failed.load()) {
+      std::fprintf(stderr, "cell %s/%s/%zu failed\n", config.c_str(),
+                   mode.c_str(), threads);
+      std::exit(1);
+    }
+
+    std::vector<double> all_latencies;
+    for (const auto& thread_latencies : latencies) {
+      all_latencies.insert(all_latencies.end(), thread_latencies.begin(),
+                           thread_latencies.end());
+    }
+    CellResult cell;
+    cell.config = config;
+    cell.mode = mode;
+    cell.threads = threads;
+    cell.requests = total_requests.load();
+    cell.writes = writes.load();
+    cell.pairs_per_sec =
+        wall_ms > 0.0
+            ? static_cast<double>(total_pairs.load()) / (wall_ms / 1e3)
+            : 0.0;
+    cell.pairs_per_sec_per_thread =
+        cell.pairs_per_sec / static_cast<double>(threads);
+    cell.p50_ms = bench::Percentile(all_latencies, 0.5);
+    cell.p99_ms = bench::Percentile(all_latencies, 0.99);
+    return cell;
+  };
+
+  std::vector<size_t> thread_counts;
+  for (size_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.size() < 2) thread_counts.push_back(max_threads * 2);
+
+  std::printf("workload: DS scale=%.2f, %zu x %zu records, %zu candidate "
+              "pairs in %zu batches of %zu; sharded config uses %zu shards; "
+              "%zu hardware threads\n\n",
+              scale, workload->left().num_records(),
+              workload->right().num_records(), candidate_pairs,
+              batches.size(), batch_size, num_shards,
+              static_cast<size_t>(std::thread::hardware_concurrency()));
+  std::printf("  %-10s %-10s %8s %14s %14s %10s %10s %8s\n", "config",
+              "mode", "threads", "pairs/s", "pairs/s/thr", "p50 ms",
+              "p99 ms", "writes");
+
+  std::vector<CellResult> results;
+  for (const size_t threads : thread_counts) {
+    for (const bool sharded : {false, true}) {
+      for (const bool mixed : {false, true}) {
+        CellResult cell = run_cell(
+            sharded ? "sharded" : "unsharded", sharded ? num_shards : 1,
+            mixed ? "mixed_95_5" : "read_only", mixed, threads);
+        std::printf("  %-10s %-10s %8zu %14.0f %14.0f %10.3f %10.3f %8zu\n",
+                    cell.config.c_str(), cell.mode.c_str(), cell.threads,
+                    cell.pairs_per_sec, cell.pairs_per_sec_per_thread,
+                    cell.p50_ms, cell.p99_ms, cell.writes);
+        results.push_back(std::move(cell));
+      }
+    }
+  }
+
+  FILE* json = std::fopen("BENCH_scaling.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"batch\": %zu,\n"
+                 "  \"shards\": %zu,\n"
+                 "  \"candidate_pairs\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"cell_seconds\": %.2f,\n"
+                 "  \"thread_counts\": [",
+                 scale, batch_size, num_shards, candidate_pairs,
+                 static_cast<size_t>(std::thread::hardware_concurrency()),
+                 cell_seconds);
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      std::fprintf(json, "%s%zu", i == 0 ? "" : ", ", thread_counts[i]);
+    }
+    std::fprintf(json, "],\n  \"results\": [");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const CellResult& cell = results[i];
+      std::fprintf(json,
+                   "%s\n    {\"config\": \"%s\", \"mode\": \"%s\", "
+                   "\"threads\": %zu, \"requests\": %zu, \"writes\": %zu, "
+                   "\"pairs_per_sec\": %.1f, "
+                   "\"pairs_per_sec_per_thread\": %.1f, "
+                   "\"request_p50_ms\": %.4f, \"request_p99_ms\": %.4f}",
+                   i == 0 ? "" : ",", cell.config.c_str(), cell.mode.c_str(),
+                   cell.threads, cell.requests, cell.writes,
+                   cell.pairs_per_sec, cell.pairs_per_sec_per_thread,
+                   cell.p50_ms, cell.p99_ms);
+    }
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\n  wrote BENCH_scaling.json\n");
+  }
+  return 0;
+}

@@ -97,6 +97,35 @@ Status BlockingIndex::AddRecord(BlockingSide side, const Record& record,
   return Status::OK();
 }
 
+void BlockingIndex::ForEachToken(
+    BlockingSide side,
+    const std::function<void(const std::string&)>& fn) const {
+  const Side& s = side_of(side);
+  for (const auto& segment : s.segments) {
+    for (const auto& [token, ids] : segment->postings) {
+      (void)ids;
+      // The prior set answers "did an earlier segment index this token?" in
+      // one lookup, so each distinct token fires exactly once.
+      if (segment->prior.count(token) > 0) continue;
+      fn(token);
+    }
+  }
+}
+
+size_t BlockingIndex::TokenCount(BlockingSide side,
+                                 const std::string& token) const {
+  return CountToken(side_of(side), token);
+}
+
+void BlockingIndex::AppendTokenIds(BlockingSide side, const std::string& token,
+                                   std::vector<size_t>* out) const {
+  GatherIds(side_of(side), token, 0, out);
+}
+
+int64_t BlockingIndex::EntityAt(BlockingSide side, size_t id) const {
+  return EntityOf(side_of(side), id);
+}
+
 size_t BlockingIndex::CountToken(const Side& side, const std::string& token) {
   size_t count = 0;
   for (const auto& segment : side.segments) {

@@ -13,6 +13,7 @@
 #define LEARNRISK_GATEWAY_BLOCKING_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -112,6 +113,30 @@ class BlockingIndex {
   /// same caps, dedup semantics, and deterministic ordering as
   /// TokenBlocking over the same records.
   std::vector<RecordPair> AllCandidates() const;
+
+  // --- Cross-shard merge support (src/gateway/shard_merge.cc) ---------------
+  // Sharded namespaces keep one BlockingIndex per shard (local record ids)
+  // and reproduce the global blocker by unioning postings across shards and
+  // applying the df / block-size caps at the *global* counts. These
+  // accessors expose exactly what that merge needs; they do not change the
+  // index's own cap semantics.
+
+  /// \brief Calls `fn(token)` exactly once per distinct token indexed on one
+  /// side (the per-segment `prior` sets dedup across segments). The
+  /// reference stays valid while this index (or a copy sharing its
+  /// segments) is alive.
+  void ForEachToken(BlockingSide side,
+                    const std::function<void(const std::string&)>& fn) const;
+
+  /// \brief Total posting count of `token` on one side (0 when absent).
+  size_t TokenCount(BlockingSide side, const std::string& token) const;
+
+  /// \brief Appends every posting id of `token` on one side, ascending.
+  void AppendTokenIds(BlockingSide side, const std::string& token,
+                      std::vector<size_t>* out) const;
+
+  /// \brief Entity id of one record of a side (-1 = unknown).
+  int64_t EntityAt(BlockingSide side, size_t id) const;
 
  private:
   using Postings = std::unordered_map<std::string, std::vector<size_t>>;

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "gateway/namespace_segments.h"
+#include "gateway/shard_merge.h"
 
 namespace learnrisk {
 
@@ -46,33 +47,39 @@ Result<FeaturizedBatch> FeaturePipeline::RunImpl(
   // Outputs are bit-identical to the previous fused loop: pass 1 writes the
   // exact metric rows pass 2 reads, and neither pass reorders arithmetic.
   Timer timer;
-  ParallelForRange(n, [&](size_t begin, size_t end) {
-    // Per-thread scratch: kernel buffers for the prepared metric path;
-    // metric values land directly in the output matrix.
-    MetricScratch scratch;
-    for (size_t i = begin; i < end; ++i) {
-      eval_row(i, batch.features.mutable_row(i), &scratch);
-    }
-  });
+  ParallelForRange(
+      n,
+      [&](size_t begin, size_t end) {
+        // Per-thread scratch: kernel buffers for the prepared metric path;
+        // metric values land directly in the output matrix.
+        MetricScratch scratch;
+        for (size_t i = begin; i < end; ++i) {
+          eval_row(i, batch.features.mutable_row(i), &scratch);
+        }
+      },
+      parallelism_);
   batch.featurize_ms = timer.ElapsedMillis();
 
   timer.Reset();
-  ParallelForRange(n, [&](size_t begin, size_t end) {
-    // Per-thread gather buffer for the classifier's input columns.
-    std::vector<double> gathered(gather ? classifier_width : 0);
-    for (size_t i = begin; i < end; ++i) {
-      const double* row = batch.features.row(i);
-      const double* classifier_input = row;
-      if (gather) {
-        for (size_t k = 0; k < classifier_width; ++k) {
-          gathered[k] = row[classifier_columns_[k]];
+  ParallelForRange(
+      n,
+      [&](size_t begin, size_t end) {
+        // Per-thread gather buffer for the classifier's input columns.
+        std::vector<double> gathered(gather ? classifier_width : 0);
+        for (size_t i = begin; i < end; ++i) {
+          const double* row = batch.features.row(i);
+          const double* classifier_input = row;
+          if (gather) {
+            for (size_t k = 0; k < classifier_width; ++k) {
+              gathered[k] = row[classifier_columns_[k]];
+            }
+            classifier_input = gathered.data();
+          }
+          batch.probs[i] =
+              classifier_->PredictProba(classifier_input, classifier_width);
         }
-        classifier_input = gathered.data();
-      }
-      batch.probs[i] =
-          classifier_->PredictProba(classifier_input, classifier_width);
-    }
-  });
+      },
+      parallelism_);
   batch.classify_ms = timer.ElapsedMillis();
   return batch;
 }
@@ -121,6 +128,21 @@ inline const PreparedRecord& PreparedRow(const PreparedTable& t, size_t i) {
 inline const PreparedRecord& PreparedRow(const SideStore& t, size_t i) {
   return t.prepared(i);
 }
+inline const PreparedRecord& PreparedRow(const ShardedSideView& t, size_t i) {
+  return t.prepared(i);
+}
+
+// Bounds checks. The sharded view addresses records by global id, where
+// validity is per-shard (a global id can exceed a momentarily smaller
+// sibling shard while being valid on its own shard), so it answers through
+// its exact InRange instead of a flat size comparison.
+inline bool RowInRange(const PreparedTable& t, size_t i) {
+  return i < t.size();
+}
+inline bool RowInRange(const SideStore& t, size_t i) { return i < t.size(); }
+inline bool RowInRange(const ShardedSideView& t, size_t i) {
+  return t.InRange(i);
+}
 
 }  // namespace
 
@@ -129,7 +151,7 @@ Result<FeaturizedBatch> FeaturePipeline::RunPreparedImpl(
     const LeftStore& left, const RightStore& right,
     const std::vector<RecordPair>& pairs) const {
   for (const RecordPair& pair : pairs) {
-    if (pair.left >= left.size() || pair.right >= right.size()) {
+    if (!RowInRange(left, pair.left) || !RowInRange(right, pair.right)) {
       return Status::OutOfRange("record pair index out of table range");
     }
   }
@@ -162,7 +184,7 @@ Result<FeaturizedBatch> FeaturePipeline::RunProbePreparedImpl(
         "probe record width does not match the pipeline schema");
   }
   for (size_t c : candidates) {
-    if (c >= table.size()) {
+    if (!RowInRange(table, c)) {
       return Status::OutOfRange("candidate record index out of table range");
     }
   }
@@ -194,6 +216,18 @@ Result<FeaturizedBatch> FeaturePipeline::RunPrepared(
 
 Result<FeaturizedBatch> FeaturePipeline::RunProbePrepared(
     const PreparedRecord& probe, const SideStore& table,
+    const std::vector<size_t>& candidates) const {
+  return RunProbePreparedImpl(probe, table, candidates);
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunPrepared(
+    const ShardedSideView& left, const ShardedSideView& right,
+    const std::vector<RecordPair>& pairs) const {
+  return RunPreparedImpl(left, right, pairs);
+}
+
+Result<FeaturizedBatch> FeaturePipeline::RunProbePrepared(
+    const PreparedRecord& probe, const ShardedSideView& table,
     const std::vector<size_t>& candidates) const {
   return RunProbePreparedImpl(probe, table, candidates);
 }

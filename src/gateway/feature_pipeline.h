@@ -31,6 +31,7 @@
 namespace learnrisk {
 
 class SideStore;
+class ShardedSideView;
 
 /// \brief Featurization output for one batch of pairs: the metric rows (the
 /// rule-evaluation input) plus the classifier's equivalence probabilities —
@@ -117,6 +118,27 @@ class FeaturePipeline {
       const PreparedRecord& probe, const SideStore& table,
       const std::vector<size_t>& candidates) const;
 
+  /// \brief Sharded-view overloads — pairs (or candidates) carry *global*
+  /// record ids over a ShardedSideView of per-shard stores (see
+  /// gateway/shard_merge.h). Bit-identical to the single-store overloads on
+  /// the equivalent unsharded stores.
+  Result<FeaturizedBatch> RunPrepared(const ShardedSideView& left,
+                                      const ShardedSideView& right,
+                                      const std::vector<RecordPair>& pairs)
+      const;
+  Result<FeaturizedBatch> RunProbePrepared(
+      const PreparedRecord& probe, const ShardedSideView& table,
+      const std::vector<size_t>& candidates) const;
+
+  /// \brief Caps the worker threads of each internal pass: 0 (default) uses
+  /// the shared process pool's full concurrency, 1 evaluates serially on the
+  /// calling thread. The shared pool runs one parallel loop at a time, so
+  /// gateways serving many concurrent requests set 1 to let requests scale
+  /// across threads instead of queueing on the pool (bit-identical output
+  /// either way).
+  void set_parallelism(size_t parallelism) { parallelism_ = parallelism; }
+  size_t parallelism() const { return parallelism_; }
+
  private:
   /// \brief Shared core: featurize row i via `eval_row(i, out_row, scratch)`,
   /// then gather classifier columns and predict.
@@ -139,6 +161,7 @@ class FeaturePipeline {
   std::shared_ptr<const BinaryClassifier> classifier_;
   std::vector<size_t> classifier_columns_;
   std::vector<std::string> metric_names_;  ///< suite_.MetricNames(), cached
+  size_t parallelism_ = 0;                 ///< see set_parallelism()
 };
 
 }  // namespace learnrisk

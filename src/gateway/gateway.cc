@@ -5,11 +5,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <tuple>
 #include <utility>
 
 #include "common/timer.h"
+#include "gateway/shard_merge.h"
 #include "risk/model_io.h"
 
 namespace learnrisk {
@@ -36,6 +39,80 @@ uint64_t SteadyNowNs() {
 void SinkStage(std::vector<TraceStageSpan>* sink, const char* stage,
                double ms) {
   if (sink != nullptr) sink->push_back(TraceStageSpan{stage, ms});
+}
+
+// --- Sharded durable layout (docs/DURABILITY.md "Sharded namespaces") ------
+// An unsharded namespace keeps the original layout (<dir>/<ns>/MANIFEST...).
+// A sharded one marks the namespace directory with a SHARDS meta file and
+// keeps one full NamespaceLog per shard under <dir>/<ns>/shards/s<k>/, so
+// every per-shard WAL/checkpoint/manifest keeps the exact single-namespace
+// protocol. The SHARDS file is written (tmp + rename) before any shard log
+// exists; the sharded state counts as committed only once every shard's
+// manifest is committed — anything less is registration debris.
+
+constexpr char kShardsFileName[] = "SHARDS";
+constexpr char kShardsHeader[] = "learnrisk-namespace-shards v1";
+
+std::string ShardsFilePath(const DurabilityOptions& options,
+                           const std::string& ns) {
+  return options.dir + "/" + ns + "/" + kShardsFileName;
+}
+
+// Durability options addressing the per-shard logs of one namespace: shard
+// k's log is namespace "s<k>" under <dir>/<ns>/shards.
+DurabilityOptions ShardDurability(const DurabilityOptions& options,
+                                  const std::string& ns) {
+  DurabilityOptions shard = options;
+  shard.dir = options.dir + "/" + ns + "/shards";
+  return shard;
+}
+
+std::string ShardLogName(size_t shard) {
+  return "s" + std::to_string(shard);
+}
+
+Status WriteShardsFile(const std::string& path, size_t num_shards) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open '" + tmp + "'");
+    out << kShardsHeader << "\n" << num_shards << "\n";
+    out.flush();
+    if (!out) return Status::IOError("error writing '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot commit '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+// Shard count recorded for a namespace; 0 = no SHARDS file (unsharded /
+// legacy layout). The file is rename-committed, so a corrupt one is real
+// damage, not a torn write.
+Result<size_t> ReadShardsFile(const std::string& path) {
+  if (!std::filesystem::exists(path)) return size_t{0};
+  std::ifstream in(path);
+  std::string header;
+  size_t num_shards = 0;
+  if (!in || !std::getline(in, header) || header != kShardsHeader ||
+      !(in >> num_shards) || num_shards < 2) {
+    return Status::IOError("corrupt shard meta file '" + path + "'");
+  }
+  return num_shards;
+}
+
+// The records shard `shard` of `num_shards` owns: global ids congruent to
+// `shard` (mod num_shards), in ascending order, so shard-local index i is
+// global id i * num_shards + shard.
+Result<Table> ShardSubTable(const Table& src, size_t shard,
+                            size_t num_shards) {
+  Table sub(src.schema());
+  for (size_t i = shard; i < src.num_records(); i += num_shards) {
+    LEARNRISK_RETURN_NOT_OK(sub.Append(src.record(i), src.entity_id(i)));
+  }
+  return sub;
 }
 
 }  // namespace
@@ -128,6 +205,7 @@ Gateway::NamespaceMetrics Gateway::CreateNamespaceMetrics(
         "Per-stage wall time of gateway requests (StageTiming's twin)");
   };
   m.stage_block = stage("block");
+  m.stage_shard_merge = stage("shard_merge");
   m.stage_featurize = stage("featurize");
   m.stage_classify = stage("classify");
   m.stage_risk = stage("risk");
@@ -197,37 +275,75 @@ Gateway::NamespaceMetrics Gateway::CreateNamespaceMetrics(
 void Gateway::RegisterStateGauges(
     const std::string& ns, const std::shared_ptr<NamespaceState>& state) {
   std::weak_ptr<NamespaceState> weak = state;
+  // Record-count gauges report the namespace total (sum over shards);
+  // sharded namespaces additionally expose a per-shard family below, kept
+  // separate so Prometheus sums over either family stay correct.
+  auto records_gauge = [weak](BlockingSide side) {
+    return [weak, side]() -> int64_t {
+      const std::shared_ptr<NamespaceState> s = weak.lock();
+      if (s == nullptr) return 0;
+      int64_t total = 0;
+      for (const auto& shard : s->shards) {
+        total += static_cast<int64_t>(
+            LoadShardSnapshot(*shard)->index.num_records(side));
+      }
+      return total;
+    };
+  };
   metric_registry_.GaugeCallback(
       "learnrisk_gateway_records", {{"namespace", ns}, {"side", "left"}},
       "Records visible in the namespace's current snapshot",
-      [weak]() -> int64_t {
-        const std::shared_ptr<NamespaceState> s = weak.lock();
-        if (s == nullptr) return 0;
-        return static_cast<int64_t>(
-            LoadSnapshot(*s)->index.num_records(BlockingSide::kLeft));
-      });
+      records_gauge(BlockingSide::kLeft));
   if (!state->dedup) {
     metric_registry_.GaugeCallback(
         "learnrisk_gateway_records", {{"namespace", ns}, {"side", "right"}},
         "Records visible in the namespace's current snapshot",
-        [weak]() -> int64_t {
-          const std::shared_ptr<NamespaceState> s = weak.lock();
-          if (s == nullptr) return 0;
-          return static_cast<int64_t>(
-              LoadSnapshot(*s)->index.num_records(BlockingSide::kRight));
-        });
+        records_gauge(BlockingSide::kRight));
   }
-  if (state->log != nullptr) {
+  if (state->num_shards > 1) {
+    auto shard_records_gauge = [weak](size_t shard_idx, BlockingSide side) {
+      return [weak, shard_idx, side]() -> int64_t {
+        const std::shared_ptr<NamespaceState> s = weak.lock();
+        if (s == nullptr || shard_idx >= s->shards.size()) return 0;
+        return static_cast<int64_t>(
+            LoadShardSnapshot(*s->shards[shard_idx])
+                ->index.num_records(side));
+      };
+    };
+    for (size_t k = 0; k < state->num_shards; ++k) {
+      const std::string shard_label = std::to_string(k);
+      metric_registry_.GaugeCallback(
+          "learnrisk_gateway_shard_records",
+          {{"namespace", ns}, {"shard", shard_label}, {"side", "left"}},
+          "Records visible in one shard's current snapshot",
+          shard_records_gauge(k, BlockingSide::kLeft));
+      if (!state->dedup) {
+        metric_registry_.GaugeCallback(
+            "learnrisk_gateway_shard_records",
+            {{"namespace", ns}, {"shard", shard_label}, {"side", "right"}},
+            "Records visible in one shard's current snapshot",
+            shard_records_gauge(k, BlockingSide::kRight));
+      }
+    }
+  }
+  if (state->shards[0]->log != nullptr) {
     metric_registry_.GaugeCallback(
         "learnrisk_gateway_wal_entries_since_checkpoint",
         {{"namespace", ns}},
-        "WAL entries appended since the namespace's last checkpoint",
+        "WAL entries appended since the namespace's last checkpoint "
+        "(sharded: summed over the per-shard WALs)",
         [weak]() -> int64_t {
           const std::shared_ptr<NamespaceState> s = weak.lock();
           if (s == nullptr) return 0;
-          std::lock_guard<std::mutex> writer(s->writer_mu);
-          if (s->log == nullptr) return 0;
-          return static_cast<int64_t>(s->log->wal_entries_since_checkpoint());
+          int64_t total = 0;
+          for (const auto& shard : s->shards) {
+            std::lock_guard<std::mutex> writer(shard->writer_mu);
+            if (shard->log != nullptr) {
+              total += static_cast<int64_t>(
+                  shard->log->wal_entries_since_checkpoint());
+            }
+          }
+          return total;
         });
   }
   if (!state->metrics.feature_values.empty()) {
@@ -336,27 +452,67 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
                                       "' already registered");
   }
 
+  const size_t num_shards = std::max<size_t>(spec.shards, 1);
   auto state = std::make_shared<NamespaceState>();
   state->dedup = dedup;
+  state->num_shards = num_shards;
   state->schema = spec.left->schema();
-  Result<BlockingIndex> index = BlockingIndex::Build(
-      *spec.left, dedup ? *spec.left : *spec.right, spec.blocking);
-  if (!index.ok()) return index.status();
   state->pipeline =
       FeaturePipeline(std::move(spec.suite), std::move(spec.classifier),
                       std::move(spec.classifier_columns));
-  // The base snapshot owns segment copies of the spec's tables, so
+  state->pipeline.set_parallelism(options_.request_parallelism);
+
+  // Split the base tables round-robin by global id (record i -> shard
+  // i % S at local index i / S, so global ids equal the table indices
+  // exactly — the invariant every cross-shard merge relies on). S == 1
+  // skips the copy and builds straight from the spec's tables.
+  std::vector<Table> left_parts;
+  std::vector<Table> right_parts;
+  if (num_shards > 1) {
+    for (size_t k = 0; k < num_shards; ++k) {
+      Result<Table> left_part = ShardSubTable(*spec.left, k, num_shards);
+      if (!left_part.ok()) return left_part.status();
+      left_parts.push_back(left_part.MoveValueOrDie());
+      if (!dedup) {
+        Result<Table> right_part = ShardSubTable(*spec.right, k, num_shards);
+        if (!right_part.ok()) return right_part.status();
+        right_parts.push_back(right_part.MoveValueOrDie());
+      }
+    }
+  }
+  auto shard_left = [&](size_t k) -> const Table& {
+    return num_shards == 1 ? *spec.left : left_parts[k];
+  };
+  auto shard_right = [&](size_t k) -> const Table& {
+    if (dedup) return shard_left(k);
+    return num_shards == 1 ? *spec.right : right_parts[k];
+  };
+
+  // Each shard's base snapshot owns segment copies of its sub-tables, so
   // AddRecord can grow the namespace online without touching the caller's
   // tables.
-  auto snapshot = std::make_shared<NamespaceSnapshot>();
-  snapshot->index = index.MoveValueOrDie();
-  snapshot->left = SideStore::Build(*spec.left, state->pipeline.suite());
-  if (!dedup) {
-    snapshot->right = SideStore::Build(*spec.right, state->pipeline.suite());
+  state->routed_left.assign(num_shards, 0);
+  state->routed_right.assign(num_shards, 0);
+  for (size_t k = 0; k < num_shards; ++k) {
+    const Table& left_k = shard_left(k);
+    const Table& right_k = shard_right(k);
+    Result<BlockingIndex> index =
+        BlockingIndex::Build(left_k, right_k, spec.blocking);
+    if (!index.ok()) return index.status();
+    auto snapshot = std::make_shared<NamespaceSnapshot>();
+    snapshot->index = index.MoveValueOrDie();
+    snapshot->left = SideStore::Build(left_k, state->pipeline.suite());
+    if (!dedup) {
+      snapshot->right = SideStore::Build(right_k, state->pipeline.suite());
+    }
+    auto shard = std::make_unique<Shard>();
+    // Registration publishes the first snapshot before the state becomes
+    // visible in the map; no reader can observe a null snapshot.
+    shard->snapshot = std::move(snapshot);
+    state->shards.push_back(std::move(shard));
+    state->routed_left[k] = left_k.num_records();
+    if (!dedup) state->routed_right[k] = right_k.num_records();
   }
-  // Registration publishes the first snapshot before the state becomes
-  // visible in the map; no reader can observe a null snapshot.
-  state->snapshot = std::move(snapshot);
   // Instruments are get-or-create, so a registration that loses the emplace
   // race below simply shares the winner's instruments — nothing leaks.
   if (options_.enable_metrics) {
@@ -367,16 +523,95 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
     // Durable registration: commit the base tables as checkpoint 1 before
     // the namespace serves anything, so a crash at any later point can
     // recover at least the registered state. Fails (leaving the gateway
-    // unchanged) if durable state for the name already exists — that state
-    // must be recovered, not silently overwritten.
-    Result<std::unique_ptr<NamespaceLog>> log =
-        NamespaceLog::Create(options_.durability, ns);
-    if (!log.ok()) return log.status();
-    state->log = log.MoveValueOrDie();
-    state->log->set_metrics(state->metrics.durability);
-    TraceSpan span(state->metrics.checkpoint_latency);
-    LEARNRISK_RETURN_NOT_OK(state->log->WriteCheckpoint(
-        *spec.left, dedup ? nullptr : spec.right.get(), 0, nullptr));
+    // unchanged) if committed durable state for the name already exists —
+    // that state must be recovered, not silently overwritten. The sharded
+    // and unsharded layouts guard against each other: an unsharded
+    // registration refuses to clobber committed sharded state and vice
+    // versa.
+    Result<size_t> prior_shards =
+        ReadShardsFile(ShardsFilePath(options_.durability, ns));
+    if (!prior_shards.ok()) return prior_shards.status();
+    if (num_shards == 1) {
+      if (*prior_shards > 0) {
+        const DurabilityOptions shard_opts =
+            ShardDurability(options_.durability, ns);
+        bool committed = true;
+        for (size_t k = 0; k < *prior_shards; ++k) {
+          if (!NamespaceLog::Exists(shard_opts.dir, ShardLogName(k))) {
+            committed = false;
+            break;
+          }
+        }
+        if (committed) {
+          return Status::FailedPrecondition(
+              "sharded durable state already exists for namespace '" + ns +
+              "'; recover it instead of re-registering");
+        }
+        // Interrupted sharded registration: NamespaceLog::Create below
+        // clears the whole namespace directory (no legacy MANIFEST exists).
+      }
+      Result<std::unique_ptr<NamespaceLog>> log =
+          NamespaceLog::Create(options_.durability, ns);
+      if (!log.ok()) return log.status();
+      state->shards[0]->log = log.MoveValueOrDie();
+      state->shards[0]->log->set_metrics(state->metrics.durability);
+      TraceSpan span(state->metrics.checkpoint_latency);
+      LEARNRISK_RETURN_NOT_OK(state->shards[0]->log->WriteCheckpoint(
+          *spec.left, dedup ? nullptr : spec.right.get(), 0, nullptr));
+    } else {
+      if (NamespaceLog::Exists(options_.durability.dir, ns)) {
+        return Status::FailedPrecondition(
+            "durable state already exists for namespace '" + ns +
+            "'; recover it instead of re-registering");
+      }
+      const DurabilityOptions shard_opts =
+          ShardDurability(options_.durability, ns);
+      if (*prior_shards > 0) {
+        // A SHARDS file with every shard manifest committed is a complete
+        // sharded namespace; anything less is debris from an interrupted
+        // registration (a crash before the last manifest commit means the
+        // registration was never acknowledged) and is cleared.
+        bool committed = true;
+        for (size_t k = 0; k < *prior_shards; ++k) {
+          if (!NamespaceLog::Exists(shard_opts.dir, ShardLogName(k))) {
+            committed = false;
+            break;
+          }
+        }
+        if (committed) {
+          return Status::FailedPrecondition(
+              "sharded durable state already exists for namespace '" + ns +
+              "'; recover it instead of re-registering");
+        }
+        std::error_code ec;
+        std::filesystem::remove_all(shard_opts.dir, ec);
+        std::filesystem::remove(ShardsFilePath(options_.durability, ns), ec);
+      }
+      {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.durability.dir + "/" + ns,
+                                            ec);
+        if (ec) {
+          return Status::IOError("cannot create namespace directory for '" +
+                                 ns + "': " + ec.message());
+        }
+      }
+      // The SHARDS marker lands before any shard log so recovery (and the
+      // debris detection above) always knows the intended layout.
+      LEARNRISK_RETURN_NOT_OK(WriteShardsFile(
+          ShardsFilePath(options_.durability, ns), num_shards));
+      for (size_t k = 0; k < num_shards; ++k) {
+        Result<std::unique_ptr<NamespaceLog>> log =
+            NamespaceLog::Create(shard_opts, ShardLogName(k));
+        if (!log.ok()) return log.status();
+        Shard& shard = *state->shards[k];
+        shard.log = log.MoveValueOrDie();
+        shard.log->set_metrics(state->metrics.durability);
+        TraceSpan span(state->metrics.checkpoint_latency);
+        LEARNRISK_RETURN_NOT_OK(shard.log->WriteCheckpoint(
+            shard_left(k), dedup ? nullptr : &shard_right(k), 0, nullptr));
+      }
+    }
   }
 
   {
@@ -437,10 +672,38 @@ Result<std::shared_ptr<Gateway::NamespaceState>> Gateway::State(
   return it->second;
 }
 
-std::shared_ptr<const Gateway::NamespaceSnapshot> Gateway::LoadSnapshot(
-    const NamespaceState& state) {
-  return std::atomic_load_explicit(&state.snapshot,
+std::shared_ptr<const Gateway::NamespaceSnapshot> Gateway::LoadShardSnapshot(
+    const Shard& shard) {
+  return std::atomic_load_explicit(&shard.snapshot,
                                    std::memory_order_acquire);
+}
+
+std::vector<std::shared_ptr<const Gateway::NamespaceSnapshot>>
+Gateway::PinSnapshots(const NamespaceState& state) {
+  std::vector<std::shared_ptr<const NamespaceSnapshot>> snaps;
+  snaps.reserve(state.shards.size());
+  for (const auto& shard : state.shards) {
+    snaps.push_back(LoadShardSnapshot(*shard));
+  }
+  return snaps;
+}
+
+size_t Gateway::RouteShard(NamespaceState& state, BlockingSide side) {
+  if (state.shards.size() == 1) return 0;
+  std::lock_guard<std::mutex> lock(state.route_mu);
+  // Least-loaded shard, lowest index on ties. For sequential adds this
+  // reproduces the unsharded global id sequence exactly: after n records a
+  // side's counts are the balanced split of n, and the minimum sits at
+  // shard n % S — precisely where global id n lives.
+  std::vector<size_t>& counts =
+      (state.dedup || side == BlockingSide::kLeft) ? state.routed_left
+                                                   : state.routed_right;
+  size_t best = 0;
+  for (size_t k = 1; k < counts.size(); ++k) {
+    if (counts[k] < counts[best]) best = k;
+  }
+  ++counts[best];
+  return best;
 }
 
 Status Gateway::ScoreBatch(const std::string& ns,
@@ -589,9 +852,11 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
   }
 
   const NamespaceState& s = **state;
-  // One acquire load pins the whole request to a frozen snapshot; writers
-  // publish successors without ever touching it.
-  const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
+  // One acquire load per shard pins the whole request to a frozen view;
+  // writers publish successors without ever touching it.
+  const std::vector<std::shared_ptr<const NamespaceSnapshot>> snaps =
+      PinSnapshots(s);
+  const bool sharded = snaps.size() > 1;
   ResolveResponse response;
   response.request_id = NextRequestId();
   response.timing.request_id = response.request_id;
@@ -603,12 +868,37 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
   {
     TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms,
                     stage_sink, "block");
-    response.pairs =
-        request.block_all ? snap->index.AllCandidates() : request.pairs;
+    if (!request.block_all) {
+      response.pairs = request.pairs;
+    } else if (!sharded) {
+      response.pairs = snaps[0]->index.AllCandidates();
+    } else {
+      std::vector<const BlockingIndex*> indexes;
+      indexes.reserve(snaps.size());
+      for (const auto& snap : snaps) indexes.push_back(&snap->index);
+      response.pairs =
+          MergedAllCandidates(indexes, &response.timing.shard_merge_ms);
+    }
+  }
+  if (sharded) {
+    // The merge phase is a sub-span of the blocking stage (already inside
+    // blocking_ms), surfaced separately so shard overhead is attributable.
+    RecordMs(s.metrics.stage_shard_merge, response.timing.shard_merge_ms);
+    SinkStage(stage_sink, "shard_merge", response.timing.shard_merge_ms);
   }
 
-  Result<FeaturizedBatch> batch = s.pipeline.RunPrepared(
-      snap->left, s.right_store(*snap), response.pairs);
+  std::vector<const SideStore*> left_stores;
+  std::vector<const SideStore*> right_stores;
+  left_stores.reserve(snaps.size());
+  right_stores.reserve(snaps.size());
+  for (const auto& snap : snaps) {
+    left_stores.push_back(&snap->left);
+    right_stores.push_back(&s.right_store(*snap));
+  }
+  const ShardedSideView left_view(std::move(left_stores));
+  const ShardedSideView right_view(std::move(right_stores));
+  Result<FeaturizedBatch> batch =
+      s.pipeline.RunPrepared(left_view, right_view, response.pairs);
   if (!batch.ok()) return batch.status();
   response.timing.featurize_ms = batch->featurize_ms;
   response.timing.classify_ms = batch->classify_ms;
@@ -645,7 +935,9 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
     return Status::InvalidArgument(
         "probe record width does not match the namespace schema");
   }
-  const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
+  const std::vector<std::shared_ptr<const NamespaceSnapshot>> snaps =
+      PinSnapshots(s);
+  const bool sharded = snaps.size() > 1;
 
   ProbeResponse response;
   response.request_id = NextRequestId();
@@ -655,11 +947,24 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
   std::vector<TraceStageSpan> trace_stages;
   std::vector<TraceStageSpan>* stage_sink = tracing ? &trace_stages : nullptr;
   TraceSpan request_span(s.metrics.resolve_record_latency);
+  const BlockingSide target =
+      s.dedup ? BlockingSide::kLeft : BlockingSide::kRight;
   {
     TraceSpan block(s.metrics.stage_block, &response.timing.blocking_ms,
                     stage_sink, "block");
-    response.candidates = snap->index.Candidates(
-        probe, s.dedup ? BlockingSide::kLeft : BlockingSide::kRight);
+    if (!sharded) {
+      response.candidates = snaps[0]->index.Candidates(probe, target);
+    } else {
+      std::vector<const BlockingIndex*> indexes;
+      indexes.reserve(snaps.size());
+      for (const auto& snap : snaps) indexes.push_back(&snap->index);
+      response.candidates = MergedCandidates(
+          indexes, probe, target, &response.timing.shard_merge_ms);
+    }
+  }
+  if (sharded) {
+    RecordMs(s.metrics.stage_shard_merge, response.timing.shard_merge_ms);
+    SinkStage(stage_sink, "shard_merge", response.timing.shard_merge_ms);
   }
 
   // Probe preparation counts toward the featurize stage: it is the same
@@ -667,8 +972,14 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
   Timer timer;
   const PreparedRecord prepared_probe = s.pipeline.Prepare(probe);
   const double prepare_ms = timer.ElapsedMillis();
+  std::vector<const SideStore*> target_stores;
+  target_stores.reserve(snaps.size());
+  for (const auto& snap : snaps) {
+    target_stores.push_back(&s.right_store(*snap));
+  }
+  const ShardedSideView target_view(std::move(target_stores));
   Result<FeaturizedBatch> batch = s.pipeline.RunProbePrepared(
-      prepared_probe, s.right_store(*snap), response.candidates);
+      prepared_probe, target_view, response.candidates);
   if (!batch.ok()) return batch.status();
   response.timing.featurize_ms = prepare_ms + batch->featurize_ms;
   response.timing.classify_ms = batch->classify_ms;
@@ -719,11 +1030,14 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
   const uint64_t start_ns = tracing ? SteadyNowNs() : 0;
   std::vector<TraceStageSpan> trace_stages;
   std::vector<TraceStageSpan>* stage_sink = tracing ? &trace_stages : nullptr;
-  // Writers serialize among themselves; readers keep serving the current
-  // snapshot throughout. The successor snapshot shares every existing
-  // segment — building it touches only the new tail.
-  std::lock_guard<std::mutex> writer(s.writer_mu);
-  if (s.log != nullptr) {
+  // Route to the owning shard (always shard 0 when unsharded), then
+  // serialize only with that shard's writers; readers keep serving the
+  // current snapshots throughout, and writers to sibling shards proceed in
+  // parallel. The successor snapshot shares every existing segment —
+  // building it touches only the new tail.
+  Shard& shard = *s.shards[RouteShard(s, side)];
+  std::lock_guard<std::mutex> writer(shard.writer_mu);
+  if (shard.log != nullptr) {
     // Write-ahead: the record hits the WAL (flushed) before any reader can
     // see it, so every acknowledged AddRecord survives a crash. A crash
     // after this append but before the return below leaves a durable but
@@ -735,11 +1049,11 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
     entry.record = record;
     TraceSpan span(s.metrics.stage_wal_append, &timing->wal_append_ms,
                    stage_sink, "wal_append");
-    LEARNRISK_RETURN_NOT_OK(s.log->Append(entry));
+    LEARNRISK_RETURN_NOT_OK(shard.log->Append(entry));
   }
   TraceSpan publish_span(s.metrics.stage_publish, &timing->publish_ms,
                          stage_sink, "publish");
-  const std::shared_ptr<const NamespaceSnapshot> cur = LoadSnapshot(s);
+  const std::shared_ptr<const NamespaceSnapshot> cur = LoadShardSnapshot(shard);
   auto next = std::make_shared<NamespaceSnapshot>();
   next->index = cur->index;  // shares posting segments
   LEARNRISK_RETURN_NOT_OK(next->index.AddRecord(side, record, entity_id));
@@ -753,9 +1067,9 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
                                                     entity_id,
                                                     s.pipeline.suite());
   }
-  // Single publication point: readers see the namespace fully without the
+  // Single publication point: readers see the shard fully without the
   // record (old snapshot) or fully with it (this one), never in between.
-  std::atomic_store_explicit(&s.snapshot,
+  std::atomic_store_explicit(&shard.snapshot,
                              std::shared_ptr<const NamespaceSnapshot>(next),
                              std::memory_order_release);
   publish_span.Stop();
@@ -768,22 +1082,28 @@ Status Gateway::AddRecord(const std::string& ns, BlockingSide side,
                       total_ns, std::move(trace_stages), /*candidates=*/0,
                       nullptr, nullptr, nullptr, nullptr, nullptr);
   }
-  if (s.log != nullptr && options_.durability.wal_checkpoint_threshold > 0 &&
-      s.log->wal_entries_since_checkpoint() >=
+  if (shard.log != nullptr &&
+      options_.durability.wal_checkpoint_threshold > 0 &&
+      shard.log->wal_entries_since_checkpoint() >=
           options_.durability.wal_checkpoint_threshold) {
     // The record is already published and durable; a checkpoint failure
     // here fails the call without retracting it (the WAL still covers it).
-    LEARNRISK_RETURN_NOT_OK(CheckpointLocked(ns, s));
+    // The threshold applies per shard — each shard's WAL/checkpoint cycle
+    // is independent.
+    LEARNRISK_RETURN_NOT_OK(CheckpointLocked(ns, s, shard));
   }
   return Status::OK();
 }
 
-Status Gateway::CheckpointLocked(const std::string& ns, NamespaceState& s) {
+Status Gateway::CheckpointLocked(const std::string& ns, NamespaceState& s,
+                                 Shard& shard) {
   TraceSpan span(s.metrics.checkpoint_latency);
-  // Materialize the current snapshot under writer_mu: no new record can
-  // land between the tables written to disk and the WAL the checkpoint
-  // resets, so checkpoint + empty WAL is exactly the published state.
-  const std::shared_ptr<const NamespaceSnapshot> snap = LoadSnapshot(s);
+  // Materialize the shard's current snapshot under its writer_mu: no new
+  // record can land between the tables written to disk and the WAL the
+  // checkpoint resets, so checkpoint + empty WAL is exactly the published
+  // shard state.
+  const std::shared_ptr<const NamespaceSnapshot> snap =
+      LoadShardSnapshot(shard);
   const Table left = snap->left.Materialize(s.schema);
   Table right;
   if (!s.dedup) right = snap->right.Materialize(s.schema);
@@ -793,7 +1113,9 @@ Status Gateway::CheckpointLocked(const std::string& ns, NamespaceState& s) {
   Result<std::shared_ptr<ServingEngine>> engine = registry_.Engine(ns);
   if (engine.ok()) {
     // One consistent read: the saved model file is exactly the version the
-    // manifest records, even if a publish lands mid-checkpoint.
+    // manifest records, even if a publish lands mid-checkpoint. Every shard
+    // checkpoint saves the model it observed; sharded recovery re-publishes
+    // the newest version any shard recorded.
     std::tie(model_version, model_snap) = (*engine)->VersionedSnapshot();
   } else if (!engine.status().IsNotFound()) {
     return engine.status();
@@ -806,20 +1128,25 @@ Status Gateway::CheckpointLocked(const std::string& ns, NamespaceState& s) {
   } else {
     model_version = 0;
   }
-  return s.log->WriteCheckpoint(left, s.dedup ? nullptr : &right,
-                                model_version, saver);
+  return shard.log->WriteCheckpoint(left, s.dedup ? nullptr : &right,
+                                    model_version, saver);
 }
 
 Status Gateway::Checkpoint(const std::string& ns) {
   Result<std::shared_ptr<NamespaceState>> state = State(ns);
   if (!state.ok()) return state.status();
   NamespaceState& s = **state;
-  std::lock_guard<std::mutex> writer(s.writer_mu);
-  if (s.log == nullptr) {
-    return Status::FailedPrecondition(
-        "durability is not enabled for namespace '" + ns + "'");
+  // Shard by shard: each commit is atomic on its own manifest, and writers
+  // to shards not currently checkpointing proceed untouched.
+  for (const auto& shard : s.shards) {
+    std::lock_guard<std::mutex> writer(shard->writer_mu);
+    if (shard->log == nullptr) {
+      return Status::FailedPrecondition(
+          "durability is not enabled for namespace '" + ns + "'");
+    }
+    LEARNRISK_RETURN_NOT_OK(CheckpointLocked(ns, s, *shard));
   }
-  return CheckpointLocked(ns, s);
+  return Status::OK();
 }
 
 Status Gateway::RecoverNamespace(const std::string& ns,
@@ -851,47 +1178,91 @@ Status Gateway::RecoverNamespace(const std::string& ns,
   }
 
   Timer recover_timer;
-  RecoveredNamespace recovered;
-  Result<std::unique_ptr<NamespaceLog>> log =
-      NamespaceLog::Recover(options_.durability, ns, spec.schema, &recovered);
-  if (!log.ok()) return log.status();
+  // The SHARDS meta file decides the layout: absent = the original
+  // single-log namespace, present = one full NamespaceLog per shard.
+  Result<size_t> shards_meta =
+      ReadShardsFile(ShardsFilePath(options_.durability, ns));
+  if (!shards_meta.ok()) return shards_meta.status();
+  const size_t num_shards = std::max<size_t>(*shards_meta, 1);
 
-  // Rebuild the snapshot from the recovered tables exactly as registration
-  // builds it from a spec's tables — same base-segment bulk load, so every
-  // query output is bit-identical to a gateway that added the same records
-  // and never crashed.
+  // Recover every shard's log up front (shard 0 is the whole namespace in
+  // the unsharded layout), then rebuild the snapshots from the recovered
+  // tables exactly as registration builds them from a spec's sub-tables —
+  // same base-segment bulk load, so every query output is bit-identical to
+  // a gateway that added the same records and never crashed.
+  const DurabilityOptions shard_opts =
+      ShardDurability(options_.durability, ns);
+  std::vector<RecoveredNamespace> recovered(num_shards);
+  std::vector<std::unique_ptr<NamespaceLog>> logs;
+  for (size_t k = 0; k < num_shards; ++k) {
+    Result<std::unique_ptr<NamespaceLog>> log =
+        *shards_meta == 0
+            ? NamespaceLog::Recover(options_.durability, ns, spec.schema,
+                                    &recovered[k])
+            : NamespaceLog::Recover(shard_opts, ShardLogName(k), spec.schema,
+                                    &recovered[k]);
+    if (!log.ok()) return log.status();
+    if (k > 0 && recovered[k].dedup != recovered[0].dedup) {
+      return Status::InvalidArgument(
+          "shard manifests of namespace '" + ns +
+          "' disagree on dedup semantics");
+    }
+    logs.push_back(log.MoveValueOrDie());
+  }
+
   auto state = std::make_shared<NamespaceState>();
-  state->dedup = recovered.dedup;
+  state->dedup = recovered[0].dedup;
+  state->num_shards = num_shards;
   state->schema = spec.schema;
-  Result<BlockingIndex> index = BlockingIndex::Build(
-      recovered.left, recovered.dedup ? recovered.left : recovered.right,
-      spec.blocking);
-  if (!index.ok()) return index.status();
   state->pipeline =
       FeaturePipeline(std::move(spec.suite), std::move(spec.classifier),
                       std::move(spec.classifier_columns));
-  auto snapshot = std::make_shared<NamespaceSnapshot>();
-  snapshot->index = index.MoveValueOrDie();
-  snapshot->left = SideStore::Build(recovered.left, state->pipeline.suite());
-  if (!recovered.dedup) {
-    snapshot->right =
-        SideStore::Build(recovered.right, state->pipeline.suite());
+  state->pipeline.set_parallelism(options_.request_parallelism);
+  state->routed_left.assign(num_shards, 0);
+  state->routed_right.assign(num_shards, 0);
+  for (size_t k = 0; k < num_shards; ++k) {
+    const RecoveredNamespace& rec = recovered[k];
+    Result<BlockingIndex> index = BlockingIndex::Build(
+        rec.left, rec.dedup ? rec.left : rec.right, spec.blocking);
+    if (!index.ok()) return index.status();
+    auto snapshot = std::make_shared<NamespaceSnapshot>();
+    snapshot->index = index.MoveValueOrDie();
+    snapshot->left = SideStore::Build(rec.left, state->pipeline.suite());
+    if (!rec.dedup) {
+      snapshot->right = SideStore::Build(rec.right, state->pipeline.suite());
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->snapshot = std::move(snapshot);
+    shard->log = std::move(logs[k]);
+    state->shards.push_back(std::move(shard));
+    // Seed the writer routing at the recovered per-shard sizes; the
+    // least-loaded argmin naturally refills shards that recovered uneven.
+    state->routed_left[k] = rec.left.num_records();
+    if (!rec.dedup) state->routed_right[k] = rec.right.num_records();
   }
-  state->snapshot = std::move(snapshot);
-  state->log = log.MoveValueOrDie();
   if (options_.enable_metrics) {
     state->metrics = CreateNamespaceMetrics(ns, state->pipeline.metric_names());
-    state->log->set_metrics(state->metrics.durability);
+    for (const auto& shard : state->shards) {
+      shard->log->set_metrics(state->metrics.durability);
+    }
   }
 
-  if (recovered.model_version > 0) {
-    // Re-publish the checkpointed model under its recorded version: seeding
-    // the floor at version - 1 makes the publish below yield exactly
-    // `model_version`, so scores keep reporting the same model_version
-    // across the restart.
-    Result<RiskModel> model = LoadRiskModel(recovered.model_path);
+  // Re-publish the newest checkpointed model any shard recorded, under its
+  // recorded version: seeding the floor at version - 1 makes the publish
+  // below yield exactly that version, so scores keep reporting the same
+  // model_version across the restart. (A publish landing mid-checkpoint can
+  // leave shards one version apart; the newest wins.)
+  size_t model_shard = 0;
+  for (size_t k = 1; k < num_shards; ++k) {
+    if (recovered[k].model_version > recovered[model_shard].model_version) {
+      model_shard = k;
+    }
+  }
+  if (recovered[model_shard].model_version > 0) {
+    Result<RiskModel> model = LoadRiskModel(recovered[model_shard].model_path);
     if (!model.ok()) return model.status();
-    registry_.EnsureVersionAtLeast(ns, recovered.model_version - 1);
+    registry_.EnsureVersionAtLeast(ns,
+                                   recovered[model_shard].model_version - 1);
     Result<uint64_t> published = registry_.Publish(ns, model.MoveValueOrDie());
     if (!published.ok()) return published.status();
   }
@@ -907,9 +1278,11 @@ Status Gateway::RecoverNamespace(const std::string& ns,
     RegisterStateGauges(ns, state);
     RecordMs(state->metrics.recover_latency, recover_timer.ElapsedMillis());
     state->metrics.recoveries->Add(1);
-    state->metrics.recovered_wal_entries->Add(recovered.wal_entries_replayed);
-    state->metrics.recovered_wal_bytes_discarded->Add(
-        recovered.wal_bytes_discarded);
+    for (const RecoveredNamespace& rec : recovered) {
+      state->metrics.recovered_wal_entries->Add(rec.wal_entries_replayed);
+      state->metrics.recovered_wal_bytes_discarded->Add(
+          rec.wal_bytes_discarded);
+    }
   }
   return Status::OK();
 }
@@ -918,19 +1291,27 @@ Result<size_t> Gateway::WalEntriesSinceCheckpoint(const std::string& ns) {
   Result<std::shared_ptr<NamespaceState>> state = State(ns);
   if (!state.ok()) return state.status();
   NamespaceState& s = **state;
-  std::lock_guard<std::mutex> writer(s.writer_mu);
-  if (s.log == nullptr) {
-    return Status::FailedPrecondition(
-        "durability is not enabled for namespace '" + ns + "'");
+  size_t total = 0;
+  for (const auto& shard : s.shards) {
+    std::lock_guard<std::mutex> writer(shard->writer_mu);
+    if (shard->log == nullptr) {
+      return Status::FailedPrecondition(
+          "durability is not enabled for namespace '" + ns + "'");
+    }
+    total += shard->log->wal_entries_since_checkpoint();
   }
-  return s.log->wal_entries_since_checkpoint();
+  return total;
 }
 
 Result<size_t> Gateway::NumRecords(const std::string& ns,
                                    BlockingSide side) const {
   Result<std::shared_ptr<NamespaceState>> state = State(ns);
   if (!state.ok()) return state.status();
-  return LoadSnapshot(**state)->index.num_records(side);
+  size_t total = 0;
+  for (const auto& shard : (*state)->shards) {
+    total += LoadShardSnapshot(*shard)->index.num_records(side);
+  }
+  return total;
 }
 
 }  // namespace learnrisk

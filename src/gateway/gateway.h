@@ -49,6 +49,11 @@ struct NamespaceSpec {
   /// Metric columns the classifier was trained on (empty = all).
   std::vector<size_t> classifier_columns;
   BlockingConfig blocking;
+  /// Independent shards for this namespace (0 and 1 both mean unsharded).
+  /// Sharding trades nothing for scale: writers serialize per-shard instead
+  /// of per-namespace and results stay bit-identical to `shards = 1` at any
+  /// value (docs/CONCURRENCY.md "Sharded namespaces").
+  size_t shards = 1;
 };
 
 /// \brief One Resolve call: explicit candidate pairs, or — with `block_all`
@@ -71,6 +76,11 @@ struct StageTiming {
   /// logs correlate with responses and captured RequestTraces.
   uint64_t request_id = 0;
   double blocking_ms = 0.0;
+  /// Sharded namespaces only: of blocking_ms, the cross-shard merge phase
+  /// (deterministic global ordering + equivalence tagging). A sub-span of
+  /// blocking_ms — already included there, hence not summed into total_ms().
+  /// Stays 0 for unsharded namespaces.
+  double shard_merge_ms = 0.0;
   double featurize_ms = 0.0;   ///< metric evaluation (prepared kernels)
   double classify_ms = 0.0;    ///< classifier inference over the metric rows
   double score_ms = 0.0;       ///< risk scoring (rule activation + kernel)
@@ -161,6 +171,12 @@ struct GatewayOptions {
   /// Online drift monitoring vs the published model's training baseline
   /// (docs/TRACING.md); inert unless enable_metrics is also on.
   DriftOptions drift;
+  /// Worker threads each request's featurize/classify passes may use: 0
+  /// (default) = the shared process-wide pool, 1 = serial on the request
+  /// thread. The shared pool runs one parallel loop at a time, so gateways
+  /// serving many concurrent requests set 1 to scale across request threads
+  /// instead of queueing on the pool. Bit-identical results either way.
+  size_t request_parallelism = 0;
 };
 
 /// \brief Everything RecoverNamespace needs that is *not* in the durable
@@ -190,11 +206,18 @@ struct RecoverNamespaceSpec {
 ///    frozen snapshot — readers take NO per-namespace lock and are never
 ///    blocked, delayed, or torn by writers.
 ///  - AddRecord is the only namespace writer: it serializes with other
-///    writers on the namespace's `writer_mu`, derives a successor snapshot
-///    that shares every existing segment plus a new single-record tail, and
-///    publishes it with one pointer swap (release). Requests in flight
-///    finish on the snapshot they loaded; superseded snapshots are freed by
-///    whichever reader or writer drops the last reference.
+///    writers on the owning shard's `writer_mu`, derives a successor
+///    snapshot that shares every existing segment plus a new single-record
+///    tail, and publishes it with one pointer swap (release). Requests in
+///    flight finish on the snapshot they loaded; superseded snapshots are
+///    freed by whichever reader or writer drops the last reference.
+///  - A namespace registered with NamespaceSpec::shards = S > 1 keeps S
+///    independent shards (each its own segment stores, blocking index,
+///    snapshot pointer, writer mutex, and — when durable — WAL/checkpoint
+///    log). Readers pin every shard's snapshot and merge blocking
+///    candidates deterministically (gateway/shard_merge.h), so responses
+///    are bit-identical to the unsharded namespace at any S while writers
+///    to different shards proceed concurrently.
 ///  - The FeaturePipeline is immutable after registration and read
 ///    lock-free. Model publishes go through the registry's hot-swap path
 ///    and never touch namespace snapshots.
@@ -256,10 +279,12 @@ class Gateway {
   /// \brief Appends a record to one side of the namespace — record store,
   /// blocking index, and prepared cache stay index-aligned — making it
   /// visible to subsequent Resolve / ResolveRecord calls. Serializes with
-  /// other AddRecord calls on the namespace's writer mutex, never blocks
-  /// readers: concurrent Resolve calls see the namespace fully without the
-  /// record or fully with it (one atomic snapshot swap), never a partial
-  /// update. `entity_id` is optional ground truth (-1 = unknown).
+  /// other AddRecord calls on the owning shard's writer mutex (sharded
+  /// namespaces route to the least-loaded shard, so writers spread across
+  /// shards run concurrently), never blocks readers: concurrent Resolve
+  /// calls see the shard fully without the record or fully with it (one
+  /// atomic snapshot swap), never a partial update. `entity_id` is optional
+  /// ground truth (-1 = unknown).
   /// `timing` (optional) receives the wal_append/publish stage breakdown of
   /// this append — zero elsewhere, and wal_append_ms stays zero for
   /// non-durable namespaces.
@@ -272,9 +297,10 @@ class Gateway {
   /// \brief Checkpoints a durable namespace now: materializes the current
   /// snapshot into immutable segment files, saves the served model at its
   /// exact version, starts a fresh WAL, and commits with one atomic
-  /// manifest swap (full protocol: docs/DURABILITY.md). Serializes with
-  /// AddRecord on the namespace's writer mutex; readers are unaffected.
-  /// FailedPrecondition when durability is off.
+  /// manifest swap (full protocol: docs/DURABILITY.md). Sharded namespaces
+  /// checkpoint shard by shard, each commit atomic on its own manifest.
+  /// Serializes with AddRecord on the shard writer mutexes; readers are
+  /// unaffected. FailedPrecondition when durability is off.
   Status Checkpoint(const std::string& ns);
 
   /// \brief Rebuilds a namespace from its durable state after a restart:
@@ -338,6 +364,7 @@ class Gateway {
     LatencyHistogram* resolve_record_latency = nullptr;
     /// Stage latencies — the histogram twins of StageTiming's fields.
     LatencyHistogram* stage_block = nullptr;
+    LatencyHistogram* stage_shard_merge = nullptr;  ///< sub-span of block
     LatencyHistogram* stage_featurize = nullptr;
     LatencyHistogram* stage_classify = nullptr;
     LatencyHistogram* stage_risk = nullptr;
@@ -354,19 +381,42 @@ class Gateway {
     DurabilityMetrics durability;
   };
 
-  struct NamespaceState {
-    bool dedup = false;
-    Schema schema;
-    /// Immutable after registration; read lock-free.
-    FeaturePipeline pipeline;
-    /// Serializes AddRecord writers; readers never touch it.
+  /// \brief One independent shard of a namespace: its own snapshot pointer,
+  /// writer mutex, and (when durable) WAL/checkpoint log. Unsharded
+  /// namespaces are the S == 1 case of the same structure.
+  struct Shard {
+    /// Serializes AddRecord writers *of this shard*; readers never touch
+    /// it, and writers to sibling shards proceed concurrently.
     std::mutex writer_mu;
-    /// Current snapshot; accessed only via std::atomic_load/atomic_store
-    /// (acquire/release). Never mutated in place.
+    /// Current shard snapshot; accessed only via std::atomic_load/
+    /// atomic_store (acquire/release). Never mutated in place.
     std::shared_ptr<const NamespaceSnapshot> snapshot;
     /// Durable WAL + checkpoint state; null when durability is off. Guarded
     /// by writer_mu like every other write-side structure.
     std::unique_ptr<NamespaceLog> log;
+  };
+
+  struct NamespaceState {
+    bool dedup = false;
+    /// Shard count (immutable after registration). Records live on shard
+    /// (global id % num_shards) at local index (global id / num_shards);
+    /// see gateway/shard_merge.h.
+    size_t num_shards = 1;
+    Schema schema;
+    /// Immutable after registration; read lock-free.
+    FeaturePipeline pipeline;
+    /// The shards (size num_shards, never resized after registration; the
+    /// unique_ptr indirection keeps Shard's mutex off any reallocation
+    /// path).
+    std::vector<std::unique_ptr<Shard>> shards;
+    /// Writer routing state: records assigned per shard per side so far.
+    /// AddRecord routes to the least-loaded shard (lowest index on ties),
+    /// which reproduces the unsharded id sequence exactly for sequential
+    /// adds. Guarded by route_mu (held only for the argmin, never across
+    /// the append).
+    std::mutex route_mu;
+    std::vector<size_t> routed_left;
+    std::vector<size_t> routed_right;  ///< unused when dedup
     /// Immutable after registration, like `pipeline`; read lock-free.
     NamespaceMetrics metrics;
     /// Training baseline of the most recent Publish that carried one;
@@ -382,8 +432,16 @@ class Gateway {
   };
 
   Result<std::shared_ptr<NamespaceState>> State(const std::string& ns) const;
-  static std::shared_ptr<const NamespaceSnapshot> LoadSnapshot(
+  static std::shared_ptr<const NamespaceSnapshot> LoadShardSnapshot(
+      const Shard& shard);
+  /// \brief One acquire load per shard — pins a frozen view of the whole
+  /// namespace for the duration of a request (index 0 is the only entry for
+  /// unsharded namespaces).
+  static std::vector<std::shared_ptr<const NamespaceSnapshot>> PinSnapshots(
       const NamespaceState& state);
+  /// \brief Picks the shard for the next AddRecord on a side (least-loaded,
+  /// lowest index on ties) and claims the slot under route_mu.
+  static size_t RouteShard(NamespaceState& state, BlockingSide side);
   /// \brief Featurized batch -> engine score, shared by Resolve and
   /// ResolveRecord. Fills scores + the risk-stage timing, and records the
   /// stage latency / risk-score distribution into `metrics`. `stage_sink`
@@ -397,9 +455,10 @@ class Gateway {
                     std::vector<TraceStageSpan>* stage_sink = nullptr,
                     std::shared_ptr<const ScorerSnapshot>* scorer_out =
                         nullptr);
-  /// \brief Checkpoint body; caller holds the namespace's writer_mu and has
-  /// verified s.log is non-null.
-  Status CheckpointLocked(const std::string& ns, NamespaceState& s);
+  /// \brief Checkpoint body for one shard; caller holds that shard's
+  /// writer_mu and has verified shard.log is non-null.
+  Status CheckpointLocked(const std::string& ns, NamespaceState& s,
+                          Shard& shard);
   /// \brief Get-or-creates the namespace's instrument bundle in
   /// metric_registry_. Only called when enable_metrics is on.
   /// `metric_names` labels the per-column drift histograms (one per metric

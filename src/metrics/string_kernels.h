@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace learnrisk {
@@ -41,6 +42,15 @@ struct MetricScratch {
   std::vector<uint8_t> used;      ///< entity-matching "already paired" flags
   std::vector<double> row_best;   ///< Monge-Elkan per-left-token maxima
   std::vector<double> col_best;   ///< Monge-Elkan per-right-token maxima
+  /// Monge-Elkan's per-token-pair Jaro-Winkler memo: key packs the two
+  /// dictionary ids of a token pair (smaller id high), valid only for the
+  /// dictionary tagged below. JW is exactly symmetric, so one entry serves
+  /// both argument orders. Blocking emits each record into many pairs, so
+  /// hot token pairs recur heavily within a thread's batch.
+  std::unordered_map<uint64_t, double> jw_cache;
+  /// The TokenDictionary jw_cache's ids belong to; the kernel clears the
+  /// cache whenever it sees values prepared under a different dictionary.
+  const void* jw_cache_dict = nullptr;
   /// Per-character match bitmasks for the bit-parallel kernels. Kernels
   /// zero only the entries they touched, so the array stays clean without a
   /// 2KB memset per call.

@@ -241,5 +241,97 @@ TEST(GatewayCrashRecoveryTest, EveryCrashPointRecoversBitIdentical) {
   }
 }
 
+// Sharded namespaces run the same crash matrix against the per-shard WAL /
+// checkpoint / manifest protocol (every shard owns a log under
+// <ns>/shards/s<k>/). The hook is armed only after registration: a sharded
+// registration legitimately writes S initial checkpoints, and arming late
+// keeps the occurrence counts anchored to the add sequence instead of the
+// registration layout. A crash kills one shard's log; the single-threaded
+// add sequence still recovers to an exact prefix (acked <= recovered <=
+// acked + 1), and — because the shard router re-assigns ids exactly like
+// the original run — the recovered namespace must be bit-identical to an
+// *unsharded* never-crashed reference replaying that prefix.
+TEST(GatewayCrashRecoveryTest, ShardedCrashPointsRecoverBitIdentical) {
+  const SharedSetup& s = Shared();
+  constexpr size_t kShards = 3;
+  const CrashCase kCases[] = {
+      {"wal:before_append", 5},
+      {"wal:mid_append", 5},
+      {"wal:after_append", 5},
+      {"checkpoint:mid_segment", 1},
+      {"checkpoint:mid_manifest", 1},
+      {"manifest:before_swap", 1},
+      {"manifest:after_swap", 1},
+  };
+  constexpr size_t kMaxAdds = 64;
+  constexpr size_t kCheckpointEvery = 8;  // per shard
+
+  for (const CrashCase& c : kCases) {
+    SCOPED_TRACE(std::string("sharded ") + c.point);
+    const std::string dir = ::testing::TempDir() +
+                            "/learnrisk_shard_crash_" + std::string(c.point);
+    std::filesystem::remove_all(dir);
+
+    std::atomic<bool> armed{false};
+    std::atomic<int> countdown{c.occurrence};
+    GatewayOptions options;
+    options.durability.dir = dir;
+    options.durability.wal_checkpoint_threshold = kCheckpointEvery;
+    options.durability.crash_hook = [&](const std::string& point) {
+      if (!armed.load(std::memory_order_relaxed)) return false;
+      if (point != c.point) return false;
+      return countdown.fetch_sub(1) == 1;
+    };
+
+    size_t acked = 0;
+    {
+      Gateway gateway(options);
+      NamespaceSpec spec = BaseSpec();
+      spec.shards = kShards;
+      ASSERT_TRUE(gateway.RegisterNamespace("ds", std::move(spec)).ok());
+      ASSERT_TRUE(gateway.Publish("ds", s.model).ok());
+      armed.store(true);
+      Status status = Status::OK();
+      for (size_t i = 0; i < kMaxAdds; ++i) {
+        status = ApplyAdd(&gateway, i);
+        if (!status.ok()) break;
+        ++acked;
+      }
+      // Stop at the first failure, like a killed process: a sharded gateway
+      // could keep appending on the surviving shards, but the process that
+      // hit the IO error is gone.
+      ASSERT_FALSE(status.ok()) << "crash hook for " << c.point
+                                << " never fired within " << kMaxAdds
+                                << " adds";
+    }
+
+    GatewayOptions recover_options;
+    recover_options.durability.dir = dir;
+    Gateway recovered(recover_options);
+    ASSERT_TRUE(recovered.RecoverNamespace("ds", RecoverSpec()).ok());
+
+    const size_t base_records = s.workload.left().num_records() +
+                                s.workload.right().num_records();
+    const size_t recovered_records =
+        *recovered.NumRecords("ds", BlockingSide::kLeft) +
+        *recovered.NumRecords("ds", BlockingSide::kRight);
+    ASSERT_GE(recovered_records, base_records + acked);
+    ASSERT_LE(recovered_records, base_records + acked + 1);
+    const size_t replayed = recovered_records - base_records;
+
+    if (!recovered.registry().Contains("ds")) {
+      ASSERT_TRUE(recovered.Publish("ds", s.model).ok());
+    }
+
+    Gateway reference;  // unsharded: recovery parity and shard parity at once
+    ASSERT_TRUE(reference.RegisterNamespace("ds", BaseSpec()).ok());
+    ASSERT_TRUE(reference.Publish("ds", s.model).ok());
+    for (size_t i = 0; i < replayed; ++i) {
+      ASSERT_TRUE(ApplyAdd(&reference, i).ok());
+    }
+    ExpectBitIdentical(&recovered, &reference);
+  }
+}
+
 }  // namespace
 }  // namespace learnrisk

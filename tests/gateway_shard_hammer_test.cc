@@ -1,0 +1,249 @@
+// Copyright 2026 The LearnRisk Authors
+// Hammer test for *sharded* namespaces: on a durable 4-shard namespace,
+// per-shard AddRecord writers (one per side), Resolve / ResolveRecord
+// readers, and a Checkpoint thread all run concurrently, and
+//  1. a fixed batch of pre-existing pairs must score bit-identically
+//     throughout the run (existing records are immutable; shard snapshots
+//     only grow),
+//  2. every block_all response must be internally consistent (one finite
+//     score per pair, global ids within the namespace's record counts),
+//  3. after the dust settles, the grown sharded namespace must be
+//     bit-identical to an *unsharded* namespace freshly registered with the
+//     final tables — blocking order, equivalence flags, risk scores, probes.
+// Run under ThreadSanitizer in CI (the tsan job), where any race between
+// per-shard writer locks, RCU snapshot swaps, and the per-shard WAL /
+// checkpoint protocol becomes a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classifier/logistic.h"
+#include "data/generators.h"
+#include "gateway/gateway.h"
+#include "risk/risk_feature.h"
+#include "test_models.h"
+
+namespace learnrisk {
+namespace {
+
+using testutil::MakeModel;  // synthetic perturbed-parameter risk models
+
+constexpr size_t kShards = 4;
+
+Workload Generate(uint64_t seed) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = seed;
+  Result<Workload> workload = GenerateDataset("DS", options);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return workload.MoveValueOrDie();
+}
+
+TEST(GatewayShardHammerTest, ConcurrentWritersReadersCheckpointsStayExact) {
+  const Workload base = Generate(231);
+  const Workload extra = Generate(132);  // records the writers will append
+  MetricSuite suite = MetricSuite::ForSchema(base.left().schema());
+  suite.Fit(base);
+  const FeatureMatrix features = ComputeFeatures(base, suite);
+  LogisticOptions logistic;
+  logistic.epochs = 15;
+  logistic.seed = 5;
+  auto classifier = std::make_shared<LogisticClassifier>(logistic);
+  ASSERT_TRUE(classifier->Train(features, base.Labels()).ok());
+  const RiskModel model = MakeModel(19, 32, suite.num_metrics());
+
+  auto register_ns = [&](Gateway* gateway, size_t shards,
+                         std::shared_ptr<const Table> left,
+                         std::shared_ptr<const Table> right) {
+    NamespaceSpec spec;
+    spec.left = std::move(left);
+    spec.right = std::move(right);
+    spec.suite = suite;
+    spec.classifier = classifier;
+    spec.shards = shards;
+    ASSERT_TRUE(gateway->RegisterNamespace("ds", std::move(spec)).ok());
+    ASSERT_TRUE(gateway->Publish("ds", model).ok());
+  };
+
+  // Durable so the checkpoint thread exercises the per-shard WAL +
+  // checkpoint protocol concurrently with writers and readers.
+  const std::string dir =
+      ::testing::TempDir() + "/learnrisk_shard_hammer";
+  std::filesystem::remove_all(dir);
+  GatewayOptions options;
+  options.durability.dir = dir;
+  Gateway gateway(options);
+  register_ns(&gateway, kShards, base.left_ptr(), base.right_ptr());
+
+  // The fixed batch: every blocked pair over pre-existing records. These
+  // scores must stay bit-identical no matter how many records land or how
+  // many checkpoints run mid-flight.
+  ResolveRequest fixed;
+  fixed.block_all = true;
+  const auto baseline = gateway.Resolve("ds", fixed);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_FALSE(baseline->pairs.empty());
+  ResolveRequest fixed_pairs;
+  fixed_pairs.pairs = baseline->pairs;
+  const std::vector<double> expected_risk = baseline->scores.risk;
+
+  // One writer per side: per-side arrival order stays deterministic (the
+  // router balances each side independently), so the final sharded state is
+  // a pure function of the two sequences regardless of cross-side timing.
+  constexpr size_t kAddsPerSide = 32;
+  auto entity_of = [&](const Table& table, size_t i) {
+    return i % 3 == 0 ? table.entity_id(i) : int64_t{-1};
+  };
+  std::atomic<bool> writers_done{false};
+  std::atomic<bool> failed{false};
+  auto writer = [&](BlockingSide side, const Table& source) {
+    for (size_t i = 0; i < kAddsPerSide; ++i) {
+      const Status added = gateway.AddRecord(
+          "ds", side, source.record(i % source.num_records()),
+          entity_of(source, i % source.num_records()));
+      if (!added.ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  // Checkpoint thread: serializes against each shard's writer in turn;
+  // every call must succeed (it locks shards one at a time, so it overlaps
+  // appends on the other shards).
+  auto checkpointer = [&]() {
+    while (!writers_done.load(std::memory_order_relaxed)) {
+      const Status status = gateway.Checkpoint("ds");
+      if (!status.ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+
+  std::atomic<size_t> reads{0};
+  auto reader = [&]() {
+    size_t i = 0;
+    while (!writers_done.load(std::memory_order_relaxed)) {
+      const auto fixed_response = gateway.Resolve("ds", fixed_pairs);
+      if (!fixed_response.ok() ||
+          fixed_response->scores.risk != expected_risk) {
+        failed.store(true);
+        return;
+      }
+      const auto block = gateway.Resolve("ds", fixed);
+      if (!block.ok() ||
+          block->scores.risk.size() != block->pairs.size()) {
+        failed.store(true);
+        return;
+      }
+      // Record counts only grow, so a count read *after* the response is a
+      // valid upper bound for every global id inside it.
+      const size_t left_n = *gateway.NumRecords("ds", BlockingSide::kLeft);
+      const size_t right_n = *gateway.NumRecords("ds", BlockingSide::kRight);
+      for (size_t p = 0; p < block->pairs.size(); ++p) {
+        if (block->pairs[p].left >= left_n ||
+            block->pairs[p].right >= right_n ||
+            !std::isfinite(block->scores.risk[p])) {
+          failed.store(true);
+          return;
+        }
+      }
+      const auto probe = gateway.ResolveRecord(
+          "ds", extra.left().record(i % extra.left().num_records()));
+      if (!probe.ok() ||
+          probe->scores.risk.size() != probe->candidates.size()) {
+        failed.store(true);
+        return;
+      }
+      reads.fetch_add(1, std::memory_order_relaxed);
+      ++i;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(reader);
+  threads.emplace_back(reader);
+  threads.emplace_back(checkpointer);
+  threads.emplace_back(writer, BlockingSide::kLeft, std::cref(extra.left()));
+  threads.emplace_back(writer, BlockingSide::kRight,
+                       std::cref(extra.right()));
+  threads[3].join();
+  threads[4].join();
+  // Let the readers observe the fully-written state at least once.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  const size_t reads_at_done = reads.load();
+  while (reads.load() <= reads_at_done && !failed.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  writers_done.store(true);
+  threads[0].join();
+  threads[1].join();
+  threads[2].join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_GT(reads.load(), 0u);
+
+  // Post-hoc parity against a fresh *unsharded* registration of the final
+  // tables: sharding plus the whole hammer must leave zero trace in the
+  // served results.
+  auto extended = [&](const Table& start, const Table& source) {
+    auto table = std::make_shared<Table>(start.schema());
+    for (size_t i = 0; i < start.num_records(); ++i) {
+      EXPECT_TRUE(table->Append(start.record(i), start.entity_id(i)).ok());
+    }
+    for (size_t i = 0; i < kAddsPerSide; ++i) {
+      EXPECT_TRUE(table
+                      ->Append(source.record(i % source.num_records()),
+                               entity_of(source, i % source.num_records()))
+                      .ok());
+    }
+    return table;
+  };
+  Gateway reference;  // unsharded, non-durable
+  register_ns(&reference, 1, extended(base.left(), extra.left()),
+              extended(base.right(), extra.right()));
+  ASSERT_EQ(*gateway.NumRecords("ds", BlockingSide::kLeft),
+            *reference.NumRecords("ds", BlockingSide::kLeft));
+  ASSERT_EQ(*gateway.NumRecords("ds", BlockingSide::kRight),
+            *reference.NumRecords("ds", BlockingSide::kRight));
+
+  const auto grown = gateway.Resolve("ds", fixed);
+  const auto want = reference.Resolve("ds", fixed);
+  ASSERT_TRUE(grown.ok());
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(grown->pairs.size(), want->pairs.size());
+  for (size_t i = 0; i < grown->pairs.size(); ++i) {
+    ASSERT_EQ(grown->pairs[i].left, want->pairs[i].left) << i;
+    ASSERT_EQ(grown->pairs[i].right, want->pairs[i].right) << i;
+    ASSERT_EQ(grown->pairs[i].is_equivalent, want->pairs[i].is_equivalent)
+        << i;
+  }
+  ASSERT_EQ(grown->scores.risk, want->scores.risk);  // exact, not NEAR
+  ASSERT_EQ(grown->scores.machine_label, want->scores.machine_label);
+
+  for (size_t p = 0; p < 5; ++p) {
+    const Record& probe =
+        extra.left().record(p % extra.left().num_records());
+    const auto grown_probe = gateway.ResolveRecord("ds", probe);
+    const auto want_probe = reference.ResolveRecord("ds", probe);
+    ASSERT_TRUE(grown_probe.ok());
+    ASSERT_TRUE(want_probe.ok());
+    ASSERT_EQ(grown_probe->candidates, want_probe->candidates) << p;
+    ASSERT_EQ(grown_probe->scores.risk, want_probe->scores.risk) << p;
+  }
+}
+
+}  // namespace
+}  // namespace learnrisk

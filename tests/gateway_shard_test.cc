@@ -1,0 +1,299 @@
+// Copyright 2026 The LearnRisk Authors
+// Shard-parity wall: a namespace registered with `shards = S` must be
+// *bit-identical* to the same namespace unsharded — the same candidate
+// pairs in the same deterministic order, the same doubles in every score —
+// for S in {1, 2, 4, 8}, across two-table (DS and SG) and dedup semantics,
+// for Resolve (block_all and explicit pairs) and ResolveRecord probes, and
+// again after interleaved AddRecord streams land on both sides. Sharding is
+// a pure scaling knob (docs/CONCURRENCY.md "Sharded namespaces"): these
+// tests are the proof.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifier/logistic.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "gateway/gateway.h"
+#include "metrics/metric_suite.h"
+#include "test_models.h"
+
+namespace learnrisk {
+namespace {
+
+using testutil::MakeModel;  // synthetic perturbed-parameter risk models
+
+// Bitwise double-vector equality: sharding must not perturb a single ulp.
+::testing::AssertionResult BitEqualVec(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "sizes differ: " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::shared_ptr<const BinaryClassifier> MakeClassifier(
+    const FeatureMatrix& features, const std::vector<uint8_t>& labels,
+    uint64_t seed) {
+  LogisticOptions options;
+  options.epochs = 40;
+  options.seed = seed;
+  auto classifier = std::make_shared<LogisticClassifier>(options);
+  EXPECT_TRUE(classifier->Train(features, labels).ok());
+  return classifier;
+}
+
+// One namespace configuration whose Spec() can be stamped with any shard
+// count. `dedup` reuses the generated left table on both sides.
+struct ShardFixture {
+  Workload workload;
+  MetricSuite suite;
+  std::shared_ptr<const BinaryClassifier> classifier;
+  std::vector<size_t> classifier_columns;
+  bool dedup = false;
+  RiskModel model = RiskModel(RiskFeatureSet::FromParts({}, {}, {}));
+
+  NamespaceSpec Spec(size_t shards) const {
+    NamespaceSpec spec;
+    spec.left = workload.left_ptr();
+    spec.right = dedup ? nullptr : workload.right_ptr();
+    spec.suite = suite;
+    spec.classifier = classifier;
+    spec.classifier_columns = classifier_columns;
+    spec.shards = shards;
+    return spec;
+  }
+};
+
+ShardFixture MakeFixture(const std::string& dataset, uint64_t seed,
+                         bool subset_classifier_columns, bool dedup) {
+  GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = seed;
+  Result<Workload> generated = GenerateDataset(dataset, options);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  Workload two_table = generated.MoveValueOrDie();
+
+  ShardFixture fx;
+  fx.dedup = dedup;
+  fx.workload = dedup ? Workload(dataset + "-dedup", two_table.left_ptr(),
+                                 two_table.left_ptr(), {})
+                      : std::move(two_table);
+  fx.suite = MetricSuite::ForSchema(fx.workload.left().schema());
+  fx.suite.Fit(fx.workload);
+  if (subset_classifier_columns) {
+    for (size_t c = 0; c < fx.suite.specs().size(); ++c) {
+      if (!IsDifferenceMetric(fx.suite.specs()[c].kind)) {
+        fx.classifier_columns.push_back(c);
+      }
+    }
+  }
+  // Train on self-pairs (the labels only need to produce a usable
+  // classifier; parity compares gateways against each other, not against
+  // ground truth).
+  std::vector<RecordPair> train_pairs;
+  const size_t n = std::min(fx.workload.left().num_records(),
+                            fx.workload.right().num_records());
+  for (size_t i = 0; i < n; ++i) {
+    train_pairs.push_back({i, i, (i % 2) == 0});
+  }
+  const Workload train("train", fx.workload.left_ptr(),
+                       fx.workload.right_ptr(), train_pairs);
+  const FeatureMatrix features = ComputeFeatures(train, fx.suite);
+  const FeatureMatrix classifier_features =
+      fx.classifier_columns.empty()
+          ? features
+          : GatherColumns(features, fx.classifier_columns);
+  fx.classifier =
+      MakeClassifier(classifier_features, train.Labels(), seed + 1);
+  fx.model = MakeModel(seed + 2, 32, fx.suite.num_metrics());
+  return fx;
+}
+
+// Full-response parity: pair lists (ids, order, equivalence flags), every
+// score vector bitwise, and populated stage timings on both sides.
+void ExpectResolveParity(Gateway* sharded, Gateway* reference,
+                         const std::string& ns, const ResolveRequest& request,
+                         const std::string& what) {
+  const auto got = sharded->Resolve(ns, request);
+  const auto want = reference->Resolve(ns, request);
+  ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
+  ASSERT_TRUE(want.ok()) << what << ": " << want.status().ToString();
+  ASSERT_EQ(got->pairs.size(), want->pairs.size()) << what;
+  for (size_t i = 0; i < got->pairs.size(); ++i) {
+    EXPECT_EQ(got->pairs[i].left, want->pairs[i].left) << what << " " << i;
+    EXPECT_EQ(got->pairs[i].right, want->pairs[i].right) << what << " " << i;
+    EXPECT_EQ(got->pairs[i].is_equivalent, want->pairs[i].is_equivalent)
+        << what << " " << i;
+  }
+  EXPECT_TRUE(BitEqualVec(got->scores.risk, want->scores.risk)) << what;
+  EXPECT_EQ(got->scores.machine_label, want->scores.machine_label) << what;
+  EXPECT_EQ(got->scores.model_version, want->scores.model_version) << what;
+  // Stage timings are populated on both; the merge span only exists on the
+  // sharded side and nests inside its blocking span.
+  EXPECT_GT(got->timing.request_id, 0u) << what;
+  EXPECT_GT(want->timing.request_id, 0u) << what;
+  EXPECT_LE(got->timing.shard_merge_ms, got->timing.blocking_ms) << what;
+  EXPECT_EQ(want->timing.shard_merge_ms, 0.0) << what;
+}
+
+void ExpectProbeParity(Gateway* sharded, Gateway* reference,
+                       const std::string& ns, const Record& probe,
+                       const std::string& what) {
+  const auto got = sharded->ResolveRecord(ns, probe);
+  const auto want = reference->ResolveRecord(ns, probe);
+  ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
+  ASSERT_TRUE(want.ok()) << what << ": " << want.status().ToString();
+  EXPECT_EQ(got->candidates, want->candidates) << what;
+  EXPECT_TRUE(BitEqualVec(got->scores.risk, want->scores.risk)) << what;
+  EXPECT_EQ(got->scores.machine_label, want->scores.machine_label) << what;
+  EXPECT_GT(got->timing.request_id, 0u) << what;
+}
+
+void RunParitySweep(const ShardFixture& fx, const std::string& tag) {
+  Gateway reference;
+  ASSERT_TRUE(reference.RegisterNamespace("ns", fx.Spec(1)).ok());
+  ASSERT_TRUE(reference.Publish("ns", fx.model).ok());
+
+  // Explicit pairs: a deterministic subset of the blocked candidates (via
+  // the reference gateway), so they exercise realistic ids on both sides.
+  ResolveRequest block_all;
+  block_all.block_all = true;
+  const auto ref_all = reference.Resolve("ns", block_all);
+  ASSERT_TRUE(ref_all.ok()) << ref_all.status().ToString();
+  ASSERT_FALSE(ref_all->pairs.empty()) << tag;
+  ResolveRequest explicit_pairs;
+  for (size_t i = 0; i < ref_all->pairs.size(); i += 3) {
+    explicit_pairs.pairs.push_back(ref_all->pairs[i]);
+  }
+
+  for (const size_t shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE(tag + " shards=" + std::to_string(shards));
+    Gateway sharded;
+    ASSERT_TRUE(sharded.RegisterNamespace("ns", fx.Spec(shards)).ok());
+    ASSERT_TRUE(sharded.Publish("ns", fx.model).ok());
+    EXPECT_EQ(*sharded.NumRecords("ns", BlockingSide::kLeft),
+              *reference.NumRecords("ns", BlockingSide::kLeft));
+    EXPECT_EQ(*sharded.NumRecords("ns", BlockingSide::kRight),
+              *reference.NumRecords("ns", BlockingSide::kRight));
+    ExpectResolveParity(&sharded, &reference, "ns", block_all, "block_all");
+    ExpectResolveParity(&sharded, &reference, "ns", explicit_pairs,
+                        "explicit");
+    for (size_t p = 0; p < 4; ++p) {
+      ExpectProbeParity(
+          &sharded, &reference, "ns",
+          fx.workload.left().record(p % fx.workload.left().num_records()),
+          "probe " + std::to_string(p));
+    }
+  }
+}
+
+TEST(GatewayShardTest, TwoTableResolveParityAcrossShardCounts) {
+  RunParitySweep(MakeFixture("DS", 41, false, false), "DS");
+  RunParitySweep(MakeFixture("SG", 42, true, false), "SG");
+}
+
+TEST(GatewayShardTest, DedupResolveParityAcrossShardCounts) {
+  RunParitySweep(MakeFixture("DS", 43, false, true), "DS-dedup");
+}
+
+// Interleaved online growth: the same AddRecord stream lands on an
+// unsharded reference and on sharded gateways; after every few appends all
+// of them must agree bit-for-bit (ids included — the sharded router assigns
+// global ids in exactly the unsharded sequence).
+void RunInterleavedAddSweep(const ShardFixture& fx, const std::string& tag) {
+  // Withhold a tail of records from registration; stream them in later.
+  const Table& full_left = fx.workload.left();
+  const Table& full_right = fx.workload.right();
+  const size_t hold = std::min<size_t>(8, full_left.num_records() / 2);
+  ASSERT_GT(hold, 1u) << tag;
+  auto trim = [](const Table& t, size_t keep) {
+    auto head = std::make_shared<Table>(t.schema());
+    for (size_t i = 0; i < keep; ++i) {
+      EXPECT_TRUE(head->Append(t.record(i), t.entity_id(i)).ok());
+    }
+    return head;
+  };
+  const auto trimmed_left = trim(full_left, full_left.num_records() - hold);
+  const auto trimmed_right =
+      fx.dedup ? nullptr : trim(full_right, full_right.num_records() - hold);
+
+  auto make_spec = [&](size_t shards) {
+    NamespaceSpec spec = fx.Spec(shards);
+    spec.left = trimmed_left;
+    spec.right = trimmed_right;
+    return spec;
+  };
+  Gateway reference;
+  ASSERT_TRUE(reference.RegisterNamespace("ns", make_spec(1)).ok());
+  ASSERT_TRUE(reference.Publish("ns", fx.model).ok());
+  std::vector<std::unique_ptr<Gateway>> sharded;
+  const size_t shard_counts[] = {2, 4, 8};
+  for (const size_t shards : shard_counts) {
+    sharded.push_back(std::make_unique<Gateway>());
+    ASSERT_TRUE(
+        sharded.back()->RegisterNamespace("ns", make_spec(shards)).ok());
+    ASSERT_TRUE(sharded.back()->Publish("ns", fx.model).ok());
+  }
+
+  ResolveRequest block_all;
+  block_all.block_all = true;
+  for (size_t i = 0; i < hold; ++i) {
+    // Alternate sides per step (two-table); dedup streams into its single
+    // side. Every gateway sees the identical sequence.
+    struct Add {
+      BlockingSide side;
+      const Record* record;
+      int64_t entity;
+    };
+    std::vector<Add> adds;
+    const size_t li = full_left.num_records() - hold + i;
+    adds.push_back({BlockingSide::kLeft, &full_left.record(li),
+                    full_left.entity_id(li)});
+    if (!fx.dedup) {
+      const size_t ri = full_right.num_records() - hold + i;
+      adds.push_back({BlockingSide::kRight, &full_right.record(ri),
+                      full_right.entity_id(ri)});
+    }
+    for (const Add& add : adds) {
+      ASSERT_TRUE(
+          reference.AddRecord("ns", add.side, *add.record, add.entity).ok());
+      for (auto& g : sharded) {
+        ASSERT_TRUE(
+            g->AddRecord("ns", add.side, *add.record, add.entity).ok());
+      }
+    }
+    if (i % 3 != 0 && i + 1 != hold) continue;  // check every few steps
+    for (size_t s = 0; s < sharded.size(); ++s) {
+      SCOPED_TRACE(tag + " shards=" + std::to_string(shard_counts[s]) +
+                   " step=" + std::to_string(i));
+      ExpectResolveParity(sharded[s].get(), &reference, "ns", block_all,
+                          "grown block_all");
+      ExpectProbeParity(sharded[s].get(), &reference, "ns",
+                        full_left.record(li), "grown probe");
+    }
+  }
+}
+
+TEST(GatewayShardTest, InterleavedAddRecordStreamsStayBitIdentical) {
+  RunInterleavedAddSweep(MakeFixture("DS", 44, false, false), "DS");
+}
+
+TEST(GatewayShardTest, DedupInterleavedAddRecordStreamsStayBitIdentical) {
+  RunInterleavedAddSweep(MakeFixture("DS", 45, false, true), "DS-dedup");
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -211,6 +211,96 @@ TEST(StringKernelsTest, ScratchReuseIsClean) {
   }
 }
 
+// The prepared Monge-Elkan kernel skips token pairs whose length-difference
+// upper bound (JW <= 0.8 + 0.2 * shorter/longer) cannot raise either running
+// maximum, and memoizes Jaro-Winkler per token-id pair in the per-thread
+// scratch. Both must be exact: randomized values with duplicated tokens (so
+// equal-token 1.0 maxima arm the bound skip) and token lengths straddling
+// the 64-char bit-parallel boundary stay bit-identical to the raw reference,
+// across warm-memo re-evaluation and across suites (distinct dictionaries).
+TEST(PreparedParityTest, MongeElkanBoundAndMemoBitIdentical) {
+  const Schema schema({{"text", AttributeType::kText}});
+  auto make_suite = [&] {
+    return MetricSuite::FromSpecs(
+        schema, {MetricSpec{0, MetricKind::kMongeElkan, "text.monge_elkan"}});
+  };
+  MetricSuite suite = make_suite();
+  MetricSuite other = make_suite();  // separate TokenDictionary
+
+  Rng rng(31);
+  auto random_token = [&](size_t len) {
+    std::string t;
+    t.reserve(len);
+    // Narrow alphabet: character masks overlap, so pairs reach the bound
+    // check and the kernel instead of the disjoint-mask shortcut.
+    for (size_t i = 0; i < len; ++i) {
+      t += static_cast<char>('a' + rng.Index(6));
+    }
+    return t;
+  };
+  auto random_value = [&] {
+    static const size_t kLens[] = {1, 2, 3, 5, 8, 20, 63, 64, 65, 90};
+    const size_t num_tokens = rng.Index(6) + 1;
+    std::vector<std::string> tokens;
+    for (size_t t = 0; t < num_tokens; ++t) {
+      if (!tokens.empty() && rng.Bernoulli(0.3)) {
+        tokens.push_back(tokens[rng.Index(tokens.size())]);  // duplicate
+      } else {
+        tokens.push_back(random_token(kLens[rng.Index(10)]));
+      }
+    }
+    std::string v;
+    for (const std::string& t : tokens) {
+      if (!v.empty()) v += ' ';
+      v += t;
+    }
+    return v;
+  };
+
+  MetricScratch scratch;  // reused throughout: the memo stays warm
+  for (int iter = 0; iter < 300; ++iter) {
+    Record left;
+    left.values.push_back(random_value());
+    Record right;
+    right.values.push_back(rng.Bernoulli(0.2) ? left.values[0]
+                                              : random_value());
+    const double raw = suite.Evaluate(left, right, 0);
+    const PreparedRecord pl = suite.PrepareRecord(left);
+    const PreparedRecord pr = suite.PrepareRecord(right);
+    // Cold then warm: the second evaluation reads memoized JW values.
+    ASSERT_TRUE(BitEqual(suite.EvaluatePrepared(pl, pr, 0, &scratch), raw))
+        << "'" << left.values[0] << "' vs '" << right.values[0] << "'";
+    ASSERT_TRUE(BitEqual(suite.EvaluatePrepared(pl, pr, 0, &scratch), raw));
+    // A different suite's dictionary re-tags the scratch memo; evaluating
+    // under it and then returning to the first suite must stay exact (the
+    // ids of the two dictionaries collide by construction).
+    const PreparedRecord ol = other.PrepareRecord(left);
+    const PreparedRecord orr = other.PrepareRecord(right);
+    ASSERT_TRUE(BitEqual(other.EvaluatePrepared(ol, orr, 0, &scratch), raw));
+    ASSERT_TRUE(BitEqual(suite.EvaluatePrepared(pl, pr, 0, &scratch), raw));
+    // Mixed-dictionary sides disable the memo (the values are prepared
+    // identically here — only the dictionary tags differ) but stay exact.
+    ASSERT_TRUE(BitEqual(suite.EvaluatePrepared(pl, orr, 0, &scratch), raw));
+  }
+
+  // Deterministic boundary sweep: a shared token arms both maxima at
+  // exactly 1.0, so the long near-equal tokens hit the bound-skip decision
+  // at every bit-parallel kernel boundary length.
+  for (const size_t la : {1u, 4u, 63u, 64u, 65u, 128u}) {
+    for (const size_t lb : {1u, 4u, 63u, 64u, 65u, 128u}) {
+      Record left;
+      left.values.push_back("common " + std::string(la, 'a'));
+      Record right;
+      right.values.push_back("common " + std::string(lb, 'a') + "b");
+      const double raw = suite.Evaluate(left, right, 0);
+      const PreparedRecord pl = suite.PrepareRecord(left);
+      const PreparedRecord pr = suite.PrepareRecord(right);
+      ASSERT_TRUE(BitEqual(suite.EvaluatePrepared(pl, pr, 0, &scratch), raw))
+          << la << "x" << lb;
+    }
+  }
+}
+
 TEST(PreparedParityTest, AllKindsBitIdenticalFittedAndUnfitted) {
   constexpr size_t kWidth = 3;
   for (const bool fitted : {true, false}) {

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Validates BENCH_scaling.json produced by bench_scaling (the sharded-
+# namespace thread-scaling harness). The acceptance bar for the scaling
+# work is encoded here and enforced in CI:
+#  1. the file is valid JSON with the documented top-level shape
+#     (scale / batch / shards / thread_counts / results);
+#  2. at least two distinct thread counts were measured;
+#  3. every (config, mode, threads) cell of the full matrix
+#     {unsharded, sharded} x {read_only, mixed_95_5} x thread_counts is
+#     present exactly once;
+#  4. every cell served requests, its throughput numbers are finite and
+#     positive, pairs_per_sec_per_thread * threads ~= pairs_per_sec, and
+#     p99 >= p50 >= 0;
+#  5. mixed cells performed at least one write, read-only cells none.
+#
+# Usage: tools/check_scaling_bench.sh BENCH_scaling.json
+set -u
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: $0 BENCH_scaling.json" >&2
+  exit 2
+fi
+
+exec python3 - "$1" <<'PY'
+import json
+import math
+import sys
+
+path = sys.argv[1]
+fail = 0
+
+
+def err(message):
+    global fail
+    print(f"{path}: {message}")
+    fail = 1
+
+
+try:
+    with open(path) as handle:
+        doc = json.load(handle)
+except (OSError, ValueError) as exc:
+    print(f"{path}: not readable JSON: {exc}")
+    sys.exit(1)
+
+for key in ("scale", "batch", "shards", "thread_counts", "results"):
+    if key not in doc:
+        err(f'missing top-level key "{key}"')
+if fail:
+    sys.exit(1)
+
+threads = doc["thread_counts"]
+if len(set(threads)) < 2:
+    err(f"need >= 2 distinct thread counts, got {threads}")
+if doc["shards"] < 2:
+    err(f'sharded config must use >= 2 shards, got {doc["shards"]}')
+
+expected = {
+    (config, mode, t)
+    for config in ("unsharded", "sharded")
+    for mode in ("read_only", "mixed_95_5")
+    for t in threads
+}
+seen = set()
+for cell in doc["results"]:
+    key = (cell.get("config"), cell.get("mode"), cell.get("threads"))
+    if key not in expected:
+        err(f"unexpected cell {key}")
+        continue
+    if key in seen:
+        err(f"duplicate cell {key}")
+    seen.add(key)
+    label = "/".join(str(part) for part in key)
+    for field in ("requests", "writes", "pairs_per_sec",
+                  "pairs_per_sec_per_thread", "request_p50_ms",
+                  "request_p99_ms"):
+        value = cell.get(field)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            err(f"{label}: {field} is not a finite number: {value!r}")
+    if fail:
+        continue
+    if cell["requests"] <= 0:
+        err(f"{label}: no requests served")
+    if cell["pairs_per_sec"] <= 0 or cell["pairs_per_sec_per_thread"] <= 0:
+        err(f"{label}: non-positive throughput")
+    per_thread = cell["pairs_per_sec_per_thread"] * cell["threads"]
+    if abs(per_thread - cell["pairs_per_sec"]) > 0.01 * cell["pairs_per_sec"]:
+        err(f"{label}: pairs_per_sec_per_thread * threads != pairs_per_sec")
+    if not 0 <= cell["request_p50_ms"] <= cell["request_p99_ms"]:
+        err(f'{label}: p50/p99 out of order '
+            f'({cell["request_p50_ms"]} / {cell["request_p99_ms"]})')
+    wrote = cell["writes"] > 0
+    if cell["mode"] == "mixed_95_5" and not wrote:
+        err(f"{label}: mixed cell performed no writes")
+    if cell["mode"] == "read_only" and wrote:
+        err(f'{label}: read-only cell performed {cell["writes"]} writes')
+
+for key in sorted(expected - seen):
+    err(f"missing cell {'/'.join(str(part) for part in key)}")
+
+if not fail:
+    print(f"{path}: OK ({len(seen)} cells, threads {sorted(set(threads))})")
+sys.exit(fail)
+PY
