@@ -19,7 +19,16 @@ constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestTmpName[] = "MANIFEST.tmp";
 constexpr char kManifestHeader[] = "learnrisk-namespace-manifest v1";
 constexpr char kSegmentHeader[] = "learnrisk-seg v1\n";
+constexpr char kReviewSegmentHeader[] = "learnrisk-rev v1\n";
 constexpr char kWalHeader[] = "learnrisk-wal v1\n";
+
+// WAL frame payload discriminator (payload byte 0). Record frames predate
+// the review kinds, so their two values double as the blocking side.
+constexpr char kPayloadRecordLeft = '\0';
+constexpr char kPayloadRecordRight = '\1';
+constexpr char kPayloadReviewOffer = '\2';
+constexpr char kPayloadReviewDrain = '\3';
+constexpr char kPayloadReviewLabel = '\4';
 // A single record entry can't plausibly exceed this; a "valid" length above
 // it is treated as tail corruption rather than allocated.
 constexpr uint32_t kMaxFramePayload = 1u << 30;
@@ -103,6 +112,103 @@ bool DecodeRecord(const char** p, const char* end, Record* record,
   return true;
 }
 
+// --- Review payloads (WAL frames and the checkpoint review segment). -------
+// Doubles travel as their IEEE-754 bit pattern so replay reproduces risk
+// ordering bit-exactly.
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+bool GetF64(const char** p, const char* end, double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(p, end, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+void EncodeReviewItem(std::string* out, const ReviewItem& item) {
+  PutI64(out, item.left);
+  PutI64(out, item.right);
+  PutF64(out, item.risk);
+  PutF64(out, item.classifier_prob);
+  out->push_back(static_cast<char>(item.machine_label));
+  PutU64(out, item.model_version);
+  PutU64(out, item.request_id);
+  PutU32(out, static_cast<uint32_t>(item.features.size()));
+  for (double f : item.features) PutF64(out, f);
+}
+
+bool DecodeReviewItem(const char** p, const char* end, ReviewItem* item) {
+  uint32_t width = 0;
+  if (!GetI64(p, end, &item->left) || !GetI64(p, end, &item->right) ||
+      !GetF64(p, end, &item->risk) ||
+      !GetF64(p, end, &item->classifier_prob)) {
+    return false;
+  }
+  if (*p == end) return false;
+  item->machine_label = static_cast<uint8_t>(*(*p)++);
+  if (!GetU64(p, end, &item->model_version) ||
+      !GetU64(p, end, &item->request_id) || !GetU32(p, end, &width)) {
+    return false;
+  }
+  item->features.clear();
+  item->features.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    double f = 0;
+    if (!GetF64(p, end, &f)) return false;
+    item->features.push_back(f);
+  }
+  return true;
+}
+
+// Review WAL event payload: kind byte, then the full item (offers) or the
+// pair key (drains; labels add the truth byte).
+std::string EncodeReviewEvent(const ReviewWalEvent& event) {
+  std::string payload;
+  switch (event.kind) {
+    case ReviewWalEvent::Kind::kOffer:
+      payload.push_back(kPayloadReviewOffer);
+      EncodeReviewItem(&payload, event.item);
+      break;
+    case ReviewWalEvent::Kind::kDrain:
+      payload.push_back(kPayloadReviewDrain);
+      PutI64(&payload, event.item.left);
+      PutI64(&payload, event.item.right);
+      break;
+    case ReviewWalEvent::Kind::kLabel:
+      payload.push_back(kPayloadReviewLabel);
+      PutI64(&payload, event.item.left);
+      PutI64(&payload, event.item.right);
+      payload.push_back(static_cast<char>(event.truth));
+      break;
+  }
+  return payload;
+}
+
+// Decodes the payload *after* the kind byte; `kind` is that byte.
+bool DecodeReviewEvent(char kind, const char** p, const char* end,
+                       ReviewWalEvent* event) {
+  if (kind == kPayloadReviewOffer) {
+    event->kind = ReviewWalEvent::Kind::kOffer;
+    return DecodeReviewItem(p, end, &event->item);
+  }
+  if (!GetI64(p, end, &event->item.left) ||
+      !GetI64(p, end, &event->item.right)) {
+    return false;
+  }
+  if (kind == kPayloadReviewDrain) {
+    event->kind = ReviewWalEvent::Kind::kDrain;
+    return true;
+  }
+  event->kind = ReviewWalEvent::Kind::kLabel;
+  if (*p == end) return false;
+  event->truth = static_cast<uint8_t>(*(*p)++);
+  return true;
+}
+
 Status EnsureDirectory(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -150,6 +256,10 @@ std::string WalFileName(uint64_t id) {
   return "wal_" + std::to_string(id) + ".log";
 }
 
+std::string ReviewSegmentFileName(uint64_t id) {
+  return "ckpt_" + std::to_string(id) + "_review.seg";
+}
+
 // Parsed manifest contents (paths are file names relative to the namespace
 // directory).
 struct Manifest {
@@ -163,6 +273,9 @@ struct Manifest {
   std::string model_file;
   uint64_t model_version = 0;
   std::string wal_file;
+  std::string review_file;  ///< empty = no review state at checkpoint time
+  size_t review_queued = 0;
+  size_t review_labeled = 0;
 };
 
 std::string SerializeManifest(const Manifest& m) {
@@ -177,6 +290,10 @@ std::string SerializeManifest(const Manifest& m) {
   }
   if (m.model_version > 0) {
     body << "model " << m.model_file << " " << m.model_version << "\n";
+  }
+  if (!m.review_file.empty()) {
+    body << "review " << m.review_file << " " << m.review_queued << " "
+         << m.review_labeled << "\n";
   }
   body << "wal " << m.wal_file << "\n";
   std::string text = body.str();
@@ -238,6 +355,9 @@ Result<Manifest> ParseManifest(const std::string& text,
       ok = static_cast<bool>(fields >> m.right_file >> m.right_records);
     } else if (tag == "model") {
       ok = static_cast<bool>(fields >> m.model_file >> m.model_version);
+    } else if (tag == "review") {
+      ok = static_cast<bool>(fields >> m.review_file >> m.review_queued >>
+                             m.review_labeled);
     } else if (tag == "wal") {
       ok = static_cast<bool>(fields >> m.wal_file);
       saw_wal = ok;
@@ -398,16 +518,24 @@ bool NamespaceLog::Exists(const std::string& dir, const std::string& ns) {
 }
 
 Status NamespaceLog::Append(const WalEntry& entry) {
+  std::string payload;
+  payload.push_back(entry.side == BlockingSide::kLeft ? kPayloadRecordLeft
+                                                      : kPayloadRecordRight);
+  EncodeRecord(&payload, entry.record, entry.entity_id);
+  return AppendFrame(payload);
+}
+
+Status NamespaceLog::AppendReview(const ReviewWalEvent& event) {
+  return AppendFrame(EncodeReviewEvent(event));
+}
+
+Status NamespaceLog::AppendFrame(const std::string& payload) {
   if (dead_) {
     return Status::IOError("namespace log is dead after a simulated crash");
   }
   if (checkpoint_id_ == 0 || wal_ == nullptr) {
     return Status::Internal("WAL append before the first checkpoint");
   }
-  std::string payload;
-  payload.push_back(entry.side == BlockingSide::kLeft ? '\0' : '\1');
-  EncodeRecord(&payload, entry.record, entry.entity_id);
-
   std::string frame;
   PutU32(&frame, static_cast<uint32_t>(payload.size()));
   PutU32(&frame, Crc32(payload.data(), payload.size()));
@@ -460,11 +588,105 @@ std::string EncodeSegment(const Table& table) {
   return out;
 }
 
+// Serializes the review queue's checkpoint state (queued items in enqueue
+// order, then labeled items) with the same size+CRC framing as a table
+// segment, under its own header.
+std::string EncodeReviewSegment(const ReviewQueue::CheckpointState& state) {
+  std::string payload;
+  PutU64(&payload, state.queued.size());
+  for (const ReviewItem& item : state.queued) {
+    EncodeReviewItem(&payload, item);
+  }
+  PutU64(&payload, state.labeled.size());
+  for (const LabeledReview& label : state.labeled) {
+    EncodeReviewItem(&payload, label.item);
+    payload.push_back(static_cast<char>(label.truth));
+  }
+  std::string out(kReviewSegmentHeader);
+  PutU64(&out, payload.size());
+  PutU32(&out, Crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+Status LoadReviewSegment(const std::string& path, size_t expected_queued,
+                         size_t expected_labeled,
+                         std::vector<ReviewItem>* queued,
+                         std::vector<LabeledReview>* labeled) {
+  if (!std::filesystem::exists(path)) {
+    return Status::IOError("manifest references missing review segment '" +
+                           path + "'");
+  }
+  Result<std::string> data = ReadFile(path);
+  if (!data.ok()) return data.status();
+  const std::string& bytes = *data;
+  const size_t header_len = std::strlen(kReviewSegmentHeader);
+  if (bytes.size() < header_len ||
+      bytes.compare(0, header_len, kReviewSegmentHeader) != 0) {
+    return Status::IOError("corrupt review segment '" + path +
+                           "': bad header");
+  }
+  const char* p = bytes.data() + header_len;
+  const char* end = bytes.data() + bytes.size();
+  uint64_t payload_size = 0;
+  uint32_t stored_crc = 0;
+  if (!GetU64(&p, end, &payload_size) || !GetU32(&p, end, &stored_crc) ||
+      static_cast<uint64_t>(end - p) != payload_size) {
+    return Status::IOError("corrupt review segment '" + path +
+                           "': truncated or oversized payload");
+  }
+  if (Crc32(p, payload_size) != stored_crc) {
+    return Status::IOError("corrupt review segment '" + path +
+                           "': payload does not match its crc");
+  }
+  uint64_t num_queued = 0;
+  if (!GetU64(&p, end, &num_queued) || num_queued != expected_queued) {
+    return Status::IOError(
+        "corrupt review segment '" + path +
+        "': queued count does not match the manifest");
+  }
+  queued->clear();
+  queued->reserve(num_queued);
+  for (uint64_t i = 0; i < num_queued; ++i) {
+    ReviewItem item;
+    if (!DecodeReviewItem(&p, end, &item)) {
+      return Status::IOError("corrupt review segment '" + path +
+                             "': undecodable queued item " +
+                             std::to_string(i));
+    }
+    queued->push_back(std::move(item));
+  }
+  uint64_t num_labeled = 0;
+  if (!GetU64(&p, end, &num_labeled) || num_labeled != expected_labeled) {
+    return Status::IOError(
+        "corrupt review segment '" + path +
+        "': labeled count does not match the manifest");
+  }
+  labeled->clear();
+  labeled->reserve(num_labeled);
+  for (uint64_t i = 0; i < num_labeled; ++i) {
+    LabeledReview label;
+    if (!DecodeReviewItem(&p, end, &label.item) || p == end) {
+      return Status::IOError("corrupt review segment '" + path +
+                             "': undecodable labeled item " +
+                             std::to_string(i));
+    }
+    label.truth = static_cast<uint8_t>(*p++);
+    labeled->push_back(std::move(label));
+  }
+  if (p != end) {
+    return Status::IOError("corrupt review segment '" + path +
+                           "': trailing bytes after the labeled items");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status NamespaceLog::WriteCheckpoint(const Table& left, const Table* right,
                                      uint64_t model_version,
-                                     const ModelSaver& save_model) {
+                                     const ModelSaver& save_model,
+                                     const ReviewQueue::CheckpointState* review) {
   if (dead_) {
     return Status::IOError("namespace log is dead after a simulated crash");
   }
@@ -519,6 +741,19 @@ Status NamespaceLog::WriteCheckpoint(const Table& left, const Table* right,
     LEARNRISK_RETURN_NOT_OK(save_model(ns_dir_ + "/" + m.model_file));
   }
 
+  // 2b. Review segment: the queue's unlabeled items and collected labels at
+  //     checkpoint time. Written even when both are empty so recovery can
+  //     tell "review enabled, queue empty" from "no review state".
+  if (review != nullptr) {
+    m.review_file = ReviewSegmentFileName(id);
+    m.review_queued = review->queued.size();
+    m.review_labeled = review->labeled.size();
+    const std::string segment = EncodeReviewSegment(*review);
+    segment_bytes += segment.size();
+    LEARNRISK_RETURN_NOT_OK(
+        write_file(ns_dir_ + "/" + m.review_file, segment, nullptr));
+  }
+
   // 3. Fresh (empty) WAL for the new checkpoint, created before the swap so
   //    the committed manifest never references a missing file.
   m.wal_file = WalFileName(id);
@@ -547,6 +782,7 @@ Status NamespaceLog::WriteCheckpoint(const Table& left, const Table* right,
     RemoveIfExists(ns_dir_ + "/" + SegmentFileName(old, true));
     RemoveIfExists(ns_dir_ + "/" + SegmentFileName(old, false));
     RemoveIfExists(ns_dir_ + "/" + ModelFileName(old));
+    RemoveIfExists(ns_dir_ + "/" + ReviewSegmentFileName(old));
     RemoveIfExists(ns_dir_ + "/" + WalFileName(old));
   }
 
@@ -605,6 +841,11 @@ Result<std::unique_ptr<NamespaceLog>> NamespaceLog::Recover(
                                             m.right_records, &out.right));
   }
   out.checkpoint_records = m.left_records + (m.dedup ? 0 : m.right_records);
+  if (!m.review_file.empty()) {
+    LEARNRISK_RETURN_NOT_OK(LoadReviewSegment(
+        ns_dir + "/" + m.review_file, m.review_queued, m.review_labeled,
+        &out.review_queued, &out.review_labeled));
+  }
 
   // WAL tail replay. The first frame that is torn (not enough bytes), has an
   // implausible length, or fails its checksum ends the replay: everything
@@ -639,22 +880,32 @@ Result<std::unique_ptr<NamespaceLog>> NamespaceLog::Recover(
     if (Crc32(p, payload_size) != stored_crc) break;  // corrupt tail
     const char* payload_end = p + payload_size;
     if (p == payload_end) break;  // empty payload: corrupt
-    const char side_byte = *p++;
-    Record record;
-    int64_t entity_id = -1;
-    if (!DecodeRecord(&p, payload_end, &record, &entity_id) ||
-        p != payload_end) {
-      break;  // checksummed but undecodable: treat as tail corruption
+    const char kind_byte = *p++;
+    if (kind_byte == kPayloadReviewOffer || kind_byte == kPayloadReviewDrain ||
+        kind_byte == kPayloadReviewLabel) {
+      ReviewWalEvent event;
+      if (!DecodeReviewEvent(kind_byte, &p, payload_end, &event) ||
+          p != payload_end) {
+        break;  // checksummed but undecodable: treat as tail corruption
+      }
+      out.review_events.push_back(std::move(event));
+    } else {
+      Record record;
+      int64_t entity_id = -1;
+      if (!DecodeRecord(&p, payload_end, &record, &entity_id) ||
+          p != payload_end) {
+        break;  // checksummed but undecodable: treat as tail corruption
+      }
+      if (record.values.size() != schema.num_attributes()) {
+        return Status::InvalidArgument(
+            "WAL '" + wal_path + "' entry " +
+            std::to_string(out.wal_entries_replayed) +
+            " width does not match the namespace schema");
+      }
+      Table* target =
+          (m.dedup || kind_byte == kPayloadRecordLeft) ? &out.left : &out.right;
+      LEARNRISK_RETURN_NOT_OK(target->Append(std::move(record), entity_id));
     }
-    if (record.values.size() != schema.num_attributes()) {
-      return Status::InvalidArgument(
-          "WAL '" + wal_path + "' entry " +
-          std::to_string(out.wal_entries_replayed) +
-          " width does not match the namespace schema");
-    }
-    Table* target =
-        (m.dedup || side_byte == '\0') ? &out.left : &out.right;
-    LEARNRISK_RETURN_NOT_OK(target->Append(std::move(record), entity_id));
     ++out.wal_entries_replayed;
     valid_end = static_cast<size_t>(p - base);
     (void)frame_start;
@@ -687,6 +938,7 @@ Result<std::unique_ptr<NamespaceLog>> NamespaceLog::Recover(
     RemoveIfExists(ns_dir + "/" + SegmentFileName(other, true));
     RemoveIfExists(ns_dir + "/" + SegmentFileName(other, false));
     RemoveIfExists(ns_dir + "/" + ModelFileName(other));
+    RemoveIfExists(ns_dir + "/" + ReviewSegmentFileName(other));
     RemoveIfExists(ns_dir + "/" + WalFileName(other));
   }
   *recovered = std::move(out);

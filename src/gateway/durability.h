@@ -45,6 +45,7 @@
 #include "data/table.h"
 #include "gateway/blocking_index.h"
 #include "obs/metrics.h"
+#include "review/review_queue.h"
 
 namespace learnrisk {
 
@@ -101,6 +102,18 @@ struct WalEntry {
   Record record;
 };
 
+/// \brief One logged review-queue mutation. Offers carry the full item;
+/// drains and labels carry only the pair key (plus the truth bit for
+/// labels). All three are logged — drains too, because a drain changes the
+/// queue's capacity/displacement decisions for every later offer, so replay
+/// must reproduce it to reconstruct the same queue (docs/REVIEW.md).
+struct ReviewWalEvent {
+  enum class Kind { kOffer, kDrain, kLabel };
+  Kind kind = Kind::kOffer;
+  ReviewItem item;    ///< full payload for offers; key-only for drain/label
+  uint8_t truth = 0;  ///< labels only
+};
+
 /// \brief Everything recovery reconstructs from a namespace's durable state:
 /// the full record state (checkpoint plus replayed WAL tail) and the
 /// manifest metadata needed to resume serving.
@@ -116,6 +129,13 @@ struct RecoveredNamespace {
   size_t checkpoint_records = 0;     ///< records loaded from checkpoint segments
   size_t wal_entries_replayed = 0;   ///< valid WAL tail entries applied
   size_t wal_bytes_discarded = 0;    ///< torn/corrupt tail bytes truncated
+  /// Review-queue state from the checkpoint's review segment (empty when the
+  /// manifest has none) plus the review events replayed from the WAL tail,
+  /// in log order. The gateway replays events through a live ReviewQueue so
+  /// queued-but-unlabeled pairs and every acked label survive a restart.
+  std::vector<ReviewItem> review_queued;
+  std::vector<LabeledReview> review_labeled;
+  std::vector<ReviewWalEvent> review_events;
 };
 
 /// \brief The durable write-ahead log + checkpoint state of one namespace.
@@ -161,16 +181,24 @@ class NamespaceLog {
   /// unacknowledged).
   Status Append(const WalEntry& entry);
 
+  /// \brief Appends one review-queue event frame (same framing and crash
+  /// points as Append). The gateway logs the event *before* applying it to
+  /// the in-memory queue, so every acked review mutation is on disk.
+  Status AppendReview(const ReviewWalEvent& event);
+
   /// \brief Checkpoints the full record state: writes immutable segment
   /// files and the model file for checkpoint id N+1, starts a fresh WAL,
   /// and commits everything with one atomic manifest rename; old files are
   /// deleted only after the swap. A crash at any point leaves either the
   /// old or the new checkpoint fully committed. `right` is null for dedup
-  /// namespaces; `save_model` null when no model is published. Crash
-  /// points: "checkpoint:mid_segment", "checkpoint:mid_manifest",
+  /// namespaces; `save_model` null when no model is published. `review`,
+  /// when non-null, persists the review queue (unlabeled items + labels)
+  /// into a review segment the manifest references. Crash points:
+  /// "checkpoint:mid_segment", "checkpoint:mid_manifest",
   /// "manifest:before_swap", "manifest:after_swap".
   Status WriteCheckpoint(const Table& left, const Table* right,
-                         uint64_t model_version, const ModelSaver& save_model);
+                         uint64_t model_version, const ModelSaver& save_model,
+                         const ReviewQueue::CheckpointState* review = nullptr);
 
   /// \brief Entries appended to the active WAL since the last checkpoint
   /// (includes replayed entries after Recover).
@@ -191,6 +219,9 @@ class NamespaceLog {
   /// \brief Fires the crash hook for `point`; on crash, closes the WAL
   /// stream, marks the log dead, and returns IOError.
   Status CrashPoint(const std::string& point);
+  /// \brief Frames, checksums, and appends one payload to the active WAL in
+  /// two flushed halves (shared by Append / AppendReview).
+  Status AppendFrame(const std::string& payload);
   /// \brief Opens `path` for appending as the active WAL stream.
   Status OpenWal(const std::string& path);
   void CloseWal();

@@ -115,6 +115,24 @@ Result<Table> ShardSubTable(const Table& src, size_t shard,
   return sub;
 }
 
+// The min(k, n) riskiest indices, risk descending, ties broken by original
+// order. One of these per request feeds BOTH trace capture and the review
+// enqueue, so the decisions are scanned once however many consumers want
+// the top of the ranking.
+std::vector<size_t> TopRiskIndices(const std::vector<double>& risk,
+                                   size_t k) {
+  std::vector<size_t> order(risk.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&risk](size_t a, size_t b) {
+                      if (risk[a] != risk[b]) return risk[a] > risk[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
 }  // namespace
 
 Gateway::Gateway(GatewayOptions options)
@@ -211,6 +229,34 @@ Gateway::NamespaceMetrics Gateway::CreateNamespaceMetrics(
   m.stage_risk = stage("risk");
   m.stage_wal_append = stage("wal_append");
   m.stage_publish = stage("publish");
+  if (options_.review.enabled) {
+    m.stage_review = stage("review");
+    m.review_enqueued = metric_registry_.Counter(
+        "learnrisk_gateway_review_enqueued_total", ns_labels,
+        "Review offers admitted into the queue");
+    m.review_merged = metric_registry_.Counter(
+        "learnrisk_gateway_review_merged_total", ns_labels,
+        "Review offers deduplicated onto an already-queued or labeled pair");
+    m.review_dropped = metric_registry_.Counter(
+        "learnrisk_gateway_review_dropped_total", ns_labels,
+        "Review offers dropped at queue capacity (displacements show in "
+        "ReviewStats)");
+    m.review_drained = metric_registry_.Counter(
+        "learnrisk_gateway_review_drained_total", ns_labels,
+        "Review items handed to a reviewer via DrainReview");
+    m.review_labels = metric_registry_.Counter(
+        "learnrisk_gateway_review_labels_total", ns_labels,
+        "Human labels accepted via SubmitReviewLabel");
+    m.review_retrains = metric_registry_.Counter(
+        "learnrisk_gateway_review_retrains_total", ns_labels,
+        "Successful retrain-and-publish cycles from review labels");
+    m.retrain_latency = metric_registry_.Latency(
+        "learnrisk_gateway_retrain_latency_seconds", ns_labels,
+        "Incremental retrain wall time (labels to tuned model)");
+    m.retrain_publish_latency = metric_registry_.Latency(
+        "learnrisk_gateway_retrain_publish_latency_seconds", ns_labels,
+        "Retrained-model publish wall time (baseline, hot-swap, checkpoint)");
+  }
   m.resolve_latency = metric_registry_.Latency(
       "learnrisk_gateway_request_latency_seconds",
       {{"api", "resolve"}, {"namespace", ns}},
@@ -325,6 +371,25 @@ void Gateway::RegisterStateGauges(
             shard_records_gauge(k, BlockingSide::kRight));
       }
     }
+  }
+  if (state->review != nullptr) {
+    metric_registry_.GaugeCallback(
+        "learnrisk_gateway_review_queue_depth", {{"namespace", ns}},
+        "Resident (drainable) pairs in the namespace's review queue",
+        [weak]() -> int64_t {
+          const std::shared_ptr<NamespaceState> s = weak.lock();
+          return s == nullptr ? 0
+                              : static_cast<int64_t>(s->review->depth());
+        });
+    metric_registry_.GaugeCallback(
+        "learnrisk_gateway_review_outstanding", {{"namespace", ns}},
+        "Drained review pairs awaiting a label",
+        [weak]() -> int64_t {
+          const std::shared_ptr<NamespaceState> s = weak.lock();
+          return s == nullptr
+                     ? 0
+                     : static_cast<int64_t>(s->review->outstanding());
+        });
   }
   if (state->shards[0]->log != nullptr) {
     metric_registry_.GaugeCallback(
@@ -517,6 +582,10 @@ Status Gateway::RegisterNamespace(const std::string& ns, NamespaceSpec spec) {
   // race below simply shares the winner's instruments — nothing leaks.
   if (options_.enable_metrics) {
     state->metrics = CreateNamespaceMetrics(ns, state->pipeline.metric_names());
+  }
+  if (options_.review.enabled) {
+    state->review =
+        std::make_shared<ReviewQueue>(options_.review.queue_capacity);
   }
 
   if (!options_.durability.dir.empty()) {
@@ -753,7 +822,8 @@ void Gateway::MaybeCaptureTrace(
     const FeaturizedBatch* batch, const ScoreResponse* scores,
     const std::shared_ptr<const ScorerSnapshot>& scorer,
     const std::vector<RecordPair>* pairs,
-    const std::vector<size_t>* probe_candidates) {
+    const std::vector<size_t>* probe_candidates,
+    const std::vector<size_t>* top_risk) {
   const TraceOptions& t = options_.trace;
   const bool head_sampled =
       t.sample_every > 0 && request_id % t.sample_every == 0;
@@ -787,17 +857,16 @@ void Gateway::MaybeCaptureTrace(
 
   if (scores != nullptr && batch != nullptr && !scores->risk.empty() &&
       t.top_k > 0) {
-    // Top-k riskiest pairs, ties broken by original order.
-    std::vector<size_t> order(scores->risk.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    const size_t k = std::min(t.top_k, order.size());
-    std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                      [scores](size_t a, size_t b) {
-                        if (scores->risk[a] != scores->risk[b]) {
-                          return scores->risk[a] > scores->risk[b];
-                        }
-                        return a < b;
-                      });
+    // Top-k riskiest pairs, ties broken by original order. Reuse the
+    // request's shared ranking when the caller computed one (the review
+    // enqueue needs the same top of the ranking); otherwise rank here.
+    const size_t k = std::min(t.top_k, scores->risk.size());
+    std::vector<size_t> local_order;
+    if (top_risk == nullptr || top_risk->size() < k) {
+      local_order = TopRiskIndices(scores->risk, k);
+      top_risk = &local_order;
+    }
+    const std::vector<size_t>& order = *top_risk;
     // The scorer may be one publish newer than the one that produced
     // `scores` (hot-swap mid-request); re-validate its column needs before
     // reading feature rows through its compiled plan.
@@ -836,6 +905,222 @@ void Gateway::MaybeCaptureTrace(
     }
   }
   traces_->Push(std::move(trace));
+}
+
+Status Gateway::EnqueueReview(NamespaceState& s, const FeaturizedBatch& batch,
+                              const ScoreResponse& scores,
+                              uint64_t request_id,
+                              const std::vector<size_t>& top_risk,
+                              const std::vector<RecordPair>* pairs,
+                              const std::vector<size_t>* probe_candidates,
+                              StageTiming* timing,
+                              std::vector<TraceStageSpan>* stage_sink) {
+  const ReviewOptions& r = options_.review;
+  TraceSpan span(s.metrics.stage_review, &timing->review_ms, stage_sink,
+                 "review");
+  // Build the offer batch from the shared ranking: top-budget decisions at
+  // or above the risk floor (the order is risk-descending, so the first
+  // decision below the floor ends the scan).
+  std::vector<ReviewItem> items;
+  const size_t budget = std::min(r.per_request_budget, top_risk.size());
+  items.reserve(budget);
+  for (size_t rank = 0; rank < budget; ++rank) {
+    const size_t idx = top_risk[rank];
+    if (scores.risk[idx] < r.min_risk) break;
+    ReviewItem item;
+    if (pairs != nullptr && idx < pairs->size()) {
+      item.left = static_cast<int64_t>((*pairs)[idx].left);
+      item.right = static_cast<int64_t>((*pairs)[idx].right);
+    } else if (probe_candidates != nullptr &&
+               idx < probe_candidates->size()) {
+      // Probes are not stored records: key on the candidate side alone.
+      item.right = static_cast<int64_t>((*probe_candidates)[idx]);
+    } else {
+      continue;
+    }
+    item.risk = scores.risk[idx];
+    item.classifier_prob = idx < batch.probs.size() ? batch.probs[idx] : 0.0;
+    item.machine_label =
+        idx < scores.machine_label.size() && scores.machine_label[idx] != 0
+            ? 1
+            : 0;
+    item.model_version = scores.model_version;
+    item.request_id = request_id;
+    const double* row = batch.features.row(idx);
+    item.features.assign(row, row + batch.features.cols());
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) return Status::OK();
+
+  // Review mutations serialize on shard 0's writer mutex so the WAL order
+  // below equals the apply order; replay then reconstructs the same queue.
+  Shard& shard0 = *s.shards[0];
+  std::lock_guard<std::mutex> writer(shard0.writer_mu);
+  if (shard0.log != nullptr) {
+    // Write-ahead: every offer of this request hits the WAL before any of
+    // them applies, so a crash mid-batch leaves a durable prefix and the
+    // failed (unacknowledged) request enqueues nothing in this incarnation.
+    for (const ReviewItem& item : items) {
+      ReviewWalEvent event;
+      event.kind = ReviewWalEvent::Kind::kOffer;
+      event.item = item;
+      LEARNRISK_RETURN_NOT_OK(shard0.log->AppendReview(event));
+    }
+  }
+  for (ReviewItem& item : items) {
+    switch (s.review->Offer(std::move(item))) {
+      case ReviewQueue::Offered::kAdmitted:
+        if (s.metrics.review_enqueued != nullptr) {
+          s.metrics.review_enqueued->Add(1);
+        }
+        break;
+      case ReviewQueue::Offered::kMerged:
+        if (s.metrics.review_merged != nullptr) s.metrics.review_merged->Add(1);
+        break;
+      case ReviewQueue::Offered::kDropped:
+        if (s.metrics.review_dropped != nullptr) {
+          s.metrics.review_dropped->Add(1);
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ReviewItem>> Gateway::DrainReview(const std::string& ns,
+                                                     size_t max_items) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  if (s.review == nullptr) {
+    return Status::FailedPrecondition("review is not enabled on this gateway");
+  }
+  Shard& shard0 = *s.shards[0];
+  std::lock_guard<std::mutex> writer(shard0.writer_mu);
+  std::vector<ReviewItem> items = s.review->DrainTop(max_items);
+  if (shard0.log != nullptr) {
+    // Logged after the in-memory drain but under the same mutex hold, so no
+    // other review mutation can interleave: WAL order still equals apply
+    // order. A crash between drain and log simply re-queues the items at
+    // recovery (the reviewer session died with the process anyway).
+    for (const ReviewItem& item : items) {
+      ReviewWalEvent event;
+      event.kind = ReviewWalEvent::Kind::kDrain;
+      event.item.left = item.left;
+      event.item.right = item.right;
+      LEARNRISK_RETURN_NOT_OK(shard0.log->AppendReview(event));
+    }
+  }
+  if (s.metrics.review_drained != nullptr && !items.empty()) {
+    s.metrics.review_drained->Add(items.size());
+  }
+  return items;
+}
+
+Status Gateway::SubmitReviewLabel(const std::string& ns, int64_t left,
+                                  int64_t right, uint8_t truth) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  if (s.review == nullptr) {
+    return Status::FailedPrecondition("review is not enabled on this gateway");
+  }
+  Shard& shard0 = *s.shards[0];
+  std::lock_guard<std::mutex> writer(shard0.writer_mu);
+  if (!s.review->Label(left, right, truth)) {
+    return Status::NotFound("pair (" + std::to_string(left) + ", " +
+                            std::to_string(right) +
+                            ") is not awaiting a review label");
+  }
+  if (shard0.log != nullptr) {
+    // The label is on disk before this call acknowledges: an acked label is
+    // never lost across a crash (tests/gateway_crash_recovery_test.cc).
+    ReviewWalEvent event;
+    event.kind = ReviewWalEvent::Kind::kLabel;
+    event.item.left = left;
+    event.item.right = right;
+    event.truth = truth;
+    LEARNRISK_RETURN_NOT_OK(shard0.log->AppendReview(event));
+  }
+  if (s.metrics.review_labels != nullptr) s.metrics.review_labels->Add(1);
+  return Status::OK();
+}
+
+Result<ReviewRetrainResult> Gateway::RetrainFromReview(
+    const std::string& ns, const ReviewRetrainOptions& options) {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  NamespaceState& s = **state;
+  if (s.review == nullptr) {
+    return Status::FailedPrecondition("review is not enabled on this gateway");
+  }
+  const std::vector<LabeledReview> labels = s.review->Labeled();
+  if (labels.size() < std::max<size_t>(options.min_labels, 1)) {
+    return Status::FailedPrecondition(
+        "namespace '" + ns + "' holds " + std::to_string(labels.size()) +
+        " review labels; RetrainFromReview needs at least " +
+        std::to_string(options.min_labels));
+  }
+  // Seed from the serving snapshot: the retrain is incremental, tuning the
+  // live parameters rather than refitting from the prior.
+  Result<std::shared_ptr<ServingEngine>> engine = registry_.Engine(ns);
+  if (!engine.ok()) {
+    if (engine.status().IsNotFound()) {
+      return Status::FailedPrecondition("no model published for namespace '" +
+                                        ns + "'");
+    }
+    return engine.status();
+  }
+  const auto [serving_version, serving_snap] = (*engine)->VersionedSnapshot();
+  if (serving_snap == nullptr) {
+    return Status::FailedPrecondition("no model published for namespace '" +
+                                      ns + "'");
+  }
+
+  ReviewRetrainResult result;
+  Timer train_timer;
+  Result<IncrementalRetrainOutput> retrained =
+      RetrainFromLabels(serving_snap->model(), labels, options.retrain);
+  if (!retrained.ok()) return retrained.status();
+  result.train_ms = train_timer.ElapsedMillis();
+  RecordMs(s.metrics.retrain_latency, result.train_ms);
+  result.labels_used = retrained->labels_used;
+  result.mislabeled = retrained->mislabeled;
+  result.loss_history = std::move(retrained->loss_history);
+
+  Timer publish_timer;
+  std::shared_ptr<const DriftBaseline> baseline;
+  if (options.refresh_drift_baseline) {
+    // The label batch's feature rows are the freshest labeled sample of the
+    // live distribution — they become the new drift reference, scored by
+    // the *retrained* model.
+    retrained->features.column_names = s.pipeline.metric_names();
+    baseline = std::make_shared<DriftBaseline>(DriftBaseline::FromTraining(
+        retrained->features, retrained->risk_scores));
+  }
+  Result<uint64_t> version =
+      Publish(ns, std::move(retrained->model), std::move(baseline));
+  if (!version.ok()) return version.status();
+  result.model_version = *version;
+  if (options.checkpoint && !options_.durability.dir.empty()) {
+    // Commit the new version to the manifest so a crash after this call
+    // recovers the retrained model, not the one it replaced.
+    LEARNRISK_RETURN_NOT_OK(Checkpoint(ns));
+  }
+  result.publish_ms = publish_timer.ElapsedMillis();
+  RecordMs(s.metrics.retrain_publish_latency, result.publish_ms);
+  if (s.metrics.review_retrains != nullptr) s.metrics.review_retrains->Add(1);
+  (void)serving_version;
+  return result;
+}
+
+Result<ReviewQueueStats> Gateway::ReviewStats(const std::string& ns) const {
+  Result<std::shared_ptr<NamespaceState>> state = State(ns);
+  if (!state.ok()) return state.status();
+  if ((*state)->review == nullptr) {
+    return Status::FailedPrecondition("review is not enabled on this gateway");
+  }
+  return (*state)->review->Stats();
 }
 
 Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
@@ -915,12 +1200,29 @@ Result<ResolveResponse> Gateway::Resolve(const std::string& ns,
   if (!s.metrics.feature_values.empty()) {
     ObserveFeatures(batch->features, s.metrics.feature_values);
   }
+  // One shared top-k pass over the decisions serves both the review
+  // enqueue and the trace capture below.
+  const bool reviewing =
+      s.review != nullptr && options_.review.per_request_budget > 0;
+  std::vector<size_t> top_risk;
+  if ((reviewing || tracing) && !response.scores.risk.empty()) {
+    const size_t k = std::max(reviewing ? options_.review.per_request_budget
+                                        : size_t{0},
+                              tracing ? options_.trace.top_k : size_t{0});
+    top_risk = TopRiskIndices(response.scores.risk, k);
+  }
+  if (reviewing) {
+    LEARNRISK_RETURN_NOT_OK(EnqueueReview(
+        *(*state), *batch, response.scores, response.request_id, top_risk,
+        &response.pairs, nullptr, &response.timing, stage_sink));
+  }
   const uint64_t total_ns = request_span.Stop();
   if (s.metrics.resolve_requests != nullptr) s.metrics.resolve_requests->Add(1);
   if (tracing) {
     MaybeCaptureTrace("resolve", ns, response.request_id, start_ns, total_ns,
                       std::move(trace_stages), response.pairs.size(), &*batch,
-                      &response.scores, scorer, &response.pairs, nullptr);
+                      &response.scores, scorer, &response.pairs, nullptr,
+                      &top_risk);
   }
   return response;
 }
@@ -996,6 +1298,20 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
   if (!s.metrics.feature_values.empty()) {
     ObserveFeatures(batch->features, s.metrics.feature_values);
   }
+  const bool reviewing =
+      s.review != nullptr && options_.review.per_request_budget > 0;
+  std::vector<size_t> top_risk;
+  if ((reviewing || tracing) && !response.scores.risk.empty()) {
+    const size_t k = std::max(reviewing ? options_.review.per_request_budget
+                                        : size_t{0},
+                              tracing ? options_.trace.top_k : size_t{0});
+    top_risk = TopRiskIndices(response.scores.risk, k);
+  }
+  if (reviewing) {
+    LEARNRISK_RETURN_NOT_OK(EnqueueReview(
+        *(*state), *batch, response.scores, response.request_id, top_risk,
+        nullptr, &response.candidates, &response.timing, stage_sink));
+  }
   const uint64_t total_ns = request_span.Stop();
   if (s.metrics.resolve_record_requests != nullptr) {
     s.metrics.resolve_record_requests->Add(1);
@@ -1004,7 +1320,7 @@ Result<ProbeResponse> Gateway::ResolveRecord(const std::string& ns,
     MaybeCaptureTrace("resolve_record", ns, response.request_id, start_ns,
                       total_ns, std::move(trace_stages),
                       response.candidates.size(), &*batch, &response.scores,
-                      scorer, nullptr, &response.candidates);
+                      scorer, nullptr, &response.candidates, &top_risk);
   }
   return response;
 }
@@ -1128,8 +1444,17 @@ Status Gateway::CheckpointLocked(const std::string& ns, NamespaceState& s,
   } else {
     model_version = 0;
   }
+  // Review state is namespace-level and rides on shard 0's log. Its
+  // mutations all serialize on shard 0's writer_mu — held here — so the
+  // snapshot is exactly the state whose WAL events the checkpoint retires.
+  ReviewQueue::CheckpointState review_state;
+  const ReviewQueue::CheckpointState* review = nullptr;
+  if (s.review != nullptr && &shard == s.shards[0].get()) {
+    review_state = s.review->Snapshot();
+    review = &review_state;
+  }
   return shard.log->WriteCheckpoint(left, s.dedup ? nullptr : &right,
-                                    model_version, saver);
+                                    model_version, saver, review);
 }
 
 Status Gateway::Checkpoint(const std::string& ns) {
@@ -1245,6 +1570,31 @@ Status Gateway::RecoverNamespace(const std::string& ns,
     for (const auto& shard : state->shards) {
       shard->log->set_metrics(state->metrics.durability);
     }
+  }
+  if (options_.review.enabled) {
+    // Rebuild the review queue: seed the checkpointed state (shard 0 owns
+    // it), replay the WAL's review events in log order — each drain/label
+    // lands on the same pair it originally did — then fold still-outstanding
+    // items back into the queue: their reviewer died with the process, and
+    // re-draining beats losing them.
+    state->review =
+        std::make_shared<ReviewQueue>(options_.review.queue_capacity);
+    state->review->Seed(std::move(recovered[0].review_queued),
+                        std::move(recovered[0].review_labeled));
+    for (ReviewWalEvent& event : recovered[0].review_events) {
+      switch (event.kind) {
+        case ReviewWalEvent::Kind::kOffer:
+          state->review->Offer(std::move(event.item));
+          break;
+        case ReviewWalEvent::Kind::kDrain:
+          state->review->MarkDrained(event.item.left, event.item.right);
+          break;
+        case ReviewWalEvent::Kind::kLabel:
+          state->review->Label(event.item.left, event.item.right, event.truth);
+          break;
+      }
+    }
+    state->review->RequeueOutstanding();
   }
 
   // Re-publish the newest checkpointed model any shard recorded, under its

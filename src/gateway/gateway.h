@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "active/incremental_retrain.h"
 #include "classifier/classifier.h"
 #include "common/status.h"
 #include "data/blocking.h"
@@ -34,6 +35,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/trace_buffer.h"
+#include "review/review_queue.h"
 
 namespace learnrisk {
 
@@ -84,10 +86,11 @@ struct StageTiming {
   double featurize_ms = 0.0;   ///< metric evaluation (prepared kernels)
   double classify_ms = 0.0;    ///< classifier inference over the metric rows
   double score_ms = 0.0;       ///< risk scoring (rule activation + kernel)
+  double review_ms = 0.0;      ///< review-queue enqueue (top-k offer + WAL)
   double wal_append_ms = 0.0;  ///< AddRecord: durable WAL append + flush
   double publish_ms = 0.0;     ///< AddRecord: snapshot derivation + swap
   double total_ms() const {
-    return blocking_ms + featurize_ms + classify_ms + score_ms +
+    return blocking_ms + featurize_ms + classify_ms + score_ms + review_ms +
            wal_append_ms + publish_ms;
   }
 };
@@ -177,6 +180,40 @@ struct GatewayOptions {
   /// serving many concurrent requests set 1 to scale across request threads
   /// instead of queueing on the pool. Bit-identical results either way.
   size_t request_parallelism = 0;
+  /// Risk-driven review loop (docs/REVIEW.md): when enabled, every
+  /// namespace gets a ReviewQueue and Resolve / ResolveRecord offer their
+  /// top-k riskiest decisions to it; DrainReview / SubmitReviewLabel /
+  /// RetrainFromReview close the label -> retrain -> publish loop. Durable
+  /// namespaces WAL every review mutation and checkpoint the queue, so
+  /// queued-but-unlabeled pairs and acked labels survive a restart.
+  ReviewOptions review;
+};
+
+/// \brief RetrainFromReview configuration (docs/REVIEW.md).
+struct ReviewRetrainOptions {
+  /// Trainer hyperparameters for the incremental pass.
+  IncrementalRetrainOptions retrain;
+  /// FailedPrecondition below this many collected labels (a one-label
+  /// "batch" cannot rank mislabeled vs correct).
+  size_t min_labels = 2;
+  /// Refresh the namespace's drift baseline from the label batch's feature
+  /// rows and the retrained model's risk scores at publish time.
+  bool refresh_drift_baseline = true;
+  /// Checkpoint durable namespaces after the publish so the manifest
+  /// records the new model version (no-op when durability is off).
+  bool checkpoint = true;
+};
+
+/// \brief What one retrain-and-publish cycle produced.
+struct ReviewRetrainResult {
+  uint64_t model_version = 0;  ///< version the retrained model serves as
+  size_t labels_used = 0;
+  size_t mislabeled = 0;       ///< labels disagreeing with the machine label
+  /// Per-epoch mean sampled rank loss — deterministic in the trainer seed,
+  /// so reruns over identical labels are bit-identical.
+  std::vector<double> loss_history;
+  double train_ms = 0.0;    ///< incremental retrain wall time
+  double publish_ms = 0.0;  ///< baseline build + hot-swap (+ checkpoint)
 };
 
 /// \brief Everything RecoverNamespace needs that is *not* in the durable
@@ -318,6 +355,34 @@ class Gateway {
   /// is off.
   Result<size_t> WalEntriesSinceCheckpoint(const std::string& ns);
 
+  /// \brief Removes up to `max_items` of the namespace's riskiest queued
+  /// review pairs for labeling (r-HUMO's highest-risk-first order). Drained
+  /// pairs stay outstanding until SubmitReviewLabel. Durable namespaces log
+  /// each drain so a recovered queue reproduces the same displacement
+  /// decisions. FailedPrecondition when review is off.
+  Result<std::vector<ReviewItem>> DrainReview(const std::string& ns,
+                                              size_t max_items);
+
+  /// \brief Records a human label for a drained pair. Durable namespaces
+  /// WAL the label before acknowledging, so an acked label is never lost
+  /// across a crash. NotFound when the pair is not awaiting a label;
+  /// FailedPrecondition when review is off.
+  Status SubmitReviewLabel(const std::string& ns, int64_t left, int64_t right,
+                           uint8_t truth);
+
+  /// \brief Closes the loop: retrains the serving risk model on every label
+  /// collected so far (incremental analytic-gradient pass seeded from the
+  /// serving snapshot), refreshes the drift baseline from the label batch,
+  /// and hot-publishes the result under live traffic — in-flight Resolves
+  /// finish on the snapshot they loaded. FailedPrecondition when review is
+  /// off, before the first Publish, or below `min_labels`.
+  Result<ReviewRetrainResult> RetrainFromReview(
+      const std::string& ns, const ReviewRetrainOptions& options = {});
+
+  /// \brief The namespace's review-queue accounting snapshot (lock-free
+  /// reads). FailedPrecondition when review is off.
+  Result<ReviewQueueStats> ReviewStats(const std::string& ns) const;
+
   /// \brief Point-in-time snapshot of every runtime metric this gateway owns
   /// — request/stage latency histograms, risk-score distributions, WAL and
   /// checkpoint counters, registry LRU stats, serving-engine counters, and
@@ -368,10 +433,20 @@ class Gateway {
     LatencyHistogram* stage_featurize = nullptr;
     LatencyHistogram* stage_classify = nullptr;
     LatencyHistogram* stage_risk = nullptr;
+    LatencyHistogram* stage_review = nullptr;
     LatencyHistogram* stage_wal_append = nullptr;
     LatencyHistogram* stage_publish = nullptr;
     LatencyHistogram* checkpoint_latency = nullptr;
     LatencyHistogram* recover_latency = nullptr;
+    /// Review-loop instruments (docs/REVIEW.md); null when review is off.
+    ShardedCounter* review_enqueued = nullptr;
+    ShardedCounter* review_merged = nullptr;
+    ShardedCounter* review_dropped = nullptr;
+    ShardedCounter* review_drained = nullptr;
+    ShardedCounter* review_labels = nullptr;
+    ShardedCounter* review_retrains = nullptr;
+    LatencyHistogram* retrain_latency = nullptr;
+    LatencyHistogram* retrain_publish_latency = nullptr;
     ValueHistogram* risk_scores = nullptr;  ///< served risk distribution
     /// Per-metric-column live feature distributions (drift monitoring;
     /// column order matches the pipeline's metric_names()). Empty unless
@@ -425,6 +500,12 @@ class Gateway {
     /// so a scrape never touches the model registry (whose Engine() call
     /// can do spill-reload IO).
     std::shared_ptr<const DriftBaseline> drift_baseline;
+    /// The namespace's review queue; null when GatewayOptions::review is
+    /// off. Internally synchronized — but in durable mode every mutation
+    /// additionally serializes behind shard 0's writer_mu so WAL order
+    /// equals apply order (review state is namespace-level, so it rides on
+    /// shard 0's log).
+    std::shared_ptr<ReviewQueue> review;
 
     const SideStore& right_store(const NamespaceSnapshot& snap) const {
       return dedup ? snap.left : snap.right;
@@ -456,9 +537,23 @@ class Gateway {
                     std::shared_ptr<const ScorerSnapshot>* scorer_out =
                         nullptr);
   /// \brief Checkpoint body for one shard; caller holds that shard's
-  /// writer_mu and has verified shard.log is non-null.
+  /// writer_mu and has verified shard.log is non-null. Shard 0 additionally
+  /// persists the review queue (its mutations serialize on the same mutex,
+  /// so the snapshot is consistent with the WAL being reset).
   Status CheckpointLocked(const std::string& ns, NamespaceState& s,
                           Shard& shard);
+  /// \brief Offers the request's top-budget riskiest decisions (from the
+  /// shared `top_risk` order) to the namespace's review queue; durable
+  /// namespaces WAL each offer first under shard 0's writer_mu. Fills
+  /// StageTiming::review_ms. Exactly one of `pairs` / `probe_candidates`
+  /// names the scored pairs (probes key as left = -1).
+  Status EnqueueReview(NamespaceState& s, const FeaturizedBatch& batch,
+                       const ScoreResponse& scores, uint64_t request_id,
+                       const std::vector<size_t>& top_risk,
+                       const std::vector<RecordPair>* pairs,
+                       const std::vector<size_t>* probe_candidates,
+                       StageTiming* timing,
+                       std::vector<TraceStageSpan>* stage_sink);
   /// \brief Get-or-creates the namespace's instrument bundle in
   /// metric_registry_. Only called when enable_metrics is on.
   /// `metric_names` labels the per-column drift histograms (one per metric
@@ -480,6 +575,9 @@ class Gateway {
   /// decisions with activations + explanations) and pushes it into the
   /// ring. `batch`/`scores`/`scorer` may be null (AddRecord traces carry no
   /// decisions); `pairs` xor `candidates` names the scored pairs.
+  /// `top_risk`, when non-null and long enough, is the request's shared
+  /// risk-descending index order (one top-k pass feeds both this capture
+  /// and EnqueueReview); null = compute locally.
   void MaybeCaptureTrace(const char* api, const std::string& ns,
                          uint64_t request_id, uint64_t start_ns,
                          uint64_t total_ns,
@@ -488,7 +586,8 @@ class Gateway {
                          const ScoreResponse* scores,
                          const std::shared_ptr<const ScorerSnapshot>& scorer,
                          const std::vector<RecordPair>* pairs,
-                         const std::vector<size_t>* probe_candidates);
+                         const std::vector<size_t>* probe_candidates,
+                         const std::vector<size_t>* top_risk = nullptr);
 
   GatewayOptions options_;
   /// Owns every instrument; declared before registry_ so the raw instrument

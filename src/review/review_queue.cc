@@ -1,0 +1,208 @@
+// Copyright 2026 The LearnRisk Authors
+
+#include "review/review_queue.h"
+
+#include <algorithm>
+
+namespace learnrisk {
+
+ReviewQueue::ReviewQueue(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void ReviewQueue::InsertResidentLocked(ReviewItem item, uint64_t seq) {
+  const PairKey key = KeyOf(item);
+  rank_.emplace(RankKey{item.risk, seq}, key);
+  resident_.emplace(key, Entry{std::move(item), seq});
+  depth_.store(resident_.size(), std::memory_order_relaxed);
+}
+
+ReviewQueue::Entry ReviewQueue::RemoveResidentLocked(const PairKey& key) {
+  auto it = resident_.find(key);
+  Entry entry = std::move(it->second);
+  rank_.erase(RankKey{entry.item.risk, entry.seq});
+  resident_.erase(it);
+  depth_.store(resident_.size(), std::memory_order_relaxed);
+  return entry;
+}
+
+ReviewQueue::Offered ReviewQueue::Offer(ReviewItem item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  const PairKey key = KeyOf(item);
+
+  // Dedup against every stage of the pipeline: already labeled or awaiting a
+  // label means the human effort is spent/spending — merge (no-op payload).
+  if (labeled_keys_.count(key) != 0 || outstanding_.count(key) != 0) {
+    merged_.fetch_add(1, std::memory_order_relaxed);
+    return Offered::kMerged;
+  }
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    // Keep the higher-risk observation: re-rank in place, same seq.
+    if (item.risk > it->second.item.risk) {
+      rank_.erase(RankKey{it->second.item.risk, it->second.seq});
+      rank_.emplace(RankKey{item.risk, it->second.seq}, key);
+      it->second.item = std::move(item);
+    }
+    merged_.fetch_add(1, std::memory_order_relaxed);
+    return Offered::kMerged;
+  }
+
+  const uint64_t seq = next_seq_++;
+  if (resident_.size() >= capacity_) {
+    // rank_ is riskiest-first, so its last entry is the weakest resident.
+    auto weakest = std::prev(rank_.end());
+    if (item.risk > weakest->first.risk) {
+      // Displace: the new offer is admitted, the weakest resident drops.
+      RemoveResidentLocked(weakest->second);
+      InsertResidentLocked(std::move(item), seq);
+      enqueued_.fetch_add(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return Offered::kAdmitted;
+    }
+    // The offer itself is the weakest: admitted-and-immediately-dropped,
+    // keeping `enqueued == drained + dropped + depth` exact.
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return Offered::kDropped;
+  }
+  InsertResidentLocked(std::move(item), seq);
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return Offered::kAdmitted;
+}
+
+std::vector<ReviewItem> ReviewQueue::DrainTop(size_t max_items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReviewItem> out;
+  const size_t n = std::min(max_items, resident_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const PairKey key = rank_.begin()->second;
+    Entry entry = RemoveResidentLocked(key);
+    out.push_back(entry.item);
+    outstanding_.emplace(key, std::move(entry));
+  }
+  outstanding_count_.store(outstanding_.size(), std::memory_order_relaxed);
+  drained_.fetch_add(n, std::memory_order_relaxed);
+  return out;
+}
+
+bool ReviewQueue::MarkDrained(int64_t left, int64_t right) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PairKey key(left, right);
+  if (resident_.count(key) == 0) return false;
+  outstanding_.emplace(key, RemoveResidentLocked(key));
+  outstanding_count_.store(outstanding_.size(), std::memory_order_relaxed);
+  drained_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ReviewQueue::Label(int64_t left, int64_t right, uint8_t truth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PairKey key(left, right);
+  Entry entry;
+  auto out = outstanding_.find(key);
+  if (out != outstanding_.end()) {
+    entry = std::move(out->second);
+    outstanding_.erase(out);
+    outstanding_count_.store(outstanding_.size(), std::memory_order_relaxed);
+  } else if (resident_.count(key) != 0) {
+    // Replay path: a checkpoint folded this once-drained pair back into the
+    // queue; count the implicit drain so the invariant stays exact.
+    entry = RemoveResidentLocked(key);
+    drained_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    return false;
+  }
+  labeled_.push_back(LabeledReview{std::move(entry.item), truth});
+  labeled_keys_.emplace(key, truth);
+  labeled_count_.store(labeled_.size(), std::memory_order_relaxed);
+  labels_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReviewQueue::RequeueOutstanding() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (auto& [key, entry] : outstanding_) {
+    InsertResidentLocked(std::move(entry.item), entry.seq);
+    ++n;
+  }
+  outstanding_.clear();
+  outstanding_count_.store(0, std::memory_order_relaxed);
+  requeued_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ReviewQueue::Seed(std::vector<ReviewItem> queued,
+                       std::vector<LabeledReview> labeled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resident_.clear();
+  rank_.clear();
+  outstanding_.clear();
+  labeled_.clear();
+  labeled_keys_.clear();
+  next_seq_ = 0;
+  for (ReviewItem& item : queued) {
+    if (resident_.count(KeyOf(item)) != 0) continue;  // defensive dedup
+    InsertResidentLocked(std::move(item), next_seq_++);
+  }
+  for (LabeledReview& label : labeled) {
+    labeled_keys_.emplace(KeyOf(label.item), label.truth);
+    labeled_.push_back(std::move(label));
+  }
+  // Reset the counters to a state that satisfies the invariant over the
+  // seeded contents: every seeded label was once enqueued and drained.
+  const uint64_t n_queued = resident_.size();
+  const uint64_t n_labeled = labeled_.size();
+  offered_.store(n_queued + n_labeled, std::memory_order_relaxed);
+  enqueued_.store(n_queued + n_labeled, std::memory_order_relaxed);
+  merged_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  drained_.store(n_labeled, std::memory_order_relaxed);
+  labels_.store(n_labeled, std::memory_order_relaxed);
+  requeued_.store(0, std::memory_order_relaxed);
+  depth_.store(resident_.size(), std::memory_order_relaxed);
+  outstanding_count_.store(0, std::memory_order_relaxed);
+  labeled_count_.store(labeled_.size(), std::memory_order_relaxed);
+}
+
+std::vector<LabeledReview> ReviewQueue::Labeled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return labeled_;
+}
+
+ReviewQueue::CheckpointState ReviewQueue::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Unlabeled items in enqueue order (resident + outstanding merged by seq):
+  // a recovered queue re-admits them in the original arrival order, and any
+  // outstanding item returns to the queue (its reviewer died with us).
+  std::vector<const Entry*> entries;
+  entries.reserve(resident_.size() + outstanding_.size());
+  for (const auto& [key, entry] : resident_) entries.push_back(&entry);
+  for (const auto& [key, entry] : outstanding_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+  CheckpointState state;
+  state.queued.reserve(entries.size());
+  for (const Entry* entry : entries) state.queued.push_back(entry->item);
+  state.labeled = labeled_;
+  return state;
+}
+
+ReviewQueueStats ReviewQueue::Stats() const {
+  ReviewQueueStats s;
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.merged = merged_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.drained = drained_.load(std::memory_order_relaxed);
+  s.labels = labels_.load(std::memory_order_relaxed);
+  s.requeued = requeued_.load(std::memory_order_relaxed);
+  s.depth = depth_.load(std::memory_order_relaxed);
+  s.outstanding = outstanding_count_.load(std::memory_order_relaxed);
+  s.labeled = labeled_count_.load(std::memory_order_relaxed);
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace learnrisk

@@ -1,0 +1,206 @@
+// Copyright 2026 The LearnRisk Authors
+// Risk-driven review queue (paper Sec. 1, 7.4; r-HUMO's budgeted review
+// loop): the gateway enqueues each request's top-k riskiest decisions here,
+// a ReviewSession drains them highest-risk-first for human labeling, and the
+// labels feed incremental risk-model retraining (active/incremental_retrain).
+//
+// Semantics (full protocol: docs/REVIEW.md):
+//  * Deduplicated by pair key (left, right): re-offering a pair that is
+//    queued, awaiting a label, or already labeled merges instead of
+//    duplicating (a merge keeps the higher-risk observation).
+//  * Risk-priority ordered: DrainTop returns the riskiest resident pairs,
+//    ties broken by enqueue order.
+//  * Bounded: at capacity a new offer displaces the lowest-risk resident if
+//    it outranks it, otherwise the offer itself is the drop. Either way the
+//    accounting invariant holds exactly:
+//        enqueued + requeued == drained + dropped + depth
+//    (every admitted item is eventually drained, dropped, or resident).
+//  * Lock-free readers: depth/outstanding/counters are relaxed atomics, so
+//    metric gauges and accounting checks never contend with the enqueue path.
+//
+// Mutations take one internal mutex; the gateway's durable mode additionally
+// serializes them behind shard 0's writer mutex so WAL order equals apply
+// order (see Gateway::EnqueueReview).
+
+#ifndef LEARNRISK_REVIEW_REVIEW_QUEUE_H_
+#define LEARNRISK_REVIEW_REVIEW_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace learnrisk {
+
+/// \brief Per-namespace review configuration (GatewayOptions::review).
+struct ReviewOptions {
+  /// Master switch: when false no queue is created and Resolve/ResolveRecord
+  /// skip the enqueue hook entirely.
+  bool enabled = false;
+  /// Top-k riskiest decisions each Resolve / ResolveRecord may enqueue
+  /// (r-HUMO's per-round budget). 0 disables enqueueing.
+  size_t per_request_budget = 4;
+  /// Decisions below this risk score are never offered.
+  double min_risk = 0.0;
+  /// Resident-queue bound; see the displacement policy above.
+  size_t queue_capacity = 1024;
+};
+
+/// \brief One enqueued machine decision, carrying everything retraining and
+/// drift-baseline refresh need: the pair key, the decision (risk, classifier
+/// probability, machine label, model version), and the metric feature row.
+struct ReviewItem {
+  /// Left record id; -1 for ResolveRecord probes (the probe is not a stored
+  /// record, so the pair keys on the candidate side alone).
+  int64_t left = -1;
+  int64_t right = -1;
+  double risk = 0.0;
+  double classifier_prob = 0.0;
+  uint8_t machine_label = 0;
+  /// Model version that produced `risk` (drift across retrains is visible).
+  uint64_t model_version = 0;
+  /// Gateway request id of the Resolve that offered this pair.
+  uint64_t request_id = 0;
+  /// The pair's metric feature row (pipeline metric order) — the retrain
+  /// input, kept so labels stay usable across rule-set revisions.
+  std::vector<double> features;
+};
+
+/// \brief A reviewed item plus its human (oracle) label.
+struct LabeledReview {
+  ReviewItem item;
+  uint8_t truth = 0;  ///< 1 = the pair is equivalent
+};
+
+/// \brief Point-in-time accounting snapshot (all readable lock-free).
+struct ReviewQueueStats {
+  uint64_t offered = 0;   ///< Offer calls
+  uint64_t enqueued = 0;  ///< offers admitted into the queue
+  uint64_t merged = 0;    ///< offers deduplicated against an existing key
+  uint64_t dropped = 0;   ///< admitted items displaced or rejected at capacity
+  uint64_t drained = 0;   ///< items handed to a reviewer (incl. direct labels)
+  uint64_t labels = 0;    ///< labels accepted
+  uint64_t requeued = 0;  ///< outstanding items re-queued after recovery
+  size_t depth = 0;       ///< resident (drainable) items
+  size_t outstanding = 0; ///< drained, awaiting a label
+  size_t labeled = 0;     ///< labels held for the next retrain
+  size_t capacity = 0;
+};
+
+/// \brief Bounded, deduplicated, risk-ordered review queue.
+///
+/// Thread safety: every mutating call takes the internal mutex; the stats
+/// accessors and depth/outstanding gauges are lock-free relaxed atomic reads.
+class ReviewQueue {
+ public:
+  enum class Offered { kAdmitted, kMerged, kDropped };
+
+  explicit ReviewQueue(size_t capacity);
+
+  /// \brief Offers one decision. Admits, merges onto an existing key (the
+  /// higher-risk observation wins), or drops per the capacity policy.
+  Offered Offer(ReviewItem item);
+
+  /// \brief Removes up to `max_items` riskiest resident pairs (risk
+  /// descending, enqueue order on ties) and marks them outstanding until
+  /// Label or RequeueOutstanding returns them.
+  std::vector<ReviewItem> DrainTop(size_t max_items);
+
+  /// \brief Replay helper: moves one specific resident pair to outstanding
+  /// (recovery re-applies logged drains by key, not by rank). False when the
+  /// key is not resident.
+  bool MarkDrained(int64_t left, int64_t right);
+
+  /// \brief Accepts a label for an outstanding pair — or, during recovery
+  /// replay, a resident one (a checkpoint folds outstanding items back into
+  /// the queue, so a post-checkpoint label can meet its pair resident; the
+  /// resident item is accounted drained-then-labeled). False when the key is
+  /// neither outstanding nor resident.
+  bool Label(int64_t left, int64_t right, uint8_t truth);
+
+  /// \brief Returns every outstanding item to the resident queue (the
+  /// reviewer session died, e.g. across a crash/restart). May exceed
+  /// capacity transiently; subsequent offers see the true depth.
+  void RequeueOutstanding();
+
+  /// \brief Recovery seeding from a checkpoint: installs `queued` (in order,
+  /// as admitted) and `labeled`, resetting counters so the accounting
+  /// invariant holds over the seeded state.
+  void Seed(std::vector<ReviewItem> queued, std::vector<LabeledReview> labeled);
+
+  /// \brief Copies the labels accumulated so far (label-acceptance order).
+  std::vector<LabeledReview> Labeled() const;
+
+  /// \brief Checkpoint view: every unlabeled item (resident + outstanding,
+  /// enqueue order) and every label.
+  struct CheckpointState {
+    std::vector<ReviewItem> queued;
+    std::vector<LabeledReview> labeled;
+  };
+  CheckpointState Snapshot() const;
+
+  ReviewQueueStats Stats() const;
+  size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  size_t outstanding() const {
+    return outstanding_count_.load(std::memory_order_relaxed);
+  }
+  size_t num_labeled() const {
+    return labeled_count_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using PairKey = std::pair<int64_t, int64_t>;
+  /// Orders resident pairs riskiest-first; seq breaks ties FIFO.
+  struct RankKey {
+    double risk = 0.0;
+    uint64_t seq = 0;
+    bool operator<(const RankKey& other) const {
+      if (risk != other.risk) return risk > other.risk;
+      return seq < other.seq;
+    }
+  };
+  struct Entry {
+    ReviewItem item;
+    uint64_t seq = 0;
+  };
+
+  static PairKey KeyOf(const ReviewItem& item) {
+    return PairKey(item.left, item.right);
+  }
+  /// Inserts into the resident maps (caller holds mu_ and has checked the
+  /// key is absent everywhere).
+  void InsertResidentLocked(ReviewItem item, uint64_t seq);
+  /// Removes one resident entry by key, returning it (caller holds mu_).
+  Entry RemoveResidentLocked(const PairKey& key);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  /// Resident items by key; rank_ indexes the same entries riskiest-first.
+  std::map<PairKey, Entry> resident_;
+  std::map<RankKey, PairKey> rank_;
+  /// Drained, awaiting a label.
+  std::map<PairKey, Entry> outstanding_;
+  std::vector<LabeledReview> labeled_;
+  /// Keys ever labeled (re-offers of a reviewed pair merge, never re-queue).
+  std::map<PairKey, uint8_t> labeled_keys_;
+
+  // Lock-free reader side (metric gauges, accounting asserts).
+  std::atomic<size_t> depth_{0};
+  std::atomic<size_t> outstanding_count_{0};
+  std::atomic<size_t> labeled_count_{0};
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> enqueued_{0};
+  std::atomic<uint64_t> merged_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> drained_{0};
+  std::atomic<uint64_t> labels_{0};
+  std::atomic<uint64_t> requeued_{0};
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_REVIEW_REVIEW_QUEUE_H_

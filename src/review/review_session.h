@@ -1,0 +1,70 @@
+// Copyright 2026 The LearnRisk Authors
+// Reviewer-facing wrapper over one namespace's review loop: Next() pulls the
+// riskiest queued pairs (r-HUMO's highest-risk-first order), Submit() feeds
+// a human verdict back, and RetrainAndPublish() turns the collected labels
+// into a retrained, hot-published risk model. A session is a thin cursor
+// over Gateway::DrainReview / SubmitReviewLabel / RetrainFromReview — it
+// owns no state the gateway doesn't, so sessions can be dropped and
+// re-created freely (undrained items simply stay queued; drained ones are
+// re-queued at recovery).
+
+#ifndef LEARNRISK_REVIEW_REVIEW_SESSION_H_
+#define LEARNRISK_REVIEW_REVIEW_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gateway/gateway.h"
+#include "review/review_queue.h"
+
+namespace learnrisk {
+
+/// \brief One reviewer's cursor over a namespace's review queue. Not
+/// internally synchronized: one session per reviewer thread (the gateway
+/// APIs underneath are thread-safe, so concurrent sessions interleave
+/// correctly — each drained pair goes to exactly one of them).
+class ReviewSession {
+ public:
+  /// The gateway must outlive the session.
+  ReviewSession(Gateway* gateway, std::string ns)
+      : gateway_(gateway), ns_(std::move(ns)) {}
+
+  /// \brief The next `max_items` riskiest pairs to review (may return
+  /// fewer, or none when the queue is empty). Each returned pair is
+  /// outstanding until Submit.
+  Result<std::vector<ReviewItem>> Next(size_t max_items) {
+    return gateway_->DrainReview(ns_, max_items);
+  }
+
+  /// \brief Submits the human verdict for a pair handed out by Next.
+  Status Submit(const ReviewItem& item, bool equivalent) {
+    const Status status = gateway_->SubmitReviewLabel(
+        ns_, item.left, item.right, equivalent ? 1 : 0);
+    if (status.ok()) ++labels_submitted_;
+    return status;
+  }
+
+  /// \brief Retrains the serving model on every label collected so far and
+  /// hot-publishes the result (Gateway::RetrainFromReview).
+  Result<ReviewRetrainResult> RetrainAndPublish(
+      const ReviewRetrainOptions& options = {}) {
+    return gateway_->RetrainFromReview(ns_, options);
+  }
+
+  /// \brief Labels this session accepted (not the namespace-wide count).
+  size_t labels_submitted() const { return labels_submitted_; }
+
+  const std::string& ns() const { return ns_; }
+
+ private:
+  Gateway* gateway_;
+  std::string ns_;
+  size_t labels_submitted_ = 0;
+};
+
+}  // namespace learnrisk
+
+#endif  // LEARNRISK_REVIEW_REVIEW_SESSION_H_

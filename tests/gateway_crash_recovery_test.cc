@@ -9,7 +9,12 @@
 // durable-but-unacknowledged record is allowed: a crash after the WAL flush
 // but before the call returned), and its Resolve / ResolveRecord /
 // block_all outputs must be bit-identical to a reference gateway that never
-// crashed and applied exactly the recovered record sequence. Runs under
+// crashed and applied exactly the recovered record sequence. The review
+// cases kill the gateway mid-enqueue (review offers / drains / labels torn
+// at every WAL boundary: no acked label may be lost, labeled pairs never
+// re-queue) and mid-retrain-publish (crash inside the post-publish
+// checkpoint: the recovered namespace serves either the old or the
+// retrained model, bit-identically, never a torn mixture). Runs under
 // ASan+UBSan in CI (the asan-ubsan job): torn files and replay paths are
 // exactly where memory bugs would hide.
 
@@ -18,10 +23,13 @@
 #include <atomic>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "classifier/logistic.h"
+#include "data/blocking.h"
 #include "data/generators.h"
 #include "gateway/gateway.h"
 #include "risk/risk_feature.h"
@@ -330,6 +338,289 @@ TEST(GatewayCrashRecoveryTest, ShardedCrashPointsRecoverBitIdentical) {
       ASSERT_TRUE(ApplyAdd(&reference, i).ok());
     }
     ExpectBitIdentical(&recovered, &reference);
+  }
+}
+
+// --- Review-loop crash cases -----------------------------------------------
+
+using PairKey = std::pair<int64_t, int64_t>;
+
+GatewayOptions ReviewDurableOptions(const std::string& dir) {
+  GatewayOptions options;
+  options.durability.dir = dir;
+  options.review.enabled = true;
+  options.review.per_request_budget = 4;
+  options.review.queue_capacity = 64;
+  return options;
+}
+
+// Blocked pairs of the shared workload, for explicit-pair review traffic.
+const std::vector<RecordPair>& BlockedPairs() {
+  static const std::vector<RecordPair>* pairs = [] {
+    const SharedSetup& s = Shared();
+    auto blocked =
+        TokenBlocking(s.workload.left(), s.workload.right(), BlockingConfig());
+    EXPECT_TRUE(blocked.ok()) << blocked.status().ToString();
+    auto* out = new std::vector<RecordPair>(blocked.MoveValueOrDie());
+    EXPECT_GE(out->size(), 32u);
+    return out;
+  }();
+  return *pairs;
+}
+
+ResolveRequest PairWindow(size_t start, size_t count) {
+  const std::vector<RecordPair>& blocked = BlockedPairs();
+  ResolveRequest request;
+  for (size_t i = 0; i < count; ++i) {
+    request.pairs.push_back(blocked[(start + i) % blocked.size()]);
+  }
+  return request;
+}
+
+// Kill the gateway at every WAL boundary while review traffic (offers,
+// drains, labels) is the only thing being logged. Each round appends a
+// deterministic 8 frames (4 offers + 2 drains + 2 labels), so the
+// occurrence count picks which kind of frame tears. After recovery: every
+// acked label survived (at most one durable-but-unacked extra), no labeled
+// pair is back in the queue, the accounting invariant holds exactly, and
+// the loop still closes (drain -> label -> retrain -> publish).
+TEST(GatewayCrashRecoveryTest, ReviewCrashMidEnqueueKeepsEveryAckedLabel) {
+  const SharedSetup& s = Shared();
+  const CrashCase kCases[] = {
+      {"wal:before_append", 10},  // 2nd offer of round 1: mid-enqueue
+      {"wal:mid_append", 10},     // same offer, torn frame
+      {"wal:after_append", 10},   // durable offer, unacknowledged request
+      {"wal:before_append", 13},  // drain frame of round 1
+      {"wal:mid_append", 15},     // torn label frame
+      {"wal:after_append", 16},   // durable label, unacknowledged
+  };
+  constexpr size_t kMaxRounds = 32;
+
+  for (const CrashCase& c : kCases) {
+    SCOPED_TRACE(std::string(c.point) + " occurrence " +
+                 std::to_string(c.occurrence));
+    const std::string dir = ::testing::TempDir() + "/learnrisk_review_crash_" +
+                            std::string(c.point) + "_" +
+                            std::to_string(c.occurrence);
+    std::filesystem::remove_all(dir);
+
+    std::atomic<int> countdown{c.occurrence};
+    GatewayOptions options = ReviewDurableOptions(dir);
+    options.durability.crash_hook = [&](const std::string& point) {
+      if (point != c.point) return false;
+      return countdown.fetch_sub(1) == 1;
+    };
+
+    std::vector<std::pair<PairKey, uint8_t>> acked;
+    {
+      Gateway gateway(options);
+      ASSERT_TRUE(gateway.RegisterNamespace("ds", BaseSpec()).ok());
+      ASSERT_TRUE(gateway.Publish("ds", s.model).ok());
+      bool crashed = false;
+      for (size_t round = 0; round < kMaxRounds && !crashed; ++round) {
+        if (!gateway.Resolve("ds", PairWindow(round * 7, 16)).ok()) {
+          crashed = true;
+          break;
+        }
+        const auto items = gateway.DrainReview("ds", 2);
+        if (!items.ok()) {
+          crashed = true;
+          break;
+        }
+        for (const ReviewItem& item : *items) {
+          const uint8_t truth = item.machine_label ^ 1;
+          if (!gateway.SubmitReviewLabel("ds", item.left, item.right, truth)
+                   .ok()) {
+            crashed = true;
+            break;
+          }
+          acked.emplace_back(PairKey(item.left, item.right), truth);
+        }
+      }
+      ASSERT_TRUE(crashed) << "crash hook for " << c.point
+                           << " never fired within " << kMaxRounds
+                           << " review rounds";
+    }
+    ASSERT_GE(acked.size(), 2u);  // round 0 completed before every case
+
+    Gateway recovered(ReviewDurableOptions(dir));
+    ASSERT_TRUE(recovered.RecoverNamespace("ds", RecoverSpec()).ok());
+
+    // No acked label lost; at most one durable-but-unacked extra.
+    const auto stats = recovered.ReviewStats("ds");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_GE(stats->labels, acked.size());
+    ASSERT_LE(stats->labels, acked.size() + 1);
+    // Recovery requeued any outstanding drains and kept the books exact.
+    EXPECT_EQ(stats->outstanding, 0u);
+    EXPECT_EQ(stats->enqueued + stats->requeued,
+              stats->drained + stats->dropped + stats->depth);
+
+    // Labeled pairs never re-enter the queue: drain everything resident and
+    // prove no acked key is among it.
+    const auto leftover = recovered.DrainReview("ds", 1u << 20);
+    ASSERT_TRUE(leftover.ok());
+    std::set<PairKey> leftover_keys;
+    for (const ReviewItem& item : *leftover) {
+      leftover_keys.insert(PairKey(item.left, item.right));
+    }
+    for (const auto& [key, truth] : acked) {
+      EXPECT_EQ(leftover_keys.count(key), 0u)
+          << "acked label for (" << key.first << ", " << key.second
+          << ") was lost and its pair re-queued";
+    }
+
+    // The loop still closes after recovery: label the leftovers, retrain,
+    // hot-publish.
+    for (const ReviewItem& item : *leftover) {
+      ASSERT_TRUE(recovered
+                      .SubmitReviewLabel("ds", item.left, item.right,
+                                         item.machine_label ^ 1)
+                      .ok());
+    }
+    // An already-labeled pair is not awaiting a label — acked labels are
+    // final, not silently re-openable.
+    for (const auto& [key, truth] : acked) {
+      EXPECT_TRUE(recovered.SubmitReviewLabel("ds", key.first, key.second, 1)
+                      .IsNotFound());
+    }
+    if (!recovered.registry().Contains("ds")) {
+      ASSERT_TRUE(recovered.Publish("ds", s.model).ok());
+    }
+    ReviewRetrainOptions retrain;
+    retrain.retrain.trainer.epochs = 40;
+    const auto result = recovered.RetrainFromReview("ds", retrain);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->labels_used, recovered.ReviewStats("ds")->labeled);
+  }
+}
+
+// Kill the gateway inside RetrainFromReview's post-publish checkpoint, at
+// every checkpoint/manifest boundary. The recovered namespace must serve
+// either the pre-retrain model (version 1, crash before the manifest swap)
+// or the retrained one (version 2, crash after) — bit-identical risk scores
+// to a never-crashed reference either way, never a torn mixture — and every
+// acked label survives regardless of which side of the swap the crash hit.
+TEST(GatewayCrashRecoveryTest, ReviewRetrainPublishCrashServesOldOrNew) {
+  const SharedSetup& s = Shared();
+  const char* kPoints[] = {
+      "checkpoint:mid_segment",
+      "checkpoint:mid_manifest",
+      "manifest:before_swap",
+      "manifest:after_swap",
+  };
+  const ResolveRequest fixed_batch = PairWindow(0, 16);
+  ReviewRetrainOptions retrain;
+  retrain.retrain.trainer.epochs = 60;  // checkpoint=true: the crash site
+
+  // Never-crashed reference (non-durable): replay the identical label
+  // sequence to learn what "old" and "new" must look like, bit for bit.
+  std::vector<uint8_t> truth_sequence;
+  std::vector<double> old_risk;
+  std::vector<double> new_risk;
+  uint64_t old_version = 0;
+  uint64_t new_version = 0;
+  {
+    GatewayOptions options;
+    options.review = ReviewDurableOptions("unused").review;
+    Gateway reference(options);
+    ASSERT_TRUE(reference.RegisterNamespace("ds", BaseSpec()).ok());
+    ASSERT_TRUE(reference.Publish("ds", s.model).ok());
+    ASSERT_TRUE(reference.Resolve("ds", fixed_batch).ok());
+    const auto items = reference.DrainReview("ds", 4);
+    ASSERT_TRUE(items.ok());
+    ASSERT_EQ(items->size(), 4u);
+    for (size_t i = 0; i < items->size(); ++i) {
+      const ReviewItem& item = (*items)[i];
+      // Half the oracle verdicts disagree: the retrain batch holds both
+      // classes, so the published parameters genuinely move.
+      const uint8_t truth =
+          i % 2 == 0 ? (item.machine_label ^ 1) : item.machine_label;
+      truth_sequence.push_back(truth);
+      ASSERT_TRUE(
+          reference.SubmitReviewLabel("ds", item.left, item.right, truth)
+              .ok());
+    }
+    const auto before = reference.Resolve("ds", fixed_batch);
+    ASSERT_TRUE(before.ok());
+    old_risk = before->scores.risk;
+    old_version = before->scores.model_version;
+    const auto result = reference.RetrainFromReview("ds", retrain);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    new_version = result->model_version;
+    const auto after = reference.Resolve("ds", fixed_batch);
+    ASSERT_TRUE(after.ok());
+    new_risk = after->scores.risk;
+    ASSERT_EQ(after->scores.model_version, new_version);
+    ASSERT_NE(old_version, new_version);
+  }
+
+  for (const char* point : kPoints) {
+    SCOPED_TRACE(point);
+    const std::string dir = ::testing::TempDir() +
+                            "/learnrisk_retrain_crash_" + std::string(point);
+    std::filesystem::remove_all(dir);
+
+    // Armed only after the setup checkpoint: occurrence 1 is then the
+    // retrain's own post-publish checkpoint.
+    std::atomic<bool> armed{false};
+    std::atomic<int> countdown{1};
+    GatewayOptions options = ReviewDurableOptions(dir);
+    options.durability.crash_hook = [&](const std::string& p) {
+      if (!armed.load(std::memory_order_relaxed)) return false;
+      if (p != std::string(point)) return false;
+      return countdown.fetch_sub(1) == 1;
+    };
+
+    {
+      Gateway gateway(options);
+      ASSERT_TRUE(gateway.RegisterNamespace("ds", BaseSpec()).ok());
+      ASSERT_TRUE(gateway.Publish("ds", s.model).ok());
+      // Commit model version 1 to the manifest so recovery can serve it.
+      ASSERT_TRUE(gateway.Checkpoint("ds").ok());
+      ASSERT_TRUE(gateway.Resolve("ds", fixed_batch).ok());
+      const auto items = gateway.DrainReview("ds", 4);
+      ASSERT_TRUE(items.ok());
+      ASSERT_EQ(items->size(), 4u);
+      for (size_t i = 0; i < items->size(); ++i) {
+        // Same deterministic drain order as the reference, same verdicts.
+        ASSERT_TRUE(gateway
+                        .SubmitReviewLabel("ds", (*items)[i].left,
+                                           (*items)[i].right,
+                                           truth_sequence[i])
+                        .ok());
+      }
+      armed.store(true);
+      const auto result = gateway.RetrainFromReview("ds", retrain);
+      ASSERT_FALSE(result.ok())
+          << "crash hook for " << point << " never fired during the "
+          << "retrain's checkpoint";
+    }
+
+    Gateway recovered(ReviewDurableOptions(dir));
+    ASSERT_TRUE(recovered.RecoverNamespace("ds", RecoverSpec()).ok());
+    ASSERT_TRUE(recovered.registry().Contains("ds"));
+
+    // Acked labels survive on both sides of the swap.
+    const auto stats = recovered.ReviewStats("ds");
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->labels, truth_sequence.size());
+    EXPECT_EQ(stats->enqueued + stats->requeued,
+              stats->drained + stats->dropped + stats->depth);
+
+    // Served model: old or new, bit-identically — never a torn mixture.
+    const auto served = recovered.Resolve("ds", fixed_batch);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    const uint64_t version = served->scores.model_version;
+    ASSERT_TRUE(version == old_version || version == new_version)
+        << "recovered namespace serves version " << version
+        << ", neither old (" << old_version << ") nor new (" << new_version
+        << ")";
+    if (version == old_version) {
+      EXPECT_EQ(served->scores.risk, old_risk);
+    } else {
+      EXPECT_EQ(served->scores.risk, new_risk);
+    }
   }
 }
 

@@ -1,0 +1,201 @@
+// Copyright 2026 The LearnRisk Authors
+// Review-loop hammer: concurrent resolver threads enqueueing top-k risky
+// pairs vs a reviewer draining + labeling vs a retrain/publish thread, all
+// on one namespace. Verifies (a) a fixed explicit-pair batch scores
+// bit-identically whenever two responses carry the same model version, even
+// while retrains hot-publish new versions mid-flight; (b) the review queue's
+// accounting stays exact under contention: after the dust settles,
+// enqueued == drained + dropped + depth, every drain got its label, and
+// requeued stays zero (no recovery happened). Runs under TSan in CI (the
+// thread-sanitizer job): the enqueue path shares shard 0's writer mutex with
+// checkpoint/retrain, which is exactly where lock-order bugs would hide.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "classifier/logistic.h"
+#include "data/blocking.h"
+#include "data/generators.h"
+#include "eval/experiment.h"
+#include "gateway/gateway.h"
+#include "test_models.h"
+
+namespace learnrisk {
+namespace {
+
+struct HammerSetup {
+  Workload workload;
+  MetricSuite suite;
+  std::shared_ptr<const BinaryClassifier> classifier;
+  BlockingConfig blocking;
+  std::vector<RecordPair> blocked_pairs;
+
+  NamespaceSpec Spec() const {
+    NamespaceSpec spec;
+    spec.left = workload.left_ptr();
+    spec.right = workload.right_ptr();
+    spec.suite = suite;
+    spec.classifier = classifier;
+    spec.blocking = blocking;
+    return spec;
+  }
+};
+
+const HammerSetup& SharedSetup() {
+  static const HammerSetup* setup = [] {
+    auto* s = new HammerSetup();
+    GeneratorOptions options;
+    options.scale = 0.012;
+    options.seed = 33;
+    Result<Workload> generated = GenerateDataset("DS", options);
+    EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+    s->workload = generated.MoveValueOrDie();
+    s->suite = MetricSuite::ForSchema(s->workload.left().schema());
+    s->suite.Fit(s->workload);
+    LogisticOptions classifier_options;
+    classifier_options.epochs = 8;
+    classifier_options.seed = 34;
+    auto classifier = std::make_shared<LogisticClassifier>(classifier_options);
+    EXPECT_TRUE(classifier
+                    ->Train(ComputeFeatures(s->workload, s->suite),
+                            s->workload.Labels())
+                    .ok());
+    s->classifier = classifier;
+    auto blocked = TokenBlocking(s->workload.left(), s->workload.right(),
+                                 s->blocking);
+    EXPECT_TRUE(blocked.ok());
+    s->blocked_pairs = blocked.MoveValueOrDie();
+    EXPECT_GT(s->blocked_pairs.size(), 48u);
+    return s;
+  }();
+  return *setup;
+}
+
+TEST(ReviewHammerTest, ConcurrentEnqueueDrainRetrainStaysExact) {
+  const HammerSetup& s = SharedSetup();
+
+  GatewayOptions options;
+  options.review.enabled = true;
+  options.review.per_request_budget = 4;
+  options.review.queue_capacity = 48;  // small: exercise displacement
+  Gateway gateway(options);
+  ASSERT_TRUE(gateway.RegisterNamespace("ds", s.Spec()).ok());
+  ASSERT_TRUE(
+      gateway.Publish("ds", testutil::MakeModel(19, 24, s.suite.num_metrics()))
+          .ok());
+
+  const size_t n = s.blocked_pairs.size();
+  constexpr size_t kWindow = 24;
+  constexpr size_t kResolvers = 3;
+  constexpr size_t kItersPerResolver = 48;
+  auto window_request = [&](size_t start) {
+    ResolveRequest request;
+    for (size_t i = 0; i < kWindow; ++i) {
+      request.pairs.push_back(s.blocked_pairs[(start + i) % n]);
+    }
+    return request;
+  };
+  const ResolveRequest fixed_batch = window_request(0);
+
+  std::atomic<bool> resolvers_done{false};
+  std::atomic<size_t> labels_submitted{0};
+  std::atomic<size_t> retrains_ok{0};
+
+  std::vector<std::thread> threads;
+  // Resolvers: rotating explicit-pair windows, each offering its top-4.
+  for (size_t t = 0; t < kResolvers; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kItersPerResolver; ++i) {
+        const auto response =
+            gateway.Resolve("ds", window_request(t * 17 + i * 7));
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+      }
+    });
+  }
+
+  // Reviewer: drain + label until the resolvers stop and the queue is dry.
+  threads.emplace_back([&] {
+    size_t j = 0;
+    for (;;) {
+      const auto items = gateway.DrainReview("ds", 3);
+      ASSERT_TRUE(items.ok()) << items.status().ToString();
+      if (items->empty()) {
+        if (resolvers_done.load(std::memory_order_acquire)) break;
+        std::this_thread::yield();
+        continue;
+      }
+      for (const ReviewItem& item : *items) {
+        // Scripted oracle: disagree with every other machine label so the
+        // retrain batch always holds both classes eventually.
+        const uint8_t truth = (j++ % 2) ? item.machine_label
+                                        : (item.machine_label ^ 1);
+        ASSERT_TRUE(gateway
+                        .SubmitReviewLabel("ds", item.left, item.right, truth)
+                        .ok());
+        labels_submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Retrainer: hot-publish from whatever labels exist; FailedPrecondition
+  // (not enough labels yet) is the only acceptable failure.
+  threads.emplace_back([&] {
+    while (!resolvers_done.load(std::memory_order_acquire)) {
+      ReviewRetrainOptions retrain;
+      retrain.retrain.trainer.epochs = 40;
+      const auto result = gateway.RetrainFromReview("ds", retrain);
+      if (result.ok()) {
+        retrains_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ASSERT_TRUE(result.status().IsFailedPrecondition())
+            << result.status().ToString();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Checker: the fixed batch must score bit-identically whenever two
+  // responses report the same model version, even mid-retrain.
+  threads.emplace_back([&] {
+    std::map<uint64_t, std::vector<double>> seen;
+    for (size_t i = 0; i < 2 * kItersPerResolver; ++i) {
+      const auto response = gateway.Resolve("ds", fixed_batch);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      const auto [it, inserted] =
+          seen.emplace(response->scores.model_version, response->scores.risk);
+      if (!inserted) {
+        ASSERT_EQ(it->second, response->scores.risk)
+            << "version " << response->scores.model_version
+            << " served torn or non-deterministic scores mid-hammer";
+      }
+    }
+  });
+
+  for (size_t t = 0; t < kResolvers; ++t) threads[t].join();
+  resolvers_done.store(true, std::memory_order_release);
+  for (size_t t = kResolvers; t < threads.size(); ++t) threads[t].join();
+
+  // Exact accounting after the hammer: nothing invented, nothing lost.
+  const auto stats = gateway.ReviewStats("ds");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->enqueued, 0u);
+  EXPECT_EQ(stats->requeued, 0u);  // no recovery happened
+  EXPECT_EQ(stats->enqueued, stats->drained + stats->dropped + stats->depth);
+  EXPECT_EQ(stats->offered, stats->enqueued + stats->merged);
+  // The reviewer labeled everything it drained before exiting.
+  EXPECT_EQ(stats->outstanding, 0u);
+  EXPECT_EQ(stats->labels, stats->drained);
+  EXPECT_EQ(stats->labels, labels_submitted.load());
+  // Labels held for the next retrain are exactly the accepted ones.
+  EXPECT_EQ(stats->labeled, stats->labels);
+}
+
+}  // namespace
+}  // namespace learnrisk

@@ -1,0 +1,207 @@
+// Copyright 2026 The LearnRisk Authors
+// ReviewQueue unit semantics: pair-key dedup (merges keep the higher-risk
+// observation), risk-descending drain order with FIFO tie-breaks, the
+// bounded-capacity displacement policy, the exact accounting invariant
+// `enqueued + requeued == drained + dropped + depth (+ outstanding)`, the
+// replay entry points (MarkDrained, Label-on-resident), and the
+// Seed/Snapshot checkpoint round-trip.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "review/review_queue.h"
+
+namespace learnrisk {
+namespace {
+
+ReviewItem Item(int64_t left, int64_t right, double risk) {
+  ReviewItem item;
+  item.left = left;
+  item.right = right;
+  item.risk = risk;
+  item.classifier_prob = 0.25 + 0.5 * risk;
+  item.machine_label = risk > 0.5 ? 1 : 0;
+  item.model_version = 3;
+  item.request_id = 7;
+  item.features = {risk, 1.0 - risk};
+  return item;
+}
+
+// enqueued + requeued == drained + dropped + depth, where depth counts only
+// resident items; outstanding items have been drained already.
+void ExpectInvariant(const ReviewQueue& queue) {
+  const ReviewQueueStats s = queue.Stats();
+  EXPECT_EQ(s.enqueued + s.requeued, s.drained + s.dropped + s.depth)
+      << "enqueued=" << s.enqueued << " requeued=" << s.requeued
+      << " drained=" << s.drained << " dropped=" << s.dropped
+      << " depth=" << s.depth;
+  EXPECT_EQ(s.offered, s.enqueued + s.merged);
+}
+
+TEST(ReviewQueueTest, DedupMergesAndKeepsHigherRisk) {
+  ReviewQueue queue(8);
+  EXPECT_EQ(queue.Offer(Item(1, 2, 0.5)), ReviewQueue::Offered::kAdmitted);
+  // Lower-risk re-offer merges without touching the stored observation.
+  EXPECT_EQ(queue.Offer(Item(1, 2, 0.3)), ReviewQueue::Offered::kMerged);
+  // Higher-risk re-offer merges and re-ranks the stored observation.
+  EXPECT_EQ(queue.Offer(Item(1, 2, 0.9)), ReviewQueue::Offered::kMerged);
+  EXPECT_EQ(queue.depth(), 1u);
+
+  const std::vector<ReviewItem> drained = queue.DrainTop(4);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].left, 1);
+  EXPECT_EQ(drained[0].right, 2);
+  EXPECT_EQ(drained[0].risk, 0.9);
+
+  // Outstanding and labeled keys also dedup: the human effort is already
+  // spent (or spending), so re-offers merge instead of re-queueing.
+  EXPECT_EQ(queue.Offer(Item(1, 2, 0.99)), ReviewQueue::Offered::kMerged);
+  EXPECT_TRUE(queue.Label(1, 2, 1));
+  EXPECT_EQ(queue.Offer(Item(1, 2, 0.99)), ReviewQueue::Offered::kMerged);
+  EXPECT_EQ(queue.depth(), 0u);
+  ExpectInvariant(queue);
+}
+
+TEST(ReviewQueueTest, DrainTopIsRiskDescendingFifoOnTies) {
+  ReviewQueue queue(8);
+  queue.Offer(Item(0, 0, 0.4));
+  queue.Offer(Item(1, 1, 0.8));
+  queue.Offer(Item(2, 2, 0.4));  // ties with (0,0); enqueued later
+  queue.Offer(Item(3, 3, 0.6));
+
+  const std::vector<ReviewItem> drained = queue.DrainTop(10);
+  ASSERT_EQ(drained.size(), 4u);
+  EXPECT_EQ(drained[0].left, 1);  // 0.8
+  EXPECT_EQ(drained[1].left, 3);  // 0.6
+  EXPECT_EQ(drained[2].left, 0);  // 0.4, earlier seq
+  EXPECT_EQ(drained[3].left, 2);  // 0.4, later seq
+  EXPECT_EQ(queue.outstanding(), 4u);
+  ExpectInvariant(queue);
+}
+
+TEST(ReviewQueueTest, CapacityDisplacesWeakestOrDropsOffer) {
+  ReviewQueue queue(2);
+  EXPECT_EQ(queue.Offer(Item(0, 0, 0.5)), ReviewQueue::Offered::kAdmitted);
+  EXPECT_EQ(queue.Offer(Item(1, 1, 0.7)), ReviewQueue::Offered::kAdmitted);
+
+  // At capacity, a stronger offer displaces the weakest resident.
+  EXPECT_EQ(queue.Offer(Item(2, 2, 0.6)), ReviewQueue::Offered::kAdmitted);
+  ReviewQueueStats s = queue.Stats();
+  EXPECT_EQ(s.depth, 2u);
+  EXPECT_EQ(s.dropped, 1u);
+  ExpectInvariant(queue);
+
+  // A weaker offer is itself the drop.
+  EXPECT_EQ(queue.Offer(Item(3, 3, 0.1)), ReviewQueue::Offered::kDropped);
+  s = queue.Stats();
+  EXPECT_EQ(s.depth, 2u);
+  EXPECT_EQ(s.dropped, 2u);
+  ExpectInvariant(queue);
+
+  // The survivors are exactly the two strongest, strongest first.
+  const std::vector<ReviewItem> drained = queue.DrainTop(10);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].left, 1);
+  EXPECT_EQ(drained[1].left, 2);
+  ExpectInvariant(queue);
+}
+
+TEST(ReviewQueueTest, LabelRequiresDrainAndRequeueRestoresRank) {
+  ReviewQueue queue(8);
+  queue.Offer(Item(0, 0, 0.9));
+  queue.Offer(Item(1, 1, 0.2));
+
+  // Labels only apply to drained (or, for replay, resident) pairs.
+  EXPECT_FALSE(queue.Label(5, 5, 1));
+
+  std::vector<ReviewItem> drained = queue.DrainTop(1);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].left, 0);
+
+  // The reviewer died: the outstanding item returns to the resident queue
+  // and drains again at its original rank.
+  queue.RequeueOutstanding();
+  EXPECT_EQ(queue.outstanding(), 0u);
+  EXPECT_EQ(queue.depth(), 2u);
+  ExpectInvariant(queue);
+
+  drained = queue.DrainTop(2);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].left, 0);
+  EXPECT_EQ(drained[1].left, 1);
+
+  EXPECT_TRUE(queue.Label(0, 0, 1));
+  EXPECT_TRUE(queue.Label(1, 1, 0));
+  EXPECT_FALSE(queue.Label(0, 0, 1));  // double-label rejected
+  const std::vector<LabeledReview> labels = queue.Labeled();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].item.left, 0);
+  EXPECT_EQ(labels[0].truth, 1);
+  EXPECT_EQ(labels[1].item.left, 1);
+  EXPECT_EQ(labels[1].truth, 0);
+  ExpectInvariant(queue);
+}
+
+TEST(ReviewQueueTest, ReplayEntryPointsMatchLiveSemantics) {
+  ReviewQueue queue(8);
+  queue.Offer(Item(0, 0, 0.9));
+  queue.Offer(Item(1, 1, 0.5));
+
+  // MarkDrained moves a specific resident key (recovery replays drains by
+  // key, not rank); unknown keys report false.
+  EXPECT_TRUE(queue.MarkDrained(1, 1));
+  EXPECT_FALSE(queue.MarkDrained(1, 1));
+  EXPECT_FALSE(queue.MarkDrained(9, 9));
+  EXPECT_EQ(queue.outstanding(), 1u);
+  ExpectInvariant(queue);
+
+  // Label on a still-resident pair counts the implicit drain (a checkpoint
+  // folded the drained pair back into the queue before the label arrived).
+  EXPECT_TRUE(queue.Label(0, 0, 1));
+  const ReviewQueueStats s = queue.Stats();
+  EXPECT_EQ(s.drained, 2u);
+  EXPECT_EQ(s.labels, 1u);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_EQ(s.outstanding, 1u);
+  ExpectInvariant(queue);
+}
+
+TEST(ReviewQueueTest, SeedSnapshotRoundTrip) {
+  ReviewQueue queue(16);
+  queue.Offer(Item(0, 0, 0.9));
+  queue.Offer(Item(1, 1, 0.2));
+  queue.Offer(Item(2, 2, 0.7));
+  queue.DrainTop(1);            // (0,0) outstanding
+  queue.Label(0, 0, 1);
+  queue.DrainTop(1);            // (2,2) outstanding, unlabeled
+
+  // Snapshot: every unlabeled item (resident + outstanding) in enqueue
+  // order, plus every label.
+  const ReviewQueue::CheckpointState state = queue.Snapshot();
+  ASSERT_EQ(state.queued.size(), 2u);
+  EXPECT_EQ(state.queued[0].left, 1);  // seq order, not risk order
+  EXPECT_EQ(state.queued[1].left, 2);
+  ASSERT_EQ(state.labeled.size(), 1u);
+  EXPECT_EQ(state.labeled[0].item.left, 0);
+  EXPECT_EQ(state.labeled[0].truth, 1);
+
+  // Seeding a fresh queue reproduces the same drain order, label set, and a
+  // consistent accounting state.
+  ReviewQueue recovered(16);
+  recovered.Seed(state.queued, state.labeled);
+  ExpectInvariant(recovered);
+  EXPECT_EQ(recovered.depth(), 2u);
+  EXPECT_EQ(recovered.num_labeled(), 1u);
+  // A labeled key stays deduplicated after seeding.
+  EXPECT_EQ(recovered.Offer(Item(0, 0, 0.99)), ReviewQueue::Offered::kMerged);
+
+  const std::vector<ReviewItem> drained = recovered.DrainTop(4);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].left, 2);  // 0.7 outranks 0.2
+  EXPECT_EQ(drained[1].left, 1);
+  ExpectInvariant(recovered);
+}
+
+}  // namespace
+}  // namespace learnrisk

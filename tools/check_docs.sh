@@ -105,7 +105,7 @@ if [ ! -f "$api_doc" ]; then
 else
   for symbol in Gateway ModelRegistry ServingEngine CompiledRuleSet \
                 MetricSuite PreparedTable NamespaceLog DurabilityOptions \
-                MetricsSnapshot StageTiming; do
+                MetricsSnapshot StageTiming ReviewQueue ReviewSession; do
     if ! grep -q "$symbol" "$api_doc"; then
       echo "docs/API.md does not document $symbol"
       fail=1
@@ -132,6 +132,23 @@ else
                   | tr -d '"' | sort -u); do
     if ! grep -q "$family" "$obs_doc"; then
       echo "docs/OBSERVABILITY.md does not catalog metric $family"
+      fail=1
+    fi
+  done
+fi
+
+# --- Review guard: docs/REVIEW.md documents the review-loop surface. -------
+review_doc="$root/docs/REVIEW.md"
+if [ ! -f "$review_doc" ]; then
+  echo "docs/REVIEW.md is missing"
+  fail=1
+else
+  for symbol in ReviewQueue ReviewSession ReviewItem ReviewOptions \
+                ReviewStats ReviewRetrainOptions ReviewRetrainResult \
+                DrainReview SubmitReviewLabel RetrainFromReview \
+                check_review_bench; do
+    if ! grep -q "$symbol" "$review_doc"; then
+      echo "docs/REVIEW.md does not document $symbol"
       fail=1
     fi
   done

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Validates BENCH_review.json produced by bench_review (the review-loop
+# label-efficiency and retrain-and-publish harness). The acceptance bar for
+# the review work is encoded here and enforced in CI:
+#  1. the file is valid JSON with the documented top-level shape
+#     (scale / scored_pairs / label_budget / base_f1 / target_f1 /
+#     label_efficiency / retrain_publish);
+#  2. both label-efficiency curves (risk, random) are present and non-empty,
+#     every point has a finite F1 in [0, 1], and each curve's labels-spent
+#     axis starts at 0 and is strictly increasing;
+#  3. labels_to_target_* are consistent with the curves (0 = never reached;
+#     otherwise the curve actually crosses target_f1 at that spend);
+#  4. the retrain section performed at least one retrain on at least one
+#     label, and every latency percentile is finite, non-negative, and
+#     p50 <= p99.
+#
+# Usage: tools/check_review_bench.sh BENCH_review.json
+set -u
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: $0 BENCH_review.json" >&2
+  exit 2
+fi
+
+exec python3 - "$1" <<'PY'
+import json
+import math
+import sys
+
+path = sys.argv[1]
+fail = 0
+
+
+def err(message):
+    global fail
+    print(f"{path}: {message}")
+    fail = 1
+
+
+try:
+    with open(path) as handle:
+        doc = json.load(handle)
+except (OSError, ValueError) as exc:
+    print(f"{path}: not readable JSON: {exc}")
+    sys.exit(1)
+
+for key in ("scale", "scored_pairs", "label_budget", "base_f1", "target_f1",
+            "label_efficiency", "retrain_publish"):
+    if key not in doc:
+        err(f'missing top-level key "{key}"')
+if fail:
+    sys.exit(1)
+
+for key in ("base_f1", "target_f1"):
+    value = doc[key]
+    if not isinstance(value, (int, float)) or not math.isfinite(value) \
+            or not 0 <= value <= 1:
+        err(f"{key} is not a finite F1 in [0, 1]: {value!r}")
+target = doc["target_f1"]
+
+efficiency = doc["label_efficiency"]
+for name in ("risk", "random"):
+    curve = efficiency.get(name)
+    if not isinstance(curve, list) or not curve:
+        err(f"label_efficiency.{name} is missing or empty")
+        continue
+    last_labels = -1
+    reached_at = 0
+    for point in curve:
+        labels = point.get("labels")
+        f1 = point.get("f1")
+        if not isinstance(labels, int) or labels < 0:
+            err(f"{name}: bad labels value {labels!r}")
+            break
+        if not isinstance(f1, (int, float)) or not math.isfinite(f1) \
+                or not 0 <= f1 <= 1:
+            err(f"{name}: labels={labels} F1 not finite in [0, 1]: {f1!r}")
+            break
+        if labels <= last_labels:
+            err(f"{name}: labels axis not strictly increasing at {labels}")
+            break
+        last_labels = labels
+        if reached_at == 0 and f1 >= target:
+            reached_at = labels
+    else:
+        if curve[0]["labels"] != 0:
+            err(f"{name}: curve must start at 0 labels (the base F1)")
+        claimed = efficiency.get(f"labels_to_target_{name}")
+        if not isinstance(claimed, int) or claimed < 0:
+            err(f"labels_to_target_{name} is not a non-negative int: "
+                f"{claimed!r}")
+        elif claimed == 0 and reached_at != 0:
+            err(f"{name}: claims target never reached, but the curve "
+                f"crosses it at {reached_at} labels")
+        elif claimed != 0 and reached_at == 0:
+            err(f"{name}: claims target reached at {claimed} labels, but "
+                f"the recorded curve never crosses it")
+
+retrain = doc["retrain_publish"]
+for field in ("retrains", "labels", "resolves_during", "final_model_version"):
+    value = retrain.get(field)
+    if not isinstance(value, int) or value < 0:
+        err(f"retrain_publish.{field} is not a non-negative int: {value!r}")
+if fail:
+    sys.exit(1)
+if retrain["retrains"] < 1:
+    err("retrain_publish performed no retrains")
+if retrain["labels"] < 1:
+    err("retrain_publish retrained on zero labels")
+for stage in ("train", "publish", "end_to_end"):
+    p50 = retrain.get(f"{stage}_ms_p50")
+    p99 = retrain.get(f"{stage}_ms_p99")
+    for tag, value in ((f"{stage}_ms_p50", p50), (f"{stage}_ms_p99", p99)):
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value < 0:
+            err(f"retrain_publish.{tag} is not a finite non-negative "
+                f"latency: {value!r}")
+    if isinstance(p50, (int, float)) and isinstance(p99, (int, float)) \
+            and math.isfinite(p50) and math.isfinite(p99) and p50 > p99:
+        err(f"retrain_publish.{stage}: p50 {p50} > p99 {p99}")
+
+if not fail:
+    print(f"{path}: OK (risk/random curves over {doc['label_budget']} "
+          f"labels, {retrain['retrains']} retrains)")
+sys.exit(fail)
+PY
