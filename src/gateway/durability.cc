@@ -102,6 +102,10 @@ bool DecodeRecord(const char** p, const char* end, Record* record,
                   int64_t* entity_id) {
   uint32_t width = 0;
   if (!GetI64(p, end, entity_id) || !GetU32(p, end, &width)) return false;
+  // Each value carries at least its length prefix: a width larger than the
+  // remaining bytes allow is corruption, rejected before the reserve so a
+  // corrupt-but-checksummed payload cannot force a huge allocation.
+  if (width > static_cast<uint64_t>(end - *p) / sizeof(uint32_t)) return false;
   record->values.clear();
   record->values.reserve(width);
   for (uint32_t i = 0; i < width; ++i) {
@@ -154,6 +158,10 @@ bool DecodeReviewItem(const char** p, const char* end, ReviewItem* item) {
       !GetU64(p, end, &item->request_id) || !GetU32(p, end, &width)) {
     return false;
   }
+  // Every feature is 8 payload bytes: bound the width by what the payload
+  // can actually hold before reserving, so a corrupt-but-CRC-consistent
+  // frame cannot force a multi-GB transient allocation.
+  if (width > static_cast<uint64_t>(end - *p) / sizeof(uint64_t)) return false;
   item->features.clear();
   item->features.reserve(width);
   for (uint32_t i = 0; i < width; ++i) {
@@ -275,6 +283,7 @@ struct Manifest {
   std::string wal_file;
   std::string review_file;  ///< empty = no review state at checkpoint time
   size_t review_queued = 0;
+  size_t review_outstanding = 0;
   size_t review_labeled = 0;
 };
 
@@ -293,7 +302,7 @@ std::string SerializeManifest(const Manifest& m) {
   }
   if (!m.review_file.empty()) {
     body << "review " << m.review_file << " " << m.review_queued << " "
-         << m.review_labeled << "\n";
+         << m.review_outstanding << " " << m.review_labeled << "\n";
   }
   body << "wal " << m.wal_file << "\n";
   std::string text = body.str();
@@ -357,7 +366,7 @@ Result<Manifest> ParseManifest(const std::string& text,
       ok = static_cast<bool>(fields >> m.model_file >> m.model_version);
     } else if (tag == "review") {
       ok = static_cast<bool>(fields >> m.review_file >> m.review_queued >>
-                             m.review_labeled);
+                             m.review_outstanding >> m.review_labeled);
     } else if (tag == "wal") {
       ok = static_cast<bool>(fields >> m.wal_file);
       saw_wal = ok;
@@ -588,13 +597,17 @@ std::string EncodeSegment(const Table& table) {
   return out;
 }
 
-// Serializes the review queue's checkpoint state (queued items in enqueue
-// order, then labeled items) with the same size+CRC framing as a table
-// segment, under its own header.
+// Serializes the review queue's checkpoint state (resident items, then
+// outstanding items — each in enqueue order — then labeled items) with the
+// same size+CRC framing as a table segment, under its own header.
 std::string EncodeReviewSegment(const ReviewQueue::CheckpointState& state) {
   std::string payload;
   PutU64(&payload, state.queued.size());
   for (const ReviewItem& item : state.queued) {
+    EncodeReviewItem(&payload, item);
+  }
+  PutU64(&payload, state.outstanding.size());
+  for (const ReviewItem& item : state.outstanding) {
     EncodeReviewItem(&payload, item);
   }
   PutU64(&payload, state.labeled.size());
@@ -610,8 +623,9 @@ std::string EncodeReviewSegment(const ReviewQueue::CheckpointState& state) {
 }
 
 Status LoadReviewSegment(const std::string& path, size_t expected_queued,
-                         size_t expected_labeled,
+                         size_t expected_outstanding, size_t expected_labeled,
                          std::vector<ReviewItem>* queued,
+                         std::vector<ReviewItem>* outstanding,
                          std::vector<LabeledReview>* labeled) {
   if (!std::filesystem::exists(path)) {
     return Status::IOError("manifest references missing review segment '" +
@@ -639,23 +653,30 @@ Status LoadReviewSegment(const std::string& path, size_t expected_queued,
     return Status::IOError("corrupt review segment '" + path +
                            "': payload does not match its crc");
   }
-  uint64_t num_queued = 0;
-  if (!GetU64(&p, end, &num_queued) || num_queued != expected_queued) {
-    return Status::IOError(
-        "corrupt review segment '" + path +
-        "': queued count does not match the manifest");
-  }
-  queued->clear();
-  queued->reserve(num_queued);
-  for (uint64_t i = 0; i < num_queued; ++i) {
-    ReviewItem item;
-    if (!DecodeReviewItem(&p, end, &item)) {
-      return Status::IOError("corrupt review segment '" + path +
-                             "': undecodable queued item " +
-                             std::to_string(i));
+  auto load_items = [&](const char* section, size_t expected,
+                        std::vector<ReviewItem>* out) -> Status {
+    uint64_t count = 0;
+    if (!GetU64(&p, end, &count) || count != expected) {
+      return Status::IOError("corrupt review segment '" + path + "': " +
+                             section +
+                             " count does not match the manifest");
     }
-    queued->push_back(std::move(item));
-  }
+    out->clear();
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      ReviewItem item;
+      if (!DecodeReviewItem(&p, end, &item)) {
+        return Status::IOError("corrupt review segment '" + path +
+                               "': undecodable " + section + " item " +
+                               std::to_string(i));
+      }
+      out->push_back(std::move(item));
+    }
+    return Status::OK();
+  };
+  LEARNRISK_RETURN_NOT_OK(load_items("queued", expected_queued, queued));
+  LEARNRISK_RETURN_NOT_OK(
+      load_items("outstanding", expected_outstanding, outstanding));
   uint64_t num_labeled = 0;
   if (!GetU64(&p, end, &num_labeled) || num_labeled != expected_labeled) {
     return Status::IOError(
@@ -747,6 +768,7 @@ Status NamespaceLog::WriteCheckpoint(const Table& left, const Table* right,
   if (review != nullptr) {
     m.review_file = ReviewSegmentFileName(id);
     m.review_queued = review->queued.size();
+    m.review_outstanding = review->outstanding.size();
     m.review_labeled = review->labeled.size();
     const std::string segment = EncodeReviewSegment(*review);
     segment_bytes += segment.size();
@@ -843,8 +865,9 @@ Result<std::unique_ptr<NamespaceLog>> NamespaceLog::Recover(
   out.checkpoint_records = m.left_records + (m.dedup ? 0 : m.right_records);
   if (!m.review_file.empty()) {
     LEARNRISK_RETURN_NOT_OK(LoadReviewSegment(
-        ns_dir + "/" + m.review_file, m.review_queued, m.review_labeled,
-        &out.review_queued, &out.review_labeled));
+        ns_dir + "/" + m.review_file, m.review_queued, m.review_outstanding,
+        m.review_labeled, &out.review_queued, &out.review_outstanding,
+        &out.review_labeled));
   }
 
   // WAL tail replay. The first frame that is torn (not enough bytes), has an

@@ -131,9 +131,12 @@ struct RecoveredNamespace {
   size_t wal_bytes_discarded = 0;    ///< torn/corrupt tail bytes truncated
   /// Review-queue state from the checkpoint's review segment (empty when the
   /// manifest has none) plus the review events replayed from the WAL tail,
-  /// in log order. The gateway replays events through a live ReviewQueue so
-  /// queued-but-unlabeled pairs and every acked label survive a restart.
+  /// in log order. Resident and outstanding items are kept separate so the
+  /// gateway can seed a ReviewQueue with the exact live occupancy before
+  /// replaying the events; queued-but-unlabeled pairs and every acked label
+  /// survive a restart.
   std::vector<ReviewItem> review_queued;
+  std::vector<ReviewItem> review_outstanding;
   std::vector<LabeledReview> review_labeled;
   std::vector<ReviewWalEvent> review_events;
 };

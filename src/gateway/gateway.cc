@@ -250,6 +250,14 @@ Gateway::NamespaceMetrics Gateway::CreateNamespaceMetrics(
     m.review_retrains = metric_registry_.Counter(
         "learnrisk_gateway_review_retrains_total", ns_labels,
         "Successful retrain-and-publish cycles from review labels");
+    m.review_log_failures = metric_registry_.Counter(
+        "learnrisk_gateway_review_log_failures_total", ns_labels,
+        "Review-WAL append failures absorbed by a fail-open enqueue "
+        "(request served, offer skipped)");
+    m.review_replay_misses = metric_registry_.Counter(
+        "learnrisk_gateway_review_replay_misses_total", ns_labels,
+        "Recovery-replay review events whose pair was not found "
+        "(duplicate frames from ambiguously-failed appends; tolerated)");
     m.retrain_latency = metric_registry_.Latency(
         "learnrisk_gateway_retrain_latency_seconds", ns_labels,
         "Incremental retrain wall time (labels to tuned model)");
@@ -956,18 +964,27 @@ Status Gateway::EnqueueReview(NamespaceState& s, const FeaturizedBatch& batch,
   // below equals the apply order; replay then reconstructs the same queue.
   Shard& shard0 = *s.shards[0];
   std::lock_guard<std::mutex> writer(shard0.writer_mu);
-  if (shard0.log != nullptr) {
-    // Write-ahead: every offer of this request hits the WAL before any of
-    // them applies, so a crash mid-batch leaves a durable prefix and the
-    // failed (unacknowledged) request enqueues nothing in this incarnation.
-    for (const ReviewItem& item : items) {
+  for (ReviewItem& item : items) {
+    if (shard0.log != nullptr) {
+      // Write-ahead, one item at a time: an offer is applied if and only if
+      // its frame is durably appended, so the applied queue never runs
+      // ahead of (or behind) the WAL — a crash or IO error mid-batch leaves
+      // a durable, applied prefix and replay reconstructs exactly it.
       ReviewWalEvent event;
       event.kind = ReviewWalEvent::Kind::kOffer;
       event.item = item;
-      LEARNRISK_RETURN_NOT_OK(shard0.log->AppendReview(event));
+      const Status append = shard0.log->AppendReview(event);
+      if (!append.ok()) {
+        // The offer is feedback-loop observability, not the serving answer:
+        // by default (fail_open) absorb the IO error — count it, skip the
+        // request's remaining offers — rather than failing the resolve.
+        if (!r.fail_open) return append;
+        if (s.metrics.review_log_failures != nullptr) {
+          s.metrics.review_log_failures->Add(1);
+        }
+        return Status::OK();
+      }
     }
-  }
-  for (ReviewItem& item : items) {
     switch (s.review->Offer(std::move(item))) {
       case ReviewQueue::Offered::kAdmitted:
         if (s.metrics.review_enqueued != nullptr) {
@@ -997,13 +1014,16 @@ Result<std::vector<ReviewItem>> Gateway::DrainReview(const std::string& ns,
   }
   Shard& shard0 = *s.shards[0];
   std::lock_guard<std::mutex> writer(shard0.writer_mu);
-  std::vector<ReviewItem> items = s.review->DrainTop(max_items);
   if (shard0.log != nullptr) {
-    // Logged after the in-memory drain but under the same mutex hold, so no
-    // other review mutation can interleave: WAL order still equals apply
-    // order. A crash between drain and log simply re-queues the items at
-    // recovery (the reviewer session died with the process anyway).
-    for (const ReviewItem& item : items) {
+    // Write-ahead: log every drain frame *before* mutating the queue. The
+    // writer mutex keeps other review mutations out, so the peek below is
+    // exactly what DrainTop will remove. An append failure mid-batch then
+    // leaves the queue untouched — no item is stranded outstanding with a
+    // reviewer who never received it — and replaying any durably-logged
+    // frames of the failed batch just re-drains resident pairs that the
+    // post-replay requeue returns to the queue.
+    const std::vector<ReviewItem> peeked = s.review->PeekTop(max_items);
+    for (const ReviewItem& item : peeked) {
       ReviewWalEvent event;
       event.kind = ReviewWalEvent::Kind::kDrain;
       event.item.left = item.left;
@@ -1011,6 +1031,7 @@ Result<std::vector<ReviewItem>> Gateway::DrainReview(const std::string& ns,
       LEARNRISK_RETURN_NOT_OK(shard0.log->AppendReview(event));
     }
   }
+  std::vector<ReviewItem> items = s.review->DrainTop(max_items);
   if (s.metrics.review_drained != nullptr && !items.empty()) {
     s.metrics.review_drained->Add(items.size());
   }
@@ -1027,20 +1048,29 @@ Status Gateway::SubmitReviewLabel(const std::string& ns, int64_t left,
   }
   Shard& shard0 = *s.shards[0];
   std::lock_guard<std::mutex> writer(shard0.writer_mu);
-  if (!s.review->Label(left, right, truth)) {
+  // Validate first so the NotFound path never writes a frame, then log,
+  // then apply: the label mutates the in-memory queue only once it is
+  // durable, so an append failure leaves the pair still labelable (the
+  // caller can retry) and an acked label is never lost across a crash
+  // (tests/gateway_crash_recovery_test.cc). The writer mutex holds off
+  // every other review mutation between the check and the apply.
+  if (!s.review->CanLabel(left, right)) {
     return Status::NotFound("pair (" + std::to_string(left) + ", " +
                             std::to_string(right) +
                             ") is not awaiting a review label");
   }
   if (shard0.log != nullptr) {
-    // The label is on disk before this call acknowledges: an acked label is
-    // never lost across a crash (tests/gateway_crash_recovery_test.cc).
     ReviewWalEvent event;
     event.kind = ReviewWalEvent::Kind::kLabel;
     event.item.left = left;
     event.item.right = right;
     event.truth = truth;
     LEARNRISK_RETURN_NOT_OK(shard0.log->AppendReview(event));
+  }
+  if (!s.review->Label(left, right, truth)) {
+    return Status::Internal("review label for (" + std::to_string(left) +
+                            ", " + std::to_string(right) +
+                            ") validated but failed to apply");
   }
   if (s.metrics.review_labels != nullptr) s.metrics.review_labels->Add(1);
   return Status::OK();
@@ -1573,28 +1603,45 @@ Status Gateway::RecoverNamespace(const std::string& ns,
   }
   if (options_.review.enabled) {
     // Rebuild the review queue: seed the checkpointed state (shard 0 owns
-    // it), replay the WAL's review events in log order — each drain/label
-    // lands on the same pair it originally did — then fold still-outstanding
-    // items back into the queue: their reviewer died with the process, and
-    // re-draining beats losing them.
+    // it) with resident and outstanding items in their original stages —
+    // outstanding items do not occupy resident capacity, so replay runs
+    // against the exact occupancy the live queue had — then replay the
+    // WAL's review events in log order. Offers replay without the capacity
+    // drop (OfferReplay): a durably-logged offer is always admitted or
+    // merged, so every logged drain/label that follows finds its pair and
+    // no acked label can be lost to a replay-time displacement. A
+    // drain/label that still misses (a duplicate frame from an
+    // ambiguously-failed append) is tolerated and counted. Finally,
+    // still-outstanding items fold back into the queue: their reviewer died
+    // with the process, and re-draining beats losing them.
     state->review =
         std::make_shared<ReviewQueue>(options_.review.queue_capacity);
     state->review->Seed(std::move(recovered[0].review_queued),
+                        std::move(recovered[0].review_outstanding),
                         std::move(recovered[0].review_labeled));
+    size_t replay_misses = 0;
     for (ReviewWalEvent& event : recovered[0].review_events) {
       switch (event.kind) {
         case ReviewWalEvent::Kind::kOffer:
-          state->review->Offer(std::move(event.item));
+          state->review->OfferReplay(std::move(event.item));
           break;
         case ReviewWalEvent::Kind::kDrain:
-          state->review->MarkDrained(event.item.left, event.item.right);
+          if (!state->review->MarkDrained(event.item.left, event.item.right)) {
+            ++replay_misses;
+          }
           break;
         case ReviewWalEvent::Kind::kLabel:
-          state->review->Label(event.item.left, event.item.right, event.truth);
+          if (!state->review->Label(event.item.left, event.item.right,
+                                    event.truth)) {
+            ++replay_misses;
+          }
           break;
       }
     }
     state->review->RequeueOutstanding();
+    if (replay_misses > 0 && state->metrics.review_replay_misses != nullptr) {
+      state->metrics.review_replay_misses->Add(replay_misses);
+    }
   }
 
   // Re-publish the newest checkpointed model any shard recorded, under its

@@ -445,6 +445,13 @@ class Gateway {
     ShardedCounter* review_drained = nullptr;
     ShardedCounter* review_labels = nullptr;
     ShardedCounter* review_retrains = nullptr;
+    /// Review-WAL appends that failed during a fail-open enqueue (the
+    /// request was served, the offer was skipped).
+    ShardedCounter* review_log_failures = nullptr;
+    /// Recovery-replay drain/label events whose pair was not found (e.g. a
+    /// duplicate frame from an ambiguously-failed append); tolerated but
+    /// surfaced.
+    ShardedCounter* review_replay_misses = nullptr;
     LatencyHistogram* retrain_latency = nullptr;
     LatencyHistogram* retrain_publish_latency = nullptr;
     ValueHistogram* risk_scores = nullptr;  ///< served risk distribution

@@ -26,6 +26,14 @@ ReviewQueue::Entry ReviewQueue::RemoveResidentLocked(const PairKey& key) {
 }
 
 ReviewQueue::Offered ReviewQueue::Offer(ReviewItem item) {
+  return OfferInternal(std::move(item), /*replay=*/false);
+}
+
+ReviewQueue::Offered ReviewQueue::OfferReplay(ReviewItem item) {
+  return OfferInternal(std::move(item), /*replay=*/true);
+}
+
+ReviewQueue::Offered ReviewQueue::OfferInternal(ReviewItem item, bool replay) {
   std::lock_guard<std::mutex> lock(mu_);
   offered_.fetch_add(1, std::memory_order_relaxed);
   const PairKey key = KeyOf(item);
@@ -49,7 +57,7 @@ ReviewQueue::Offered ReviewQueue::Offer(ReviewItem item) {
   }
 
   const uint64_t seq = next_seq_++;
-  if (resident_.size() >= capacity_) {
+  if (!replay && resident_.size() >= capacity_) {
     // rank_ is riskiest-first, so its last entry is the weakest resident.
     auto weakest = std::prev(rank_.end());
     if (item.risk > weakest->first.risk) {
@@ -69,6 +77,18 @@ ReviewQueue::Offered ReviewQueue::Offer(ReviewItem item) {
   InsertResidentLocked(std::move(item), seq);
   enqueued_.fetch_add(1, std::memory_order_relaxed);
   return Offered::kAdmitted;
+}
+
+std::vector<ReviewItem> ReviewQueue::PeekTop(size_t max_items) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReviewItem> out;
+  const size_t n = std::min(max_items, resident_.size());
+  out.reserve(n);
+  auto it = rank_.begin();
+  for (size_t i = 0; i < n; ++i, ++it) {
+    out.push_back(resident_.at(it->second).item);
+  }
+  return out;
 }
 
 std::vector<ReviewItem> ReviewQueue::DrainTop(size_t max_items) {
@@ -97,6 +117,12 @@ bool ReviewQueue::MarkDrained(int64_t left, int64_t right) {
   return true;
 }
 
+bool ReviewQueue::CanLabel(int64_t left, int64_t right) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PairKey key(left, right);
+  return outstanding_.count(key) != 0 || resident_.count(key) != 0;
+}
+
 bool ReviewQueue::Label(int64_t left, int64_t right, uint8_t truth) {
   std::lock_guard<std::mutex> lock(mu_);
   const PairKey key(left, right);
@@ -107,8 +133,9 @@ bool ReviewQueue::Label(int64_t left, int64_t right, uint8_t truth) {
     outstanding_.erase(out);
     outstanding_count_.store(outstanding_.size(), std::memory_order_relaxed);
   } else if (resident_.count(key) != 0) {
-    // Replay path: a checkpoint folded this once-drained pair back into the
-    // queue; count the implicit drain so the invariant stays exact.
+    // Label without a prior drain (direct label, or a replay whose drain
+    // frame was lost): count the implicit drain so the invariant stays
+    // exact.
     entry = RemoveResidentLocked(key);
     drained_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -134,6 +161,7 @@ void ReviewQueue::RequeueOutstanding() {
 }
 
 void ReviewQueue::Seed(std::vector<ReviewItem> queued,
+                       std::vector<ReviewItem> outstanding,
                        std::vector<LabeledReview> labeled) {
   std::lock_guard<std::mutex> lock(mu_);
   resident_.clear();
@@ -146,23 +174,37 @@ void ReviewQueue::Seed(std::vector<ReviewItem> queued,
     if (resident_.count(KeyOf(item)) != 0) continue;  // defensive dedup
     InsertResidentLocked(std::move(item), next_seq_++);
   }
+  // Outstanding items stay outstanding: they do not occupy resident
+  // capacity, so WAL replay over the seeded state reproduces the original
+  // run's admission/displacement decisions exactly. The caller returns them
+  // to the queue after replay (RequeueOutstanding).
+  for (ReviewItem& item : outstanding) {
+    const PairKey key = KeyOf(item);
+    if (resident_.count(key) != 0 || outstanding_.count(key) != 0) continue;
+    const uint64_t seq = next_seq_++;
+    outstanding_.emplace(key, Entry{std::move(item), seq});
+  }
   for (LabeledReview& label : labeled) {
     labeled_keys_.emplace(KeyOf(label.item), label.truth);
     labeled_.push_back(std::move(label));
   }
   // Reset the counters to a state that satisfies the invariant over the
-  // seeded contents: every seeded label was once enqueued and drained.
+  // seeded contents: every seeded label (and outstanding item) was once
+  // enqueued and drained.
   const uint64_t n_queued = resident_.size();
+  const uint64_t n_outstanding = outstanding_.size();
   const uint64_t n_labeled = labeled_.size();
-  offered_.store(n_queued + n_labeled, std::memory_order_relaxed);
-  enqueued_.store(n_queued + n_labeled, std::memory_order_relaxed);
+  offered_.store(n_queued + n_outstanding + n_labeled,
+                 std::memory_order_relaxed);
+  enqueued_.store(n_queued + n_outstanding + n_labeled,
+                  std::memory_order_relaxed);
   merged_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
-  drained_.store(n_labeled, std::memory_order_relaxed);
+  drained_.store(n_outstanding + n_labeled, std::memory_order_relaxed);
   labels_.store(n_labeled, std::memory_order_relaxed);
   requeued_.store(0, std::memory_order_relaxed);
   depth_.store(resident_.size(), std::memory_order_relaxed);
-  outstanding_count_.store(0, std::memory_order_relaxed);
+  outstanding_count_.store(outstanding_.size(), std::memory_order_relaxed);
   labeled_count_.store(labeled_.size(), std::memory_order_relaxed);
 }
 
@@ -173,18 +215,25 @@ std::vector<LabeledReview> ReviewQueue::Labeled() const {
 
 ReviewQueue::CheckpointState ReviewQueue::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  // Unlabeled items in enqueue order (resident + outstanding merged by seq):
-  // a recovered queue re-admits them in the original arrival order, and any
-  // outstanding item returns to the queue (its reviewer died with us).
-  std::vector<const Entry*> entries;
-  entries.reserve(resident_.size() + outstanding_.size());
-  for (const auto& [key, entry] : resident_) entries.push_back(&entry);
-  for (const auto& [key, entry] : outstanding_) entries.push_back(&entry);
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+  // Resident and outstanding items are kept separate (each in enqueue
+  // order): recovery seeds them back into the same stage, so replaying the
+  // post-checkpoint WAL tail sees the exact occupancy the live queue had
+  // and reproduces its admission decisions. Outstanding items return to the
+  // queue only after replay (their reviewer died with us).
+  auto collect = [](const std::map<PairKey, Entry>& entries) {
+    std::vector<const Entry*> ordered;
+    ordered.reserve(entries.size());
+    for (const auto& [key, entry] : entries) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+    std::vector<ReviewItem> items;
+    items.reserve(ordered.size());
+    for (const Entry* entry : ordered) items.push_back(entry->item);
+    return items;
+  };
   CheckpointState state;
-  state.queued.reserve(entries.size());
-  for (const Entry* entry : entries) state.queued.push_back(entry->item);
+  state.queued = collect(resident_);
+  state.outstanding = collect(outstanding_);
   state.labeled = labeled_;
   return state;
 }

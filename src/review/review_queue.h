@@ -46,6 +46,14 @@ struct ReviewOptions {
   double min_risk = 0.0;
   /// Resident-queue bound; see the displacement policy above.
   size_t queue_capacity = 1024;
+  /// When true (default) a review-WAL append failure during Resolve /
+  /// ResolveRecord degrades gracefully: the failure is counted
+  /// (learnrisk_gateway_review_log_failures_total), the remaining offers of
+  /// the request are skipped, and the scored response is still returned.
+  /// When false the IO error fails the whole request. Drains and labels are
+  /// always fail-closed: they acknowledge reviewer effort, so they never
+  /// succeed without their WAL frame.
+  bool fail_open = true;
 };
 
 /// \brief One enqueued machine decision, carrying everything retraining and
@@ -103,6 +111,22 @@ class ReviewQueue {
   /// higher-risk observation wins), or drops per the capacity policy.
   Offered Offer(ReviewItem item);
 
+  /// \brief Recovery-replay offer: like Offer but never capacity-drops —
+  /// a logged offer is admitted (or merged) unconditionally, so every
+  /// logged drain/label that follows it in the WAL always finds its pair
+  /// and no durably-acked label can be lost to a replay-time displacement
+  /// that diverges from the original run. Depth may transiently exceed
+  /// capacity (like RequeueOutstanding); later live offers see the true
+  /// depth.
+  Offered OfferReplay(ReviewItem item);
+
+  /// \brief Copies (without removing) the up-to-`max_items` riskiest
+  /// resident pairs in DrainTop order. With no interleaved mutation, an
+  /// immediately following DrainTop(max_items) returns exactly these items
+  /// — the gateway uses this to WAL-log drain frames *before* mutating the
+  /// queue.
+  std::vector<ReviewItem> PeekTop(size_t max_items) const;
+
   /// \brief Removes up to `max_items` riskiest resident pairs (risk
   /// descending, enqueue order on ties) and marks them outstanding until
   /// Label or RequeueOutstanding returns them.
@@ -113,11 +137,16 @@ class ReviewQueue {
   /// key is not resident.
   bool MarkDrained(int64_t left, int64_t right);
 
-  /// \brief Accepts a label for an outstanding pair — or, during recovery
-  /// replay, a resident one (a checkpoint folds outstanding items back into
-  /// the queue, so a post-checkpoint label can meet its pair resident; the
-  /// resident item is accounted drained-then-labeled). False when the key is
-  /// neither outstanding nor resident.
+  /// \brief True when Label(left, right, ...) would be accepted (the key is
+  /// outstanding or resident). The gateway validates with this *before*
+  /// WAL-logging a label so the NotFound path never writes a frame.
+  bool CanLabel(int64_t left, int64_t right) const;
+
+  /// \brief Accepts a label for an outstanding pair — or a resident one
+  /// (a reviewer may label without a prior drain, and recovery replay can
+  /// meet a pair whose drain frame was lost; the resident item is accounted
+  /// drained-then-labeled). False when the key is neither outstanding nor
+  /// resident.
   bool Label(int64_t left, int64_t right, uint8_t truth);
 
   /// \brief Returns every outstanding item to the resident queue (the
@@ -125,18 +154,27 @@ class ReviewQueue {
   /// capacity transiently; subsequent offers see the true depth.
   void RequeueOutstanding();
 
-  /// \brief Recovery seeding from a checkpoint: installs `queued` (in order,
-  /// as admitted) and `labeled`, resetting counters so the accounting
-  /// invariant holds over the seeded state.
-  void Seed(std::vector<ReviewItem> queued, std::vector<LabeledReview> labeled);
+  /// \brief Recovery seeding from a checkpoint: installs `queued` as
+  /// resident (in order, as admitted), `outstanding` as outstanding (so
+  /// post-checkpoint WAL replay runs against exactly the live state — the
+  /// capacity/displacement decisions reproduce, and labels for drained
+  /// pairs land on outstanding entries just as they did live), and
+  /// `labeled`, resetting counters so the accounting invariant holds over
+  /// the seeded state. The caller requeues outstanding items only *after*
+  /// replay (RequeueOutstanding).
+  void Seed(std::vector<ReviewItem> queued,
+            std::vector<ReviewItem> outstanding,
+            std::vector<LabeledReview> labeled);
 
   /// \brief Copies the labels accumulated so far (label-acceptance order).
   std::vector<LabeledReview> Labeled() const;
 
-  /// \brief Checkpoint view: every unlabeled item (resident + outstanding,
-  /// enqueue order) and every label.
+  /// \brief Checkpoint view: resident items and outstanding items
+  /// (each in enqueue order, kept separate so recovery can restore the
+  /// exact live occupancy), plus every label.
   struct CheckpointState {
-    std::vector<ReviewItem> queued;
+    std::vector<ReviewItem> queued;       ///< resident, enqueue order
+    std::vector<ReviewItem> outstanding;  ///< drained-unlabeled, enqueue order
     std::vector<LabeledReview> labeled;
   };
   CheckpointState Snapshot() const;
@@ -170,6 +208,8 @@ class ReviewQueue {
   static PairKey KeyOf(const ReviewItem& item) {
     return PairKey(item.left, item.right);
   }
+  /// Shared Offer body; `replay` disables the capacity drop.
+  Offered OfferInternal(ReviewItem item, bool replay);
   /// Inserts into the resident maps (caller holds mu_ and has checked the
   /// key is absent everywhere).
   void InsertResidentLocked(ReviewItem item, uint64_t seq);

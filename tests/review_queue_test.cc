@@ -176,31 +176,103 @@ TEST(ReviewQueueTest, SeedSnapshotRoundTrip) {
   queue.Label(0, 0, 1);
   queue.DrainTop(1);            // (2,2) outstanding, unlabeled
 
-  // Snapshot: every unlabeled item (resident + outstanding) in enqueue
-  // order, plus every label.
+  // Snapshot keeps resident and outstanding items in their stages (each in
+  // enqueue order), plus every label.
   const ReviewQueue::CheckpointState state = queue.Snapshot();
-  ASSERT_EQ(state.queued.size(), 2u);
-  EXPECT_EQ(state.queued[0].left, 1);  // seq order, not risk order
-  EXPECT_EQ(state.queued[1].left, 2);
+  ASSERT_EQ(state.queued.size(), 1u);
+  EXPECT_EQ(state.queued[0].left, 1);
+  ASSERT_EQ(state.outstanding.size(), 1u);
+  EXPECT_EQ(state.outstanding[0].left, 2);
   ASSERT_EQ(state.labeled.size(), 1u);
   EXPECT_EQ(state.labeled[0].item.left, 0);
   EXPECT_EQ(state.labeled[0].truth, 1);
 
-  // Seeding a fresh queue reproduces the same drain order, label set, and a
+  // Seeding a fresh queue reproduces the same stages, label set, and a
   // consistent accounting state.
   ReviewQueue recovered(16);
-  recovered.Seed(state.queued, state.labeled);
+  recovered.Seed(state.queued, state.outstanding, state.labeled);
   ExpectInvariant(recovered);
-  EXPECT_EQ(recovered.depth(), 2u);
+  EXPECT_EQ(recovered.depth(), 1u);
+  EXPECT_EQ(recovered.outstanding(), 1u);
   EXPECT_EQ(recovered.num_labeled(), 1u);
-  // A labeled key stays deduplicated after seeding.
+  // A labeled key stays deduplicated after seeding; so does an outstanding
+  // one.
   EXPECT_EQ(recovered.Offer(Item(0, 0, 0.99)), ReviewQueue::Offered::kMerged);
+  EXPECT_EQ(recovered.Offer(Item(2, 2, 0.99)), ReviewQueue::Offered::kMerged);
+  // A seeded-outstanding pair accepts its replayed label directly.
+  EXPECT_TRUE(recovered.Label(2, 2, 0));
 
+  // Recovery's final step returns any still-outstanding item to the queue.
+  recovered.RequeueOutstanding();
   const std::vector<ReviewItem> drained = recovered.DrainTop(4);
-  ASSERT_EQ(drained.size(), 2u);
-  EXPECT_EQ(drained[0].left, 2);  // 0.7 outranks 0.2
-  EXPECT_EQ(drained[1].left, 1);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].left, 1);
   ExpectInvariant(recovered);
+}
+
+// Regression for a recovery-divergence bug: the checkpoint used to fold
+// outstanding items back into the resident queue, so post-checkpoint WAL
+// replay ran against a *fuller* queue than the live one and could
+// capacity-drop an offer that was originally admitted — silently losing the
+// pair's subsequent acked drain/label. Seeding outstanding items as
+// outstanding keeps the replay occupancy exact, and OfferReplay never
+// capacity-drops, so logged drains/labels always find their pair.
+TEST(ReviewQueueTest, SeededOutstandingDoesNotStealReplayCapacity) {
+  ReviewQueue live(2);
+  live.Offer(Item(0, 0, 0.9));
+  live.Offer(Item(1, 1, 0.8));           // queue full
+  live.DrainTop(1);                      // (0,0) outstanding
+  const ReviewQueue::CheckpointState state = live.Snapshot();
+  ASSERT_EQ(state.queued.size(), 1u);
+  ASSERT_EQ(state.outstanding.size(), 1u);
+
+  // Live continues past the checkpoint: one resident slot is free, so a
+  // weaker offer is admitted, drained, and labeled (all WAL-logged).
+  EXPECT_EQ(live.Offer(Item(2, 2, 0.5)), ReviewQueue::Offered::kAdmitted);
+  EXPECT_TRUE(live.MarkDrained(2, 2));
+  EXPECT_TRUE(live.Label(2, 2, 1));
+
+  // Recovery: seed the checkpoint, replay the logged events. The offer must
+  // be admitted exactly as it was live — the outstanding (0,0) does not
+  // occupy resident capacity — and the acked label must land.
+  ReviewQueue recovered(2);
+  recovered.Seed(state.queued, state.outstanding, state.labeled);
+  EXPECT_EQ(recovered.OfferReplay(Item(2, 2, 0.5)),
+            ReviewQueue::Offered::kAdmitted);
+  EXPECT_TRUE(recovered.MarkDrained(2, 2));
+  EXPECT_TRUE(recovered.Label(2, 2, 1));
+  recovered.RequeueOutstanding();
+  ExpectInvariant(recovered);
+  EXPECT_EQ(recovered.num_labeled(), 1u);
+  EXPECT_EQ(recovered.depth(), 2u);  // (1,1) and the requeued (0,0)
+
+  // OfferReplay also never drops at capacity: a logged offer is always
+  // admitted (or merged), transiently exceeding the bound like
+  // RequeueOutstanding does, so its logged drain/label cannot miss.
+  EXPECT_EQ(recovered.OfferReplay(Item(3, 3, 0.01)),
+            ReviewQueue::Offered::kAdmitted);
+  EXPECT_EQ(recovered.depth(), 3u);
+  EXPECT_TRUE(recovered.MarkDrained(3, 3));
+  EXPECT_TRUE(recovered.Label(3, 3, 0));
+  ExpectInvariant(recovered);
+}
+
+TEST(ReviewQueueTest, PeekTopMatchesDrainTop) {
+  ReviewQueue queue(8);
+  queue.Offer(Item(0, 0, 0.4));
+  queue.Offer(Item(1, 1, 0.8));
+  queue.Offer(Item(2, 2, 0.6));
+
+  const std::vector<ReviewItem> peeked = queue.PeekTop(2);
+  EXPECT_EQ(queue.depth(), 3u);  // peek does not remove
+  const std::vector<ReviewItem> drained = queue.DrainTop(2);
+  ASSERT_EQ(peeked.size(), drained.size());
+  for (size_t i = 0; i < peeked.size(); ++i) {
+    EXPECT_EQ(peeked[i].left, drained[i].left);
+    EXPECT_EQ(peeked[i].right, drained[i].right);
+    EXPECT_EQ(peeked[i].risk, drained[i].risk);
+  }
+  ExpectInvariant(queue);
 }
 
 }  // namespace
